@@ -1,0 +1,162 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark regenerates one table or figure from the paper's evaluation
+(§2.2, §3.2, §4).  Scale defaults are reduced relative to the paper (20
+traces instead of 100, a 10-minute video) so the full suite finishes in a
+few minutes; set ``REPRO_BENCH_TRACES`` / ``REPRO_BENCH_VIDEO_S`` to raise
+them.
+
+Each bench prints a paper-style table plus an explicit "paper vs measured"
+shape-check block, and stores the key numbers in ``benchmark.extra_info``
+so they survive into pytest-benchmark's JSON output.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro import (
+    CounterfactualEngine,
+    Setting,
+    change_abr,
+    change_buffer,
+    change_ladder,
+    higher_ladder,
+    make_abr,
+    paper_corpus,
+    paper_veritas_config,
+    paper_video,
+)
+from repro.player import SessionConfig
+from repro.util import render_table
+
+N_TRACES = int(os.environ.get("REPRO_BENCH_TRACES", "20"))
+VIDEO_DURATION_S = float(os.environ.get("REPRO_BENCH_VIDEO_S", "600"))
+TRACE_DURATION_S = max(900.0, 2.0 * VIDEO_DURATION_S)
+CORPUS_SEED = 2023
+ENGINE_SEED = 7
+N_SAMPLES = 5
+
+
+def bench_video():
+    """The Setting-A video at benchmark scale."""
+    if VIDEO_DURATION_S == 600.0:
+        return paper_video(seed=7)
+    from repro import short_video
+
+    return short_video(duration_s=VIDEO_DURATION_S, seed=7)
+
+
+def bench_setting_a() -> Setting:
+    return Setting(
+        name="settingA",
+        abr_factory=lambda: make_abr("mpc"),
+        config=SessionConfig(buffer_capacity_s=5.0, rtt_s=0.08),
+        video=bench_video(),
+    )
+
+
+def bench_corpus():
+    return paper_corpus(
+        count=N_TRACES, duration_s=TRACE_DURATION_S, seed=CORPUS_SEED
+    )
+
+
+class CounterfactualStore:
+    """Computes each counterfactual query once and caches the result.
+
+    Figs. 9/10/11/13 each need one query; Fig. 14 needs all of them, so
+    sharing a session-scoped store keeps the suite's wall time linear in
+    the number of distinct queries.
+    """
+
+    def __init__(self):
+        self._cache = {}
+        self._corpus = None
+        self._setting_a = None
+
+    @property
+    def corpus(self):
+        if self._corpus is None:
+            self._corpus = bench_corpus()
+        return self._corpus
+
+    @property
+    def setting_a(self) -> Setting:
+        if self._setting_a is None:
+            self._setting_a = bench_setting_a()
+        return self._setting_a
+
+    def _setting_b(self, query: str) -> Setting:
+        setting_a = self.setting_a
+        if query == "bba":
+            return change_abr(setting_a, "bba")
+        if query == "bola":
+            return change_abr(setting_a, "bola")
+        if query == "buffer30":
+            return change_buffer(setting_a, 30.0)
+        if query == "ladder":
+            return change_ladder(setting_a, higher_ladder(), seed=0)
+        raise ValueError(f"unknown query {query!r}")
+
+    def result(self, query: str):
+        if query not in self._cache:
+            engine = CounterfactualEngine(
+                paper_veritas_config(), n_samples=N_SAMPLES, seed=ENGINE_SEED
+            )
+            self._cache[query] = engine.evaluate_corpus(
+                self.corpus, self.setting_a, self._setting_b(query)
+            )
+        return self._cache[query]
+
+
+def print_header(figure: str, paper_claim: str) -> None:
+    bar = "=" * 78
+    print(f"\n{bar}")
+    print(f"{figure}  (corpus: {N_TRACES} traces, video: {VIDEO_DURATION_S:.0f}s)")
+    print(f"paper: {paper_claim}")
+    print(bar)
+
+
+def print_metric_block(result, metric: str, unit: str = "") -> dict:
+    """Print the per-scheme summary for one metric; return the medians."""
+    table = result.metric_table(metric)
+    rows = []
+    medians = {}
+    for scheme in (
+        "truth",
+        "baseline",
+        "veritas_low",
+        "veritas_median",
+        "veritas_high",
+        "setting_a",
+    ):
+        vals = table[scheme]
+        medians[scheme] = float(np.median(vals))
+        rows.append(
+            [scheme, float(np.mean(vals)), float(np.median(vals)),
+             float(np.percentile(vals, 10)), float(np.percentile(vals, 90))]
+        )
+    print(render_table(
+        ["scheme", "mean", "median", "p10", "p90"],
+        rows,
+        title=f"[{metric}{f' ({unit})' if unit else ''}]",
+    ))
+    errors = result.prediction_errors(metric)
+    print(
+        f"abs error vs truth: baseline={errors['baseline'].mean():.4g} "
+        f"veritas(median-sample)={errors['veritas'].mean():.4g}"
+    )
+    return medians
+
+
+def shape_check(label: str, condition: bool) -> bool:
+    print(f"  {'PASS' if condition else 'MISS'}  {label}")
+    return condition
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,17 @@
+"""Session-scoped fixtures for the benchmark suite."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from common import CounterfactualStore  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def store() -> CounterfactualStore:
+    return CounterfactualStore()

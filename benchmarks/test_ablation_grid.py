@@ -1,0 +1,72 @@
+"""Ablation: sensitivity to the discretisation hyperparameters δ and ε.
+
+"Both hyperparameters δ and ε may be kept as small as needed" (§3.2); this
+bench quantifies the accuracy/cost trade-off around the paper's defaults
+(δ = 5 s, ε = 0.5 Mbps).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from common import bench_setting_a, print_header, run_once, shape_check
+from repro import VeritasAbduction, VeritasConfig, paper_corpus, run_setting
+from repro.util import render_table
+
+SETTINGS = [
+    ("delta=2.5 eps=0.5", VeritasConfig(delta_s=2.5)),
+    ("delta=5   eps=0.25", VeritasConfig(epsilon_mbps=0.25)),
+    ("delta=5   eps=0.5 (paper)", VeritasConfig()),
+    ("delta=5   eps=1.0", VeritasConfig(epsilon_mbps=1.0)),
+    ("delta=10  eps=0.5", VeritasConfig(delta_s=10.0)),
+]
+N_TRACES = 6
+
+
+def run_ablation():
+    corpus = paper_corpus(count=N_TRACES, duration_s=900.0, seed=41)
+    setting_a = bench_setting_a()
+    logs = [run_setting(setting_a, trace) for trace in corpus]
+
+    rows = {}
+    for label, config in SETTINGS:
+        solver = VeritasAbduction(config)
+        maes = []
+        t0 = time.perf_counter()
+        for trace, log in zip(corpus, logs):
+            post = solver.solve(log)
+            end = log.end_times_s()[-1]
+            grid = np.arange(2.5, end, 2.5)
+            gt = trace.values_at(grid)
+            maes.append(float(np.mean(np.abs(post.map_trace().values_at(grid) - gt))))
+        rows[label] = (float(np.mean(maes)), time.perf_counter() - t0)
+    return rows
+
+
+def test_ablation_grid(benchmark):
+    rows = run_once(benchmark, run_ablation)
+
+    print_header(
+        "Ablation — δ / ε discretisation sensitivity",
+        "accuracy should be stable near the paper defaults; coarser grids "
+        "trade accuracy for speed",
+    )
+    print(render_table(
+        ["setting", "MAE mean (Mbps)", "abduction wall (s)"],
+        [[label, mae, wall] for label, (mae, wall) in rows.items()],
+    ))
+
+    paper_mae = rows["delta=5   eps=0.5 (paper)"][0]
+    coarse_mae = rows["delta=5   eps=1.0"][0]
+    ok = shape_check(
+        "paper defaults at least as accurate as the 2x-coarser ε",
+        paper_mae <= coarse_mae + 0.05,
+    )
+    shape_check(
+        "all settings stay within 2x of the paper default's MAE",
+        all(mae <= 2.0 * paper_mae + 0.25 for mae, _ in rows.values()),
+    )
+    benchmark.extra_info.update({k: v[0] for k, v in rows.items()})
+    assert ok

@@ -1,0 +1,73 @@
+"""Ablation: number of posterior samples K.
+
+§4.3 uses K = 5 samples and reports the second-lowest/second-highest
+outcome per metric.  This bench checks how the coverage of the Veritas
+band (does [low, high] contain the truth?) and its width grow with K —
+"obtaining more samples could potentially lead to lower estimates".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import (
+    bench_setting_a,
+    print_header,
+    run_once,
+    shape_check,
+)
+from repro import (
+    CounterfactualEngine,
+    change_abr,
+    paper_corpus,
+    paper_veritas_config,
+)
+from repro.util import render_table
+
+KS = [1, 5, 15]
+N_TRACES = 6
+
+
+def run_ablation():
+    corpus = paper_corpus(count=N_TRACES, duration_s=900.0, seed=43)
+    setting_a = bench_setting_a()
+    setting_b = change_abr(setting_a, "bba")
+
+    out = {}
+    for k in KS:
+        engine = CounterfactualEngine(paper_veritas_config(), n_samples=k, seed=5)
+        result = engine.evaluate_corpus(corpus, setting_a, setting_b)
+        table = result.metric_table("mean_ssim")
+        width = float(np.mean(table["veritas_high"] - table["veritas_low"]))
+        covered = float(np.mean(
+            (table["veritas_low"] - 1e-4 <= table["truth"])
+            & (table["truth"] <= table["veritas_high"] + 1e-4)
+        ))
+        err = float(np.mean(np.abs(table["veritas_median"] - table["truth"])))
+        out[k] = {"width": width, "coverage": covered, "median_err": err}
+    return out
+
+
+def test_ablation_samples(benchmark):
+    out = run_once(benchmark, run_ablation)
+
+    print_header(
+        "Ablation — number of posterior samples K (SSIM, MPC->BBA query)",
+        "more samples widen the reported band and improve truth coverage",
+    )
+    print(render_table(
+        ["K", "band width", "truth coverage", "median-sample |err|"],
+        [[k, v["width"], v["coverage"], v["median_err"]] for k, v in out.items()],
+    ))
+
+    ok = shape_check(
+        "band width grows (weakly) with K",
+        out[1]["width"] <= out[5]["width"] + 1e-9
+        and out[5]["width"] <= out[15]["width"] + 1e-9,
+    )
+    shape_check(
+        "coverage with K=15 at least that of K=1",
+        out[15]["coverage"] >= out[1]["coverage"] - 1e-9,
+    )
+    benchmark.extra_info.update({str(k): v for k, v in out.items()})
+    assert ok

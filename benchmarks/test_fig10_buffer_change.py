@@ -1,0 +1,43 @@
+"""Fig. 10: predicted impact of increasing the buffer from 5 s to 30 s.
+
+"Veritas accurately predicts SSIM and rebuffering ratio (close to GTBW),
+with the range of estimates for each trace being relatively tight.
+Baseline underestimates SSIM for most traces."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import print_header, print_metric_block, run_once, shape_check
+
+
+def test_fig10_buffer_change(benchmark, store):
+    result = run_once(benchmark, lambda: store.result("buffer30"))
+
+    print_header(
+        "Fig. 10 — predicted impact of buffer 5 s -> 30 s from MPC logs",
+        "Veritas close to GTBW and tight; Baseline underestimates SSIM",
+    )
+    ssim = print_metric_block(result, "mean_ssim")
+    rebuf = print_metric_block(result, "rebuffer_percent", unit="% of session")
+
+    table = result.metric_table("mean_ssim")
+    frac_base_low = float(np.mean(table["baseline"] < table["truth"]))
+    print(f"fraction of traces where Baseline SSIM < truth: {frac_base_low:.2f}")
+
+    errors = result.prediction_errors("mean_ssim")
+    ok = True
+    ok &= shape_check(
+        "Baseline underestimates SSIM on most traces", frac_base_low >= 0.6
+    )
+    ok &= shape_check(
+        "Veritas SSIM error <= Baseline error",
+        errors["veritas"].mean() <= errors["baseline"].mean() + 1e-12,
+    )
+    shape_check(
+        "rebuffering with a 30 s buffer is near zero for the truth",
+        rebuf["truth"] <= 0.5,
+    )
+    benchmark.extra_info.update(ssim_medians=ssim, rebuffer_medians=rebuf)
+    assert ok

@@ -1,0 +1,48 @@
+"""Fig. 11: predicted impact of switching to a higher quality ladder.
+
+The paper's headline counterfactual: "Veritas predicted negligible
+rebuffering ratio across all the traces, close to the oracle, while
+Baseline predicted a much higher median rebuffering ratio value of around
+6.7%", and "Veritas tends to slightly over-estimate SSIM relative to GTBW"
+because small chunks leave a one-sided range of plausible GTBW.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import print_header, print_metric_block, run_once, shape_check
+
+
+def test_fig11_quality_change(benchmark, store):
+    result = run_once(benchmark, lambda: store.result("ladder"))
+
+    print_header(
+        "Fig. 11 — predicted impact of a higher quality ladder from MPC logs",
+        "Veritas rebuffering close to oracle (near 0); Baseline biased; "
+        "Veritas may slightly over-estimate SSIM",
+    )
+    ssim = print_metric_block(result, "mean_ssim")
+    rebuf = print_metric_block(result, "rebuffer_percent", unit="% of session")
+
+    err_ssim = result.prediction_errors("mean_ssim")
+    err_reb = result.prediction_errors("rebuffer_percent")
+    ok = True
+    ok &= shape_check(
+        "Veritas SSIM error <= Baseline error",
+        err_ssim["veritas"].mean() <= err_ssim["baseline"].mean() + 1e-12,
+    )
+    ok &= shape_check(
+        "Baseline median SSIM below truth",
+        ssim["baseline"] < ssim["truth"],
+    )
+    shape_check(
+        "Veritas rebuffering error <= Baseline rebuffering error",
+        err_reb["veritas"].mean() <= err_reb["baseline"].mean() + 1e-12,
+    )
+    shape_check(
+        "Veritas (slightly) over-estimates SSIM as in the paper",
+        ssim["veritas_median"] >= ssim["truth"] - 1e-6,
+    )
+    benchmark.extra_info.update(ssim_medians=ssim, rebuffer_medians=rebuf)
+    assert ok

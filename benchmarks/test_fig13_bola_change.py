@@ -1,0 +1,34 @@
+"""Fig. 13 (appendix): predicted impact of changing the ABR from MPC to BOLA.
+
+"The results are similar to that of changing the ABR from MPC to BBA.
+Baseline underestimates the GTBW which leads to lower SSIM and higher
+rebuffering.  Veritas does a good job of predicting the impact of the
+change, but Baseline does not."
+"""
+
+from __future__ import annotations
+
+from common import print_header, print_metric_block, run_once, shape_check
+
+
+def test_fig13_bola_change(benchmark, store):
+    result = run_once(benchmark, lambda: store.result("bola"))
+
+    print_header(
+        "Fig. 13 — predicted impact of MPC -> BOLA from MPC logs",
+        "same shape as Fig. 9: Baseline biased low on SSIM, Veritas ~ GTBW",
+    )
+    ssim = print_metric_block(result, "mean_ssim")
+    rebuf = print_metric_block(result, "rebuffer_percent", unit="% of session")
+
+    errors = result.prediction_errors("mean_ssim")
+    ok = True
+    ok &= shape_check(
+        "Baseline median SSIM below truth", ssim["baseline"] < ssim["truth"]
+    )
+    ok &= shape_check(
+        "Veritas SSIM error <= Baseline error",
+        errors["veritas"].mean() <= errors["baseline"].mean() + 1e-12,
+    )
+    benchmark.extra_info.update(ssim_medians=ssim, rebuffer_medians=rebuf)
+    assert ok

@@ -1,0 +1,79 @@
+"""Fig. 2(a): download-time distribution per chunk-size group is
+non-monotonic under an adaptive ABR.
+
+The paper trains on "100 traces, 50 with poor network conditions
+[0-0.3 Mbps] and 50 with good network condition [9-10 Mbps] with the MPC
+algorithm" and shows download times do NOT grow linearly with size: big
+chunks (chosen under good conditions) often download *faster* than small
+ones (chosen under poor conditions).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import print_header, run_once, shape_check
+from repro import MPCAlgorithm, SessionConfig, StreamingSession, bimodal_corpus
+from repro.util import render_table
+from repro.video import short_video
+
+SIZE_EDGES_MB = [0.0, 0.02, 0.04, 0.10, 1.0, 2.0, 4.2]
+LABELS = ["<0.02", "0.02-0.04", "0.04-0.10", "0.1-1.0", "1.0-2.0", "2.0-4.2"]
+
+
+def collect_download_times(n_per_mode: int = 10):
+    poor, good = bimodal_corpus(
+        count_per_mode=n_per_mode, duration_s=1200.0, seed=17
+    )
+    video = short_video(duration_s=300.0, seed=7)
+    sizes, times = [], []
+    for trace in poor + good:
+        log = StreamingSession(
+            video, MPCAlgorithm(), trace, SessionConfig()
+        ).run()
+        sizes.extend(log.sizes_bytes() / 1e6)
+        times.extend(log.download_times_s())
+    return np.asarray(sizes), np.asarray(times)
+
+
+def test_fig2a_download_time_vs_size(benchmark):
+    sizes, times = run_once(benchmark, collect_download_times)
+
+    print_header(
+        "Fig. 2(a) — download time vs chunk size (MPC, bimodal corpus)",
+        "non-monotonic: mid-size chunks (poor networks) slower than large "
+        "chunks (good networks)",
+    )
+    rows = []
+    medians = {}
+    for lo, hi, label in zip(SIZE_EDGES_MB, SIZE_EDGES_MB[1:], LABELS):
+        mask = (sizes >= lo) & (sizes < hi)
+        if not np.any(mask):
+            continue
+        group = times[mask]
+        medians[label] = float(np.median(group))
+        rows.append(
+            [label, int(mask.sum()), float(np.median(group)),
+             float(np.percentile(group, 25)), float(np.percentile(group, 75)),
+             float(group.max())]
+        )
+    print(render_table(
+        ["size (MB)", "chunks", "median s", "p25", "p75", "max"], rows
+    ))
+
+    # Shape: the relationship is NOT monotone — some smaller-size group has
+    # a larger median download time than some larger-size group.
+    ordered = [medians[label] for label in LABELS if label in medians]
+    non_monotonic = any(a > b for a, b in zip(ordered, ordered[1:]))
+    ok = shape_check(
+        "download-time medians are non-monotonic in chunk size", non_monotonic
+    )
+    mid = medians.get("0.04-0.10")
+    big = medians.get("1.0-2.0") or medians.get("2.0-4.2")
+    if mid is not None and big is not None:
+        shape_check(
+            "mid-size chunks (poor nets) slower than large chunks (good nets)",
+            mid > big,
+        )
+    benchmark.extra_info["medians"] = medians
+    assert ok

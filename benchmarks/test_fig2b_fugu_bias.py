@@ -1,0 +1,110 @@
+"""Fig. 2(b): Fugu's associational bias on causal queries.
+
+Fugu is trained on MPC logs over the bimodal (poor/good) corpus, then asked,
+on a *poor-network* session that has been picking low-quality chunks: what
+would the download time be if the next chunk were (i) low quality and
+(ii) high quality?  The paper shows Fugu is accurate for the low-quality
+chunk but dramatically underestimates the high-quality one (the deployed
+ABR only ever downloaded big chunks on good networks).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import print_header, run_once, shape_check
+from repro import (
+    FuguPredictor,
+    MPCAlgorithm,
+    SessionConfig,
+    StreamingSession,
+    bimodal_corpus,
+    constant_trace,
+)
+from repro.util import render_table
+from repro.video import short_video
+
+
+def run_experiment(n_per_mode: int = 8):
+    poor, good = bimodal_corpus(count_per_mode=n_per_mode, duration_s=1200.0, seed=17)
+    video = short_video(duration_s=300.0, seed=7)
+    logs = [
+        StreamingSession(video, MPCAlgorithm(), tr, SessionConfig()).run()
+        for tr in poor + good
+    ]
+    fugu = FuguPredictor(seed=0)
+    fugu.train(logs, epochs=30, seed=1)
+
+    # A fresh poor-network session as the probe.
+    probe_trace = constant_trace(0.25, 5000.0)
+    probe = StreamingSession(video, MPCAlgorithm(), probe_trace, SessionConfig()).run()
+    n = 30
+    history_sizes = list(probe.sizes_bytes()[:n])
+    history_times = list(probe.download_times_s()[:n])
+
+    low_size = video.chunk_size_bytes(n, 0)       # lowest quality
+    high_size = video.chunk_size_bytes(n, video.n_qualities - 1)
+
+    # Ground truth: actually download each candidate over the probe network.
+    record = probe.records[n]
+
+    def actual_time(size):
+        sess = TCP_fresh_download(probe_trace, record, size)
+        return sess
+
+    results = {}
+    for label, size in [("low", low_size), ("high", high_size)]:
+        predicted = fugu.predict_download_time(size, history_sizes, history_times)
+        results[label] = {
+            "size": size,
+            "predicted": predicted,
+            "actual": actual_time(size),
+        }
+    return results
+
+
+def TCP_fresh_download(trace, record, size):
+    """Physically download `size` starting where the probe session was."""
+    from repro.tcp import TCPConnection
+
+    conn = TCPConnection(trace, rtt_s=0.08)
+    conn.state.cwnd_segments = record.tcp_state.cwnd_segments
+    conn.state.ssthresh_segments = record.tcp_state.ssthresh_segments
+    conn.state.last_send_time_s = (
+        record.start_time_s - record.tcp_state.time_since_last_send_s
+    )
+    return conn.download(size, record.start_time_s).duration_s
+
+
+def test_fig2b_fugu_bias(benchmark):
+    results = run_once(benchmark, run_experiment)
+
+    print_header(
+        "Fig. 2(b) — Fugu prediction error for causal queries",
+        "Fugu ~accurate for the low-quality chunk, but underestimates the "
+        "high-quality chunk's download time by a large factor",
+    )
+    rows = [
+        [label, r["size"] / 1e6, r["actual"], r["predicted"],
+         r["actual"] - r["predicted"]]
+        for label, r in results.items()
+    ]
+    print(render_table(
+        ["next chunk", "size MB", "actual s", "Fugu predicted s", "underestimate"],
+        rows,
+    ))
+
+    low, high = results["low"], results["high"]
+    ok = True
+    ok &= shape_check(
+        "low-quality prediction within 2x of actual",
+        0.5 * low["actual"] <= low["predicted"] <= 2.0 * low["actual"] + 0.5,
+    )
+    ok &= shape_check(
+        "high-quality prediction underestimates actual by > 3x",
+        high["predicted"] < high["actual"] / 3.0,
+    )
+    benchmark.extra_info["results"] = {
+        k: {kk: float(vv) for kk, vv in v.items()} for k, v in results.items()
+    }
+    assert ok

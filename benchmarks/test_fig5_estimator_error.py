@@ -1,0 +1,57 @@
+"""Fig. 5: CDF of the throughput-estimator error.
+
+The paper tests ``f`` in an emulation with payloads of 2 KB - 4 MB, wait
+times 0.12 - 8 s, GTBW 0.5 - 10 Mbps and delays 5 - 40 ms, reporting that
+"in most cases, the predicted throughput is within a range of 1 Mbps of
+the observed throughput".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import print_header, run_once, shape_check
+from repro import TCPConnection, constant_trace
+from repro.tcp.estimator import estimate_throughput
+from repro.util import render_table
+
+
+def collect_errors(n_experiments: int = 120, payloads_per_exp: int = 25):
+    rng = np.random.default_rng(11)
+    errors = []
+    for _ in range(n_experiments):
+        gtbw = float(rng.uniform(0.5, 10.0))
+        delay = float(rng.uniform(0.005, 0.040))
+        conn = TCPConnection(constant_trace(gtbw, 1e7), rtt_s=2 * delay)
+        for _ in range(payloads_per_exp):
+            size = float(2 ** rng.uniform(11, 22))  # 2 KB .. 4 MB
+            gap = float(rng.uniform(0.12, 8.0))
+            start = conn.state.last_send_time_s + gap
+            predicted = estimate_throughput(gtbw, conn.snapshot(start), size)
+            actual = conn.download(size, start).throughput_mbps
+            errors.append(predicted - actual)
+    return np.asarray(errors)
+
+
+def test_fig5_estimator_error_cdf(benchmark):
+    errors = run_once(benchmark, collect_errors)
+    abs_err = np.abs(errors)
+
+    print_header(
+        "Fig. 5 — CDF of relative error of estimator f",
+        "predicted throughput within 1 Mbps of observed in most cases",
+    )
+    rows = []
+    for thr in [0.1, 0.2, 0.5, 1.0, 2.0]:
+        rows.append([f"<= {thr} Mbps", float(np.mean(abs_err <= thr))])
+    print(render_table(["|error|", "fraction of payloads"], rows))
+    print(
+        f"mean error {errors.mean():+.3f} Mbps, "
+        f"p5 {np.percentile(errors, 5):+.3f}, p95 {np.percentile(errors, 95):+.3f}"
+    )
+
+    frac_1mbps = float(np.mean(abs_err <= 1.0))
+    ok = shape_check("|error| <= 1 Mbps for >= 90% of payloads", frac_1mbps >= 0.9)
+    shape_check("median error is ~0 (|median| < 0.1)", abs(np.median(errors)) < 0.1)
+    benchmark.extra_info["frac_within_1mbps"] = frac_1mbps
+    assert ok

@@ -1,0 +1,64 @@
+"""Fig. 8: the *true* impact of changing the ABR from MPC to BBA.
+
+No inference here — both algorithms run over the same ground-truth traces.
+The paper reports that "BBA is more aggressive with larger SSIM values and
+higher rebuffering" than MPC.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import bench_corpus, bench_setting_a, print_header, run_once, shape_check
+from repro import change_abr, compute_metrics, run_setting
+from repro.util import render_table
+
+
+def run_truth():
+    corpus = bench_corpus()
+    setting_a = bench_setting_a()
+    setting_b = change_abr(setting_a, "bba")
+    rows = []
+    for trace in corpus:
+        m_a = compute_metrics(run_setting(setting_a, trace))
+        m_b = compute_metrics(run_setting(setting_b, trace))
+        rows.append((m_a, m_b))
+    return rows
+
+
+def test_fig8_true_abr_impact(benchmark):
+    rows = run_once(benchmark, run_truth)
+
+    ssim_a = np.array([a.mean_ssim for a, _ in rows])
+    ssim_b = np.array([b.mean_ssim for _, b in rows])
+    reb_a = np.array([a.rebuffer_percent for a, _ in rows])
+    reb_b = np.array([b.rebuffer_percent for _, b in rows])
+
+    print_header(
+        "Fig. 8 — true impact of MPC -> BBA (same GTBW traces)",
+        "BBA achieves higher SSIM but also higher rebuffering than MPC",
+    )
+    print(render_table(
+        ["metric", "MPC median", "BBA median", "MPC mean", "BBA mean"],
+        [
+            ["SSIM", float(np.median(ssim_a)), float(np.median(ssim_b)),
+             float(ssim_a.mean()), float(ssim_b.mean())],
+            ["rebuffer %", float(np.median(reb_a)), float(np.median(reb_b)),
+             float(reb_a.mean()), float(reb_b.mean())],
+        ],
+    ))
+    frac_ssim_up = float(np.mean(ssim_b >= ssim_a))
+    print(f"fraction of traces where BBA SSIM >= MPC SSIM: {frac_ssim_up:.2f}")
+
+    ok = True
+    ok &= shape_check("BBA mean SSIM >= MPC mean SSIM", ssim_b.mean() >= ssim_a.mean())
+    ok &= shape_check(
+        "BBA mean rebuffering >= MPC mean rebuffering",
+        reb_b.mean() >= reb_a.mean(),
+    )
+    shape_check("BBA rebuffering within 0-4% range like the paper", reb_b.max() < 6.0)
+    benchmark.extra_info.update(
+        ssim_mpc=float(ssim_a.mean()), ssim_bba=float(ssim_b.mean()),
+        rebuf_mpc=float(reb_a.mean()), rebuf_bba=float(reb_b.mean()),
+    )
+    assert ok

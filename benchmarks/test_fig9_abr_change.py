@@ -1,0 +1,42 @@
+"""Fig. 9: predicted impact of changing the ABR from MPC to BBA.
+
+Given only MPC logs, each scheme predicts BBA's SSIM and rebuffering on the
+same traces.  The paper: "Baseline predicts a noticeably lower SSIM than
+GTBW, and a significantly higher rebuffering ratio ... the range of
+estimates from Veritas is close to GTBW across the traces and fairly
+tight".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import print_header, print_metric_block, run_once, shape_check
+
+
+def test_fig9_abr_change(benchmark, store):
+    result = run_once(benchmark, lambda: store.result("bba"))
+
+    print_header(
+        "Fig. 9 — predicted impact of MPC -> BBA from MPC logs",
+        "Baseline underestimates SSIM; Veritas range tight around GTBW",
+    )
+    ssim = print_metric_block(result, "mean_ssim")
+    rebuf = print_metric_block(result, "rebuffer_percent", unit="% of session")
+
+    errors = result.prediction_errors("mean_ssim")
+    ok = True
+    ok &= shape_check(
+        "Baseline median SSIM below truth",
+        ssim["baseline"] < ssim["truth"],
+    )
+    ok &= shape_check(
+        "Veritas SSIM prediction error <= Baseline's",
+        errors["veritas"].mean() <= errors["baseline"].mean() + 1e-12,
+    )
+    shape_check(
+        "Veritas [low, high] band contains the truth median",
+        rebuf["veritas_low"] - 0.05 <= rebuf["truth"] <= rebuf["veritas_high"] + 0.25,
+    )
+    benchmark.extra_info.update(ssim_medians=ssim, rebuffer_medians=rebuf)
+    assert ok

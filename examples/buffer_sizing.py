@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""What-if study: sweep the player buffer size from recorded logs.
+
+The paper's Fig. 10 asks one buffer counterfactual (5 s -> 30 s).  Because
+Veritas produces *traces*, a designer can sweep any number of candidate
+buffer sizes from the same recorded logs, without touching production —
+this example does exactly that and prints the predicted QoE frontier.
+
+Run:  python examples/buffer_sizing.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    CounterfactualEngine,
+    change_buffer,
+    paper_corpus,
+    paper_setting_a,
+    paper_veritas_config,
+)
+from repro.util import render_table
+
+BUFFER_SIZES_S = [5.0, 10.0, 30.0, 60.0]
+
+
+def main() -> None:
+    traces = paper_corpus(count=5, duration_s=900.0, seed=13)
+    setting_a = paper_setting_a(seed=7)
+    engine = CounterfactualEngine(paper_veritas_config(), n_samples=5, seed=2)
+
+    rows = []
+    for buffer_s in BUFFER_SIZES_S:
+        setting_b = change_buffer(setting_a, buffer_s)
+        result = engine.evaluate_corpus(traces, setting_a, setting_b)
+        ssim = result.metric_table("mean_ssim")
+        reb = result.metric_table("rebuffer_percent")
+        rows.append([
+            f"{buffer_s:g}s",
+            float(np.median(ssim["veritas_median"])),
+            float(np.median(reb["veritas_median"])),
+            float(np.median(ssim["truth"])),
+            float(np.median(reb["truth"])),
+        ])
+
+    print(render_table(
+        ["buffer", "Veritas SSIM", "Veritas rebuf %", "oracle SSIM", "oracle rebuf %"],
+        rows,
+        title="predicted QoE frontier across buffer sizes (medians over corpus)",
+    ))
+    print(
+        "\nThe oracle columns require knowing the true bandwidth; Veritas "
+        "columns were computed\nfrom the recorded Setting-A logs alone."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Counterfactual query: what if we had deployed BBA instead of MPC?
+
+Mirrors the paper's Fig. 9 workflow end to end on a small corpus: deploy
+MPC (Setting A), then — using only the logs — predict BBA's performance
+(Setting B) with the Baseline reconstruction and with Veritas posterior
+samples, and compare both against the oracle that replays the true traces.
+
+Run:  python examples/counterfactual_abr.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    CounterfactualEngine,
+    change_abr,
+    format_counterfactual_report,
+    paper_corpus,
+    paper_setting_a,
+    paper_veritas_config,
+)
+
+
+def main() -> None:
+    traces = paper_corpus(count=6, duration_s=900.0, seed=11)
+    setting_a = paper_setting_a(seed=7)
+    setting_b = change_abr(setting_a, "bba")
+    print(f"Setting A: {setting_a.describe()}")
+    print(f"Setting B: {setting_b.describe()}")
+    print(f"corpus   : {len(traces)} ground-truth traces\n")
+
+    engine = CounterfactualEngine(
+        paper_veritas_config(), n_samples=5, seed=3
+    )
+    result = engine.evaluate_corpus(traces, setting_a, setting_b)
+    print(format_counterfactual_report(result))
+
+    print(
+        "\nReading the report: `truth` is the oracle (replay over the real "
+        "trace); a good causal\nestimator matches it.  Baseline reads the "
+        "observed throughput at face value, which TCP\neffects bias low — "
+        "hence its lower SSIM and bitrate predictions."
+    )
+
+
+if __name__ == "__main__":
+    main()

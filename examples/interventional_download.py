@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Interventional query: predict the next chunk's download time for *any*
+candidate size — the Fig. 2(b)/Fig. 12 scenario.
+
+A FuguNN-style associational predictor is trained on logs from a deployed
+MPC system.  Mid-session on a poor network we then ask: "what if the next
+chunk were each of the seven ladder sizes?"  Fugu answers from correlations
+(big chunks <=> good networks in its training data) and badly
+underestimates the large sizes; Veritas abducts the latent bandwidth first
+and respects physics.
+
+Run:  python examples/interventional_download.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    FuguPredictor,
+    MPCAlgorithm,
+    SessionConfig,
+    StreamingSession,
+    VeritasDownloadPredictor,
+    bimodal_corpus,
+    constant_trace,
+    paper_veritas_config,
+    short_video,
+)
+
+
+def main() -> None:
+    video = short_video(duration_s=300.0, seed=7)
+    config = SessionConfig()
+
+    # Train Fugu on a deployed-MPC corpus spanning poor and good networks.
+    poor, good = bimodal_corpus(count_per_mode=6, duration_s=1200.0, seed=17)
+    print("training FuguNN on 12 deployed-MPC sessions ...")
+    logs = [
+        StreamingSession(video, MPCAlgorithm(), tr, config).run()
+        for tr in poor + good
+    ]
+    fugu = FuguPredictor(seed=0)
+    fugu.train(logs, epochs=30, seed=1)
+
+    # A live session on a poor (0.25 Mbps) network, 30 chunks in.
+    probe_trace = constant_trace(0.25, 5000.0)
+    probe = StreamingSession(video, MPCAlgorithm(), probe_trace, config).run()
+    n = 30
+    record = probe.records[n]
+    history_sizes = list(probe.sizes_bytes()[:n])
+    history_times = list(probe.download_times_s()[:n])
+    prefix = probe.truncated(n)
+
+    veritas = VeritasDownloadPredictor(paper_veritas_config())
+
+    print(
+        f"\nlive session on a 0.25 Mbps link, chunk {n}; "
+        "predictions for every ladder size:\n"
+    )
+    print(f"{'quality':>8} {'size KB':>9} {'physics s':>10} "
+          f"{'Fugu s':>8} {'Veritas s':>10}")
+    for q in range(video.n_qualities):
+        size = video.chunk_size_bytes(n, q)
+        physics = size * 8 / 1e6 / 0.25  # ideal time at full link rate
+        f_pred = fugu.predict_download_time(size, history_sizes, history_times)
+        v_pred = veritas.predict(
+            prefix, size, record.start_time_s, record.tcp_state
+        ).download_time_s
+        print(
+            f"{q:>8} {size / 1024:>9.0f} {physics:>10.1f} "
+            f"{f_pred:>8.1f} {v_pred:>10.1f}"
+        )
+
+    print(
+        "\nNo download can beat the 0.25 Mbps link ('physics').  Fugu's "
+        "predictions for the\nlarger sizes fall far below that line — the "
+        "associational bias the paper documents —\nwhile Veritas stays "
+        "consistent with the abducted bandwidth."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Quickstart: deploy a session, abduct the latent bandwidth, inspect it.
+
+This walks the full Veritas loop on one session:
+
+1. generate a ground-truth bandwidth (GTBW) trace and a VBR video,
+2. stream the video with MPC over that trace (Setting A) — producing the
+   logs a real deployment would collect (sizes, timings, TCP state),
+3. hand *only the logs* to Veritas and sample posterior GTBW traces,
+4. compare the reconstructions (and the naive observed-throughput
+   Baseline) against the hidden truth.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    MPCAlgorithm,
+    SessionConfig,
+    StreamingSession,
+    VeritasAbduction,
+    baseline_trace,
+    compute_metrics,
+    paper_veritas_config,
+    random_walk_trace,
+    short_video,
+)
+
+
+def main() -> None:
+    # --- 1. the hidden truth -------------------------------------------
+    gtbw = random_walk_trace(
+        mean_mbps=6.0, duration=900.0, seed=42,
+        low=2.0, high=9.0, step_mbps=1.0, stay_prob=0.55,
+    )
+    video = short_video(duration_s=300.0, seed=7)
+    print(f"ground truth: {gtbw!r}")
+    print(f"video       : {video!r}")
+
+    # --- 2. Setting A: the deployed system -----------------------------
+    session = StreamingSession(video, MPCAlgorithm(), gtbw, SessionConfig())
+    log = session.run()
+    metrics = compute_metrics(log)
+    print(
+        f"\ndeployed session: {log.n_chunks} chunks, "
+        f"SSIM {metrics.mean_ssim:.4f}, "
+        f"rebuffering {metrics.rebuffer_percent:.2f}%, "
+        f"avg bitrate {metrics.avg_bitrate_mbps:.2f} Mbps"
+    )
+
+    # --- 3. abduction: logs -> posterior GTBW traces -------------------
+    veritas = VeritasAbduction(paper_veritas_config())
+    posterior = veritas.solve(log)
+    print(f"abduction log-likelihood: {posterior.log_likelihood:.1f}")
+    samples = posterior.sample_traces(count=5, seed=0)
+
+    # --- 4. compare against the hidden truth ---------------------------
+    end = log.end_times_s()[-1]
+    grid = np.arange(2.5, end, 2.5)
+    truth = gtbw.values_at(grid)
+    base = baseline_trace(log)
+
+    def mae(trace):
+        return float(np.mean(np.abs(trace.values_at(grid) - truth)))
+
+    print("\nmean absolute error vs hidden GTBW (Mbps):")
+    print(f"  observed-throughput Baseline : {mae(base):.3f}")
+    print(f"  Veritas maximum-likelihood   : {mae(posterior.map_trace()):.3f}")
+    for i, sample in enumerate(samples):
+        print(f"  Veritas posterior sample {i}   : {mae(sample):.3f}")
+
+    print("\nexcerpt (time: truth | baseline | sample range):")
+    for i in range(0, len(grid), 40):
+        lo = min(s.values_at([grid[i]])[0] for s in samples)
+        hi = max(s.values_at([grid[i]])[0] for s in samples)
+        print(
+            f"  {grid[i]:6.1f}s: {truth[i]:5.2f} | "
+            f"{base.values_at([grid[i]])[0]:5.2f} | [{lo:.1f}, {hi:.1f}]"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Extension: posterior uncertainty diagnostics (where to trust Veritas).
+
+§4.2 of the paper notes the inversion is sharp where chunks exceed the BDP
+and intrinsically uncertain where the deployed ABR picked small chunks.
+This example quantifies that per chunk — posterior entropy and 90%
+credible intervals — and renders the reconstruction with an ASCII chart.
+
+Run:  python examples/uncertainty_diagnostics.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    MPCAlgorithm,
+    SessionConfig,
+    StreamingSession,
+    VeritasAbduction,
+    paper_veritas_config,
+    random_walk_trace,
+    short_video,
+)
+from repro.core import diagnose_posterior
+from repro.util import ascii_line_plot
+
+
+def main() -> None:
+    trace = random_walk_trace(
+        6.0, 900.0, seed=23, low=1.5, high=9.0, step_mbps=1.0,
+        dip_prob=0.08, dip_range_mbps=(1.2, 2.0),
+    )
+    video = short_video(duration_s=240.0, seed=5)
+    log = StreamingSession(video, MPCAlgorithm(), trace, SessionConfig()).run()
+
+    posterior = VeritasAbduction(paper_veritas_config()).solve(log)
+    report = diagnose_posterior(posterior, credible_mass=0.9)
+
+    # Plot truth vs MAP with the credible band edges.
+    starts = posterior.problem.start_times_s
+    idx = np.arange(0, len(starts), 4)
+    print(ascii_line_plot(
+        starts[idx],
+        {
+            "GTBW (hidden)": trace.values_at(starts[idx]),
+            "Veritas MAP": posterior.map_capacities_mbps()[idx],
+            "90% low": [report.chunks[i].interval_low_mbps for i in idx],
+            "90% high": [report.chunks[i].interval_high_mbps for i in idx],
+        },
+        title="reconstruction with 90% credible band (Mbps vs seconds)",
+        y_label="time (s)",
+    ))
+
+    print(
+        f"\nmean posterior entropy : {report.mean_entropy_bits:.2f} bits"
+        f"\nmax posterior entropy  : {report.max_entropy_bits:.2f} bits"
+        f"\nuncertain chunks (>2 Mbps interval): "
+        f"{report.uncertain_fraction:.0%}"
+    )
+    regions = report.uncertain_regions()
+    if regions:
+        print("uncertain regions (s):",
+              ", ".join(f"[{a:.0f}, {b:.0f}]" for a, b in regions))
+    print(
+        "\nUncertain regions line up with small-chunk (low-quality) periods "
+        "— exactly the §4.2\nintuition.  A practitioner should read "
+        "counterfactual answers there as ranges, not points."
+    )
+
+
+if __name__ == "__main__":
+    main()

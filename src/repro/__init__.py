@@ -1,0 +1,171 @@
+"""repro — a reproduction of *Veritas: Answering Causal Queries from Video
+Streaming Traces* (SIGCOMM 2023).
+
+The public API re-exports the pieces a downstream user needs:
+
+* **Substrates** — bandwidth traces (:mod:`repro.net`), a flow-level TCP
+  simulator (:mod:`repro.tcp`), VBR video (:mod:`repro.video`), ABR
+  algorithms (:mod:`repro.abr`), and the streaming-session emulator
+  (:mod:`repro.player`).
+* **Veritas core** (:mod:`repro.core`) — the embedded HMM, its Viterbi /
+  forward-backward / sampling algorithms, and the abduction engine that
+  inverts session logs into posterior GTBW traces.
+* **Comparators** (:mod:`repro.baselines`) — the observed-throughput
+  Baseline, the oracle, and the FuguNN associational predictor.
+* **Causal layer** (:mod:`repro.causal`) — counterfactual settings,
+  the replay engine, and evaluation helpers.
+* **Workloads** (:mod:`repro.workloads`) — seeded FCC-like corpora and
+  the paper's named scenarios.
+
+Quickstart::
+
+    from repro import (
+        VeritasAbduction, VeritasConfig, StreamingSession, SessionConfig,
+        MPCAlgorithm, paper_video, random_walk_trace,
+    )
+
+    video = paper_video(seed=1)
+    gtbw = random_walk_trace(mean_mbps=5.0, duration=900.0, seed=42)
+    log = StreamingSession(video, MPCAlgorithm(), gtbw, SessionConfig()).run()
+    posterior = VeritasAbduction(VeritasConfig()).solve(log)
+    traces = posterior.sample_traces(count=5, seed=0)
+"""
+
+from .abr import (
+    ABRAlgorithm,
+    ABRContext,
+    BBAAlgorithm,
+    BOLAAlgorithm,
+    MPCAlgorithm,
+    RandomABRAlgorithm,
+    RateBasedAlgorithm,
+    make_abr,
+)
+from .baselines import FuguPredictor, MLPRegressor, baseline_trace, oracle_trace
+from .causal import (
+    CounterfactualEngine,
+    CounterfactualResult,
+    Setting,
+    cap_bitrate,
+    change_abr,
+    change_buffer,
+    change_ladder,
+    format_counterfactual_report,
+    per_trace_series,
+    run_setting,
+    scheme_summaries,
+)
+from .core import (
+    CapacityGrid,
+    EmissionModel,
+    TransitionModel,
+    VeritasAbduction,
+    VeritasConfig,
+    VeritasDownloadPredictor,
+    VeritasPosterior,
+    forward_backward,
+    sample_state_paths,
+    viterbi_path,
+)
+from .net import (
+    PiecewiseConstantTrace,
+    constant_trace,
+    random_walk_trace,
+    square_wave_trace,
+    trace_corpus,
+)
+from .player import (
+    ChunkRecord,
+    QoEMetrics,
+    SessionConfig,
+    SessionLog,
+    StreamingSession,
+    compute_metrics,
+)
+from .tcp import (
+    TCPConnection,
+    TCPStateSnapshot,
+    estimate_download_time,
+    estimate_throughput,
+)
+from .video import (
+    QualityLadder,
+    Video,
+    default_ladder,
+    higher_ladder,
+    paper_video,
+    short_video,
+)
+from .workloads import (
+    bimodal_corpus,
+    fast_setting_a,
+    paper_corpus,
+    paper_setting_a,
+    paper_veritas_config,
+    wide_corpus,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ABRAlgorithm",
+    "ABRContext",
+    "BBAAlgorithm",
+    "BOLAAlgorithm",
+    "CapacityGrid",
+    "ChunkRecord",
+    "CounterfactualEngine",
+    "CounterfactualResult",
+    "EmissionModel",
+    "FuguPredictor",
+    "MLPRegressor",
+    "MPCAlgorithm",
+    "PiecewiseConstantTrace",
+    "QoEMetrics",
+    "QualityLadder",
+    "RandomABRAlgorithm",
+    "RateBasedAlgorithm",
+    "SessionConfig",
+    "SessionLog",
+    "Setting",
+    "StreamingSession",
+    "TCPConnection",
+    "TCPStateSnapshot",
+    "TransitionModel",
+    "VeritasAbduction",
+    "VeritasConfig",
+    "VeritasDownloadPredictor",
+    "VeritasPosterior",
+    "Video",
+    "baseline_trace",
+    "bimodal_corpus",
+    "cap_bitrate",
+    "change_abr",
+    "change_buffer",
+    "change_ladder",
+    "compute_metrics",
+    "constant_trace",
+    "default_ladder",
+    "estimate_download_time",
+    "estimate_throughput",
+    "fast_setting_a",
+    "format_counterfactual_report",
+    "forward_backward",
+    "higher_ladder",
+    "make_abr",
+    "oracle_trace",
+    "paper_corpus",
+    "paper_setting_a",
+    "paper_veritas_config",
+    "paper_video",
+    "per_trace_series",
+    "random_walk_trace",
+    "run_setting",
+    "sample_state_paths",
+    "scheme_summaries",
+    "short_video",
+    "square_wave_trace",
+    "trace_corpus",
+    "viterbi_path",
+    "wide_corpus",
+]

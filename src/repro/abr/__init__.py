@@ -1,0 +1,40 @@
+"""Adaptive-bitrate algorithms: MPC, BBA, BOLA, rate-based, random."""
+
+from .base import ABRAlgorithm, ABRContext, HarmonicMeanPredictor
+from .bba import BBAAlgorithm
+from .bola import BOLAAlgorithm
+from .mpc import MPCAlgorithm
+from .random_abr import RandomABRAlgorithm
+from .rate import RateBasedAlgorithm
+from .veritas_abr import VeritasABRAlgorithm
+
+__all__ = [
+    "ABRAlgorithm",
+    "ABRContext",
+    "BBAAlgorithm",
+    "BOLAAlgorithm",
+    "HarmonicMeanPredictor",
+    "MPCAlgorithm",
+    "RandomABRAlgorithm",
+    "RateBasedAlgorithm",
+    "VeritasABRAlgorithm",
+]
+
+
+def make_abr(name: str, **kwargs) -> ABRAlgorithm:
+    """Construct an ABR algorithm by name (used by configs and benchmarks)."""
+    registry = {
+        "mpc": MPCAlgorithm,
+        "bba": BBAAlgorithm,
+        "bola": BOLAAlgorithm,
+        "rate": RateBasedAlgorithm,
+        "random": RandomABRAlgorithm,
+        "veritas-abr": VeritasABRAlgorithm,
+    }
+    try:
+        cls = registry[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown ABR {name!r}; available: {sorted(registry)}"
+        ) from None
+    return cls(**kwargs)

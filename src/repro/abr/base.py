@@ -1,0 +1,137 @@
+"""ABR algorithm interface and throughput predictors.
+
+Every algorithm sees an :class:`ABRContext` at each chunk boundary — the
+information a real DASH client has: current buffer level, observed per-chunk
+throughput history, the next chunk's ladder of encoded sizes, and (for
+lookahead algorithms such as MPC) the video object itself.  Crucially the
+context does *not* include the ground-truth bandwidth; that is the latent
+confounder the paper is about.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..video.chunks import Video
+
+__all__ = ["ABRContext", "ABRAlgorithm", "HarmonicMeanPredictor"]
+
+
+@dataclass
+class ABRContext:
+    """Client-side observable state at the moment a chunk must be requested.
+
+    Attributes
+    ----------
+    chunk_index:
+        Index ``n`` of the chunk about to be requested.
+    buffer_s / buffer_capacity_s:
+        Current playout buffer level and the configured cap (seconds).
+    last_quality:
+        Ladder index of the previously selected chunk (``None`` for the
+        first chunk).
+    throughput_history_mbps / download_time_history_s:
+        Observed per-chunk throughput ``Y_1..Y_{n-1}`` and download times,
+        oldest first.
+    video:
+        The video being streamed (sizes/SSIM for the current and future
+        chunks; lookahead algorithms may read ahead).
+    """
+
+    chunk_index: int
+    buffer_s: float
+    buffer_capacity_s: float
+    last_quality: int | None
+    video: Video
+    throughput_history_mbps: list[float] = field(default_factory=list)
+    download_time_history_s: list[float] = field(default_factory=list)
+
+    @property
+    def next_chunk_sizes_bytes(self) -> np.ndarray:
+        """Encoded sizes of the chunk about to be requested, per quality."""
+        return self.video.sizes_for_chunk(self.chunk_index)
+
+    @property
+    def n_qualities(self) -> int:
+        return self.video.n_qualities
+
+
+class ABRAlgorithm(ABC):
+    """Base class for adaptive-bitrate algorithms.
+
+    Subclasses implement :meth:`choose_quality`; algorithms with per-session
+    state (e.g. MPC's robust error tracking) override :meth:`reset`, which
+    the session simulator calls once before playback starts.
+    """
+
+    name: str = "abr"
+
+    @abstractmethod
+    def choose_quality(self, context: ABRContext) -> int:
+        """Return the ladder index to request for ``context.chunk_index``."""
+
+    def reset(self) -> None:
+        """Clear any per-session state (default: stateless)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class HarmonicMeanPredictor:
+    """Robust harmonic-mean throughput predictor (the RobustMPC estimator).
+
+    Predicts the harmonic mean of the last ``window`` observed throughputs,
+    discounted by the maximum recent relative prediction error — the
+    standard conservative correction from the MPC paper [48].
+    """
+
+    def __init__(
+        self,
+        window: int = 8,
+        error_window: int = 12,
+        cold_start_mbps: float = 0.3,
+    ):
+        if window < 1 or error_window < 1:
+            raise ValueError("windows must be >= 1")
+        if cold_start_mbps <= 0:
+            raise ValueError(
+                f"cold-start prediction must be positive, got {cold_start_mbps}"
+            )
+        self.window = window
+        self.error_window = error_window
+        self.cold_start_mbps = cold_start_mbps
+        self._errors: list[float] = []
+        self._last_prediction: float | None = None
+
+    def reset(self) -> None:
+        self._errors = []
+        self._last_prediction = None
+
+    def observe(self, actual_mbps: float) -> None:
+        """Record the realised throughput for the chunk just downloaded."""
+        if actual_mbps <= 0:
+            raise ValueError(f"throughput must be positive, got {actual_mbps}")
+        if self._last_prediction is not None and self._last_prediction > 0:
+            error = abs(self._last_prediction - actual_mbps) / actual_mbps
+            self._errors.append(error)
+            if len(self._errors) > self.error_window:
+                self._errors.pop(0)
+
+    def predict(self, history_mbps: list[float]) -> float:
+        """Predicted throughput (Mbps) for the next download."""
+        if not history_mbps:
+            # Deployed players start at the bottom of the ladder and probe
+            # upward (Puffer's MPC-HM behaves the same way).
+            prediction = self.cold_start_mbps
+        else:
+            recent = np.asarray(history_mbps[-self.window:], dtype=float)
+            if np.any(recent <= 0):
+                raise ValueError("throughput history must be positive")
+            harmonic = len(recent) / np.sum(1.0 / recent)
+            max_error = max(self._errors) if self._errors else 0.0
+            prediction = float(harmonic / (1.0 + max_error))
+        self._last_prediction = prediction
+        return prediction

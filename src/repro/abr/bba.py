@@ -1,0 +1,63 @@
+"""BBA: buffer-based rate adaptation (Huang et al., SIGCOMM 2014 [18]).
+
+BBA ignores throughput estimates entirely and maps the current buffer level
+onto the bitrate ladder: below a *reservoir* it always requests the lowest
+quality; above an *upper threshold* it requests the highest; in between it
+interpolates linearly on the bitrate axis.  Because it never looks at
+network conditions, it is notably more aggressive than MPC — the behaviour
+the paper's Fig. 8 documents (higher SSIM *and* higher rebuffering).
+"""
+
+from __future__ import annotations
+
+from .base import ABRAlgorithm, ABRContext
+
+__all__ = ["BBAAlgorithm"]
+
+
+class BBAAlgorithm(ABRAlgorithm):
+    """Buffer-based adaptation with a linear buffer→bitrate map.
+
+    Parameters
+    ----------
+    reservoir_fraction:
+        Fraction of the buffer capacity reserved at the bottom (always
+        lowest quality below it), floored at one chunk duration.
+    upper_fraction:
+        Fraction of capacity above which the highest quality is requested.
+    """
+
+    name = "bba"
+
+    def __init__(self, reservoir_fraction: float = 0.2, upper_fraction: float = 0.9):
+        if not 0 < reservoir_fraction < upper_fraction <= 1:
+            raise ValueError(
+                "need 0 < reservoir_fraction < upper_fraction <= 1, got "
+                f"{reservoir_fraction} and {upper_fraction}"
+            )
+        self.reservoir_fraction = reservoir_fraction
+        self.upper_fraction = upper_fraction
+
+    def choose_quality(self, context: ABRContext) -> int:
+        ladder = context.video.ladder
+        capacity = context.buffer_capacity_s
+        reservoir = max(
+            context.video.chunk_duration_s, self.reservoir_fraction * capacity
+        )
+        upper = self.upper_fraction * capacity
+        if upper <= reservoir:
+            # Degenerate tiny buffers: fall back to a two-point map.
+            upper = reservoir + 1e-6
+
+        buffer_s = context.buffer_s
+        if buffer_s <= reservoir:
+            return ladder.lowest.index
+        if buffer_s >= upper:
+            return ladder.highest.index
+
+        # Linear interpolation on the bitrate axis between the ladder ends.
+        fraction = (buffer_s - reservoir) / (upper - reservoir)
+        r_min = ladder.lowest.bitrate_mbps
+        r_max = ladder.highest.bitrate_mbps
+        target_rate = r_min + fraction * (r_max - r_min)
+        return ladder.highest_below(target_rate).index

@@ -1,0 +1,107 @@
+"""BOLA Basic v1 (Spiteri et al. [38], as implemented on Puffer [2]).
+
+BOLA is a Lyapunov-drift-plus-penalty scheme: at each chunk boundary it
+requests the quality maximising
+
+    (V * (utility_q + gp) - buffer_level) / size_q .
+
+Utilities are logarithmic in bitrate (the BOLA paper's choice).  The control
+parameters ``V`` and ``gp`` are calibrated from two boundary conditions, the
+same way Puffer's BOLA-BASIC derives them:
+
+* at a buffer of one chunk duration the algorithm should switch away from
+  the lowest quality, and
+* at ``upper_fraction`` of the buffer capacity it should reach the highest.
+
+The quality-switch buffer threshold between adjacent levels ``q → q+1`` is
+``B = V * (a_q + gp)`` with ``a_q = (S_{q+1} u_q - S_q u_{q+1}) /
+(S_{q+1} - S_q)``; the two conditions give two linear equations in ``V`` and
+``V*gp``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..video.chunks import Video
+from .base import ABRAlgorithm, ABRContext
+
+__all__ = ["BOLAAlgorithm"]
+
+
+class BOLAAlgorithm(ABRAlgorithm):
+    """BOLA Basic v1 with log-bitrate utilities.
+
+    Parameters
+    ----------
+    upper_fraction:
+        Fraction of the buffer capacity at which the highest quality should
+        become preferred (the second calibration point).
+    """
+
+    name = "bola"
+
+    def __init__(self, upper_fraction: float = 0.9):
+        if not 0 < upper_fraction <= 1:
+            raise ValueError(f"upper_fraction must be in (0, 1], got {upper_fraction}")
+        self.upper_fraction = upper_fraction
+        self._calibration: tuple[float, float] | None = None
+        self._calibrated_for: tuple[int, float] | None = None
+
+    def reset(self) -> None:
+        self._calibration = None
+        self._calibrated_for = None
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _utilities(video: Video) -> np.ndarray:
+        rates = np.asarray(video.ladder.bitrates_mbps)
+        return np.log(rates / rates[0])
+
+    def _calibrate(self, video: Video, capacity_s: float) -> tuple[float, float]:
+        """Solve for (V, gp) from the two buffer-threshold conditions."""
+        key = (id(video.ladder), capacity_s)
+        if self._calibrated_for == key and self._calibration is not None:
+            return self._calibration
+
+        utilities = self._utilities(video)
+        # Mean ladder sizes (bytes) stand in for the per-chunk sizes when
+        # deriving thresholds, as in Puffer's BOLA-BASIC.
+        mean_sizes = np.asarray(
+            [video.bitrate_mbps(q) * 1e6 / 8 * video.chunk_duration_s
+             for q in range(video.n_qualities)]
+        )
+
+        def pairwise_a(q: int) -> float:
+            s_lo, s_hi = mean_sizes[q], mean_sizes[q + 1]
+            u_lo, u_hi = utilities[q], utilities[q + 1]
+            return (s_hi * u_lo - s_lo * u_hi) / (s_hi - s_lo)
+
+        if video.n_qualities == 1:
+            calibration = (1.0, 1.0)
+        else:
+            b_low = video.chunk_duration_s
+            b_high = max(self.upper_fraction * capacity_s, b_low + 0.5)
+            a_first = pairwise_a(0)
+            a_last = pairwise_a(video.n_qualities - 2)
+            if math.isclose(a_last, a_first):
+                v = 1.0
+            else:
+                v = (b_high - b_low) / (a_last - a_first)
+            v_gp = b_low - v * a_first
+            gp = v_gp / v if v != 0 else 1.0
+            calibration = (v, gp)
+
+        self._calibration = calibration
+        self._calibrated_for = key
+        return calibration
+
+    def choose_quality(self, context: ABRContext) -> int:
+        video = context.video
+        v, gp = self._calibrate(video, context.buffer_capacity_s)
+        utilities = self._utilities(video)
+        sizes = context.next_chunk_sizes_bytes
+        scores = (v * (utilities + gp) - context.buffer_s) / sizes
+        return int(np.argmax(scores))

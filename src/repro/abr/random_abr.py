@@ -1,0 +1,32 @@
+"""Random quality selection.
+
+Used to generate the paper's Fig. 12 interventional *test* traces: "a
+separate set of 30 traces ... where bit rates are selected randomly rather
+than use an ABR algorithm", which probes predictors on chunk-size sequences
+the deployed ABR would never produce.
+"""
+
+from __future__ import annotations
+
+from ..util.rng import SeedLike, ensure_rng
+from .base import ABRAlgorithm, ABRContext
+
+__all__ = ["RandomABRAlgorithm"]
+
+
+class RandomABRAlgorithm(ABRAlgorithm):
+    """Pick a uniformly random ladder index for every chunk (seeded)."""
+
+    name = "random"
+
+    def __init__(self, seed: SeedLike = None):
+        self._seed = seed
+        self._rng = ensure_rng(seed)
+
+    def reset(self) -> None:
+        # Re-derive the stream so a fresh session replays the same choices
+        # when constructed with an integer seed.
+        self._rng = ensure_rng(self._seed)
+
+    def choose_quality(self, context: ABRContext) -> int:
+        return int(self._rng.integers(0, context.n_qualities))

@@ -1,0 +1,33 @@
+"""Rate-based adaptation: pick the highest bitrate below predicted throughput.
+
+The simplest throughput-driven ABR; kept as a reference algorithm and as an
+additional Setting-B target for counterfactual studies.
+"""
+
+from __future__ import annotations
+
+from .base import ABRAlgorithm, ABRContext, HarmonicMeanPredictor
+
+__all__ = ["RateBasedAlgorithm"]
+
+
+class RateBasedAlgorithm(ABRAlgorithm):
+    """Throughput-matched quality selection with a safety factor."""
+
+    name = "rate"
+
+    def __init__(self, safety: float = 0.9, window: int = 5):
+        if not 0 < safety <= 1:
+            raise ValueError(f"safety must be in (0, 1], got {safety}")
+        self.safety = safety
+        self._predictor = HarmonicMeanPredictor(window=window)
+
+    def reset(self) -> None:
+        self._predictor.reset()
+
+    def choose_quality(self, context: ABRContext) -> int:
+        if context.throughput_history_mbps:
+            self._predictor.observe(context.throughput_history_mbps[-1])
+        predicted = self._predictor.predict(context.throughput_history_mbps)
+        target = self.safety * predicted
+        return context.video.ladder.highest_below(target).index

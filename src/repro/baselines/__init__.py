@@ -1,0 +1,13 @@
+"""Comparator schemes: observed-throughput Baseline, oracle, FuguNN."""
+
+from .fugu import FuguPredictor
+from .mlp import MLPRegressor
+from .observed import baseline_trace
+from .oracle import oracle_trace
+
+__all__ = [
+    "FuguPredictor",
+    "MLPRegressor",
+    "baseline_trace",
+    "oracle_trace",
+]

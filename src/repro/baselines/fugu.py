@@ -1,0 +1,127 @@
+"""FuguNN: the associational download-time predictor (Yan et al. [47]).
+
+"Fugu proposes a neural network which predicts the download time of a video
+chunk given its size, and given the size and the download times of the
+previous K chunks" (§2.2).  Trained on logs collected from a deployed ABR,
+it is an excellent *associational* predictor (paper Q1) but biased on
+*causal* queries (Q2): the deployed ABR picks big chunks when bandwidth is
+good, so "big chunk" and "fast network" are confounded in the training
+data, and the model badly underestimates download times for chunk sizes the
+ABR would not have chosen (Figs. 2(b), 12).
+
+The reproduction trains a NumPy MLP on ``log1p``-transformed sizes and
+download times, matching the feature set the paper describes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..player.logs import SessionLog
+from ..util.rng import SeedLike
+from .mlp import MLPRegressor
+
+__all__ = ["FuguPredictor"]
+
+
+class FuguPredictor:
+    """Download-time predictor over a sliding window of past chunks.
+
+    Parameters
+    ----------
+    history_length:
+        Number of past (size, download-time) pairs fed to the network
+        (Fugu's K; default 8).
+    hidden_sizes:
+        MLP hidden-layer widths.
+    """
+
+    def __init__(
+        self,
+        history_length: int = 8,
+        hidden_sizes: tuple[int, ...] = (64, 64),
+        seed: SeedLike = 0,
+    ):
+        if history_length < 1:
+            raise ValueError(f"history_length must be >= 1, got {history_length}")
+        self.history_length = history_length
+        n_features = 1 + 2 * history_length
+        self._model = MLPRegressor(
+            [n_features, *hidden_sizes, 1], seed=seed
+        )
+        self._trained = False
+
+    # ------------------------------------------------------------------
+    def _features(
+        self,
+        candidate_size_bytes: float,
+        past_sizes_bytes: np.ndarray,
+        past_download_times_s: np.ndarray,
+    ) -> np.ndarray:
+        """Feature vector: log-size of the candidate + padded history."""
+        k = self.history_length
+        sizes = np.zeros(k)
+        times = np.zeros(k)
+        n = min(k, len(past_sizes_bytes))
+        if n:
+            sizes[k - n :] = np.log1p(np.asarray(past_sizes_bytes[-n:], dtype=float))
+            times[k - n :] = np.log1p(
+                np.asarray(past_download_times_s[-n:], dtype=float)
+            )
+        return np.concatenate(([np.log1p(candidate_size_bytes)], sizes, times))
+
+    def _dataset(self, logs: list[SessionLog]) -> tuple[np.ndarray, np.ndarray]:
+        rows = []
+        targets = []
+        for log in logs:
+            sizes = log.sizes_bytes()
+            times = log.download_times_s()
+            for n in range(log.n_chunks):
+                rows.append(self._features(sizes[n], sizes[:n], times[:n]))
+                targets.append(np.log1p(times[n]))
+        if not rows:
+            raise ValueError("no training chunks found in the provided logs")
+        return np.asarray(rows), np.asarray(targets)
+
+    # ------------------------------------------------------------------
+    def train(
+        self,
+        logs: list[SessionLog],
+        epochs: int = 40,
+        batch_size: int = 256,
+        learning_rate: float = 1e-3,
+        seed: SeedLike = 0,
+    ) -> list[float]:
+        """Fit on deployed-ABR session logs; returns per-epoch losses."""
+        x, y = self._dataset(logs)
+        losses = self._model.fit(
+            x,
+            y,
+            epochs=epochs,
+            batch_size=batch_size,
+            learning_rate=learning_rate,
+            seed=seed,
+        )
+        self._trained = True
+        return losses
+
+    def predict_download_time(
+        self,
+        candidate_size_bytes: float,
+        past_sizes_bytes,
+        past_download_times_s,
+    ) -> float:
+        """Predicted download time (seconds) for a candidate next chunk."""
+        if not self._trained:
+            raise RuntimeError("FuguPredictor must be trained before predicting")
+        if candidate_size_bytes <= 0:
+            raise ValueError(
+                f"candidate size must be positive, got {candidate_size_bytes}"
+            )
+        features = self._features(
+            candidate_size_bytes,
+            np.asarray(past_sizes_bytes, dtype=float),
+            np.asarray(past_download_times_s, dtype=float),
+        )
+        log_time = float(self._model.predict(features))
+        return float(max(np.expm1(log_time), 1e-4))

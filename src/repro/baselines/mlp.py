@@ -1,0 +1,165 @@
+"""A small, dependency-free neural-network library (NumPy only).
+
+Implements exactly what the Fugu comparator needs: fully connected layers
+with ReLU activations, mean-squared-error loss, Adam optimisation, and
+input/output standardisation.  Gradients are hand-derived backprop; a
+finite-difference check lives in the test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..util.rng import SeedLike, ensure_rng
+
+__all__ = ["MLPRegressor"]
+
+
+def _relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+class MLPRegressor:
+    """Multi-layer perceptron regressor trained with Adam on MSE.
+
+    Parameters
+    ----------
+    layer_sizes:
+        ``[n_inputs, hidden..., n_outputs]``; e.g. ``[17, 64, 64, 1]``.
+    seed:
+        Weight initialisation seed (He initialisation).
+    """
+
+    def __init__(self, layer_sizes: list[int], seed: SeedLike = None):
+        if len(layer_sizes) < 2:
+            raise ValueError("need at least input and output sizes")
+        if any(s < 1 for s in layer_sizes):
+            raise ValueError(f"layer sizes must be positive, got {layer_sizes}")
+        rng = ensure_rng(seed)
+        self.layer_sizes = list(layer_sizes)
+        self.weights: list[np.ndarray] = []
+        self.biases: list[np.ndarray] = []
+        for fan_in, fan_out in zip(layer_sizes, layer_sizes[1:]):
+            scale = np.sqrt(2.0 / fan_in)
+            self.weights.append(rng.normal(0.0, scale, size=(fan_in, fan_out)))
+            self.biases.append(np.zeros(fan_out))
+        # Standardisation parameters learned in fit().
+        self._x_mean: np.ndarray | None = None
+        self._x_std: np.ndarray | None = None
+        self._y_mean: float = 0.0
+        self._y_std: float = 1.0
+        # Adam state.
+        self._adam_m = [np.zeros_like(w) for w in self.weights] + [
+            np.zeros_like(b) for b in self.biases
+        ]
+        self._adam_v = [np.zeros_like(w) for w in self.weights] + [
+            np.zeros_like(b) for b in self.biases
+        ]
+        self._adam_t = 0
+
+    # ------------------------------------------------------------------
+    def _forward(self, x: np.ndarray) -> tuple[np.ndarray, list[np.ndarray]]:
+        """Forward pass returning output and per-layer activations."""
+        activations = [x]
+        h = x
+        last = len(self.weights) - 1
+        for i, (w, b) in enumerate(zip(self.weights, self.biases)):
+            z = h @ w + b
+            h = z if i == last else _relu(z)
+            activations.append(h)
+        return h, activations
+
+    def _backward(
+        self, activations: list[np.ndarray], grad_out: np.ndarray
+    ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """Backprop ``grad_out`` (dL/d output) into weight/bias gradients."""
+        grad_w = [np.zeros_like(w) for w in self.weights]
+        grad_b = [np.zeros_like(b) for b in self.biases]
+        delta = grad_out
+        for i in range(len(self.weights) - 1, -1, -1):
+            grad_w[i] = activations[i].T @ delta
+            grad_b[i] = delta.sum(axis=0)
+            if i > 0:
+                delta = (delta @ self.weights[i].T) * (activations[i] > 0)
+        return grad_w, grad_b
+
+    def _adam_step(
+        self,
+        grad_w: list[np.ndarray],
+        grad_b: list[np.ndarray],
+        lr: float,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        self._adam_t += 1
+        params = self.weights + self.biases
+        grads = grad_w + grad_b
+        for i, (p, g) in enumerate(zip(params, grads)):
+            self._adam_m[i] = beta1 * self._adam_m[i] + (1 - beta1) * g
+            self._adam_v[i] = beta2 * self._adam_v[i] + (1 - beta2) * g * g
+            m_hat = self._adam_m[i] / (1 - beta1**self._adam_t)
+            v_hat = self._adam_v[i] / (1 - beta2**self._adam_t)
+            p -= lr * m_hat / (np.sqrt(v_hat) + eps)
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        epochs: int = 50,
+        batch_size: int = 128,
+        learning_rate: float = 1e-3,
+        seed: SeedLike = None,
+    ) -> list[float]:
+        """Train on ``(x, y)``; returns the per-epoch mean training loss.
+
+        Inputs and targets are standardised internally; predictions are
+        automatically de-standardised.
+        """
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float).reshape(-1, 1)
+        if x.ndim != 2 or x.shape[0] != y.shape[0]:
+            raise ValueError("x must be (n, d) with one target per row")
+        if x.shape[0] == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        if epochs < 1 or batch_size < 1:
+            raise ValueError("epochs and batch_size must be >= 1")
+
+        self._x_mean = x.mean(axis=0)
+        self._x_std = np.maximum(x.std(axis=0), 1e-9)
+        self._y_mean = float(y.mean())
+        self._y_std = float(max(y.std(), 1e-9))
+        xn = (x - self._x_mean) / self._x_std
+        yn = (y - self._y_mean) / self._y_std
+
+        rng = ensure_rng(seed)
+        n = xn.shape[0]
+        losses = []
+        for _ in range(epochs):
+            order = rng.permutation(n)
+            epoch_loss = 0.0
+            for lo in range(0, n, batch_size):
+                batch = order[lo : lo + batch_size]
+                xb, yb = xn[batch], yn[batch]
+                out, acts = self._forward(xb)
+                err = out - yb
+                epoch_loss += float((err**2).sum())
+                grad_out = 2.0 * err / xb.shape[0]
+                grad_w, grad_b = self._backward(acts, grad_out)
+                self._adam_step(grad_w, grad_b, learning_rate)
+            losses.append(epoch_loss / n)
+        return losses
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predict targets for ``x`` (shape ``(n, d)`` or ``(d,)``)."""
+        if self._x_mean is None:
+            raise RuntimeError("model must be fit before predicting")
+        x = np.asarray(x, dtype=float)
+        squeeze = x.ndim == 1
+        if squeeze:
+            x = x[None, :]
+        xn = (x - self._x_mean) / self._x_std
+        out, _ = self._forward(xn)
+        y = out * self._y_std + self._y_mean
+        return y[0, 0] if squeeze else y[:, 0]

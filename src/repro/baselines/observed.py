@@ -1,0 +1,77 @@
+"""The paper's *Baseline* trace reconstruction (§4.1).
+
+"This scheme directly uses the observed throughput of each chunk, and
+assumes this throughput value holds from the start time of the chunk
+download to the end time of download.  During off periods when no estimate
+is available, linear interpolation of the throughput observed by the
+previous and next chunks is used."
+
+It is the scheme "commonly used in most video streaming evaluations today"
+and is systematically conservative whenever observed throughput is below
+GTBW (small chunks, slow-start restarts) — the bias Veritas corrects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..net.trace import PiecewiseConstantTrace
+from ..player.logs import SessionLog
+
+__all__ = ["baseline_trace"]
+
+
+def baseline_trace(
+    log: SessionLog,
+    grid_s: float = 1.0,
+    duration_s: float | None = None,
+) -> PiecewiseConstantTrace:
+    """Reconstruct a bandwidth trace directly from observed throughputs.
+
+    Parameters
+    ----------
+    log:
+        The recorded session.
+    grid_s:
+        Resolution of the reconstructed step function; off-period linear
+        interpolation is discretised onto this grid.
+    duration_s:
+        Optional extension (hold-last-value) so counterfactual replays that
+        outlast the original session stay defined.
+    """
+    if log.n_chunks == 0:
+        raise ValueError("cannot reconstruct a trace from an empty log")
+    if grid_s <= 0:
+        raise ValueError(f"grid must be positive, got {grid_s}")
+
+    starts = log.start_times_s()
+    ends = log.end_times_s()
+    throughputs = log.throughputs_mbps()
+
+    span = float(ends[-1])
+    if duration_s is not None:
+        span = max(span, duration_s)
+    n_cells = max(1, int(np.ceil(span / grid_s)))
+    centers = grid_s * (np.arange(n_cells) + 0.5)
+
+    values = np.empty(n_cells)
+    for i, t in enumerate(centers):
+        # Inside a download window the observed throughput holds.
+        idx = np.searchsorted(starts, t, side="right") - 1
+        if 0 <= idx < log.n_chunks and t <= ends[idx]:
+            values[i] = throughputs[idx]
+        elif t < starts[0]:
+            values[i] = throughputs[0]
+        elif idx >= log.n_chunks - 1:
+            values[i] = throughputs[-1]
+        else:
+            # Off period between chunk idx and idx+1: linear interpolation
+            # between the two neighbouring observations.
+            t0, t1 = ends[idx], starts[idx + 1]
+            if t1 <= t0:
+                values[i] = throughputs[idx + 1]
+            else:
+                w = (t - t0) / (t1 - t0)
+                values[i] = (1 - w) * throughputs[idx] + w * throughputs[idx + 1]
+
+    return PiecewiseConstantTrace.from_uniform(values, grid_s)

@@ -1,0 +1,29 @@
+"""The oracle (Ground-Truth / GTBW) scheme.
+
+"Results using this technique serve as the ideal benchmark, that Veritas
+and other approaches must seek to achieve" (§4.1).  The oracle simply
+replays the true bandwidth trace; it exists as a scheme so the engine can
+treat all reconstruction strategies uniformly.
+"""
+
+from __future__ import annotations
+
+from ..net.trace import PiecewiseConstantTrace
+from ..player.logs import SessionLog
+
+__all__ = ["oracle_trace"]
+
+
+def oracle_trace(
+    log: SessionLog,
+    ground_truth: PiecewiseConstantTrace,
+    duration_s: float | None = None,
+) -> PiecewiseConstantTrace:
+    """Return the ground-truth trace (extended if the replay needs longer).
+
+    ``log`` is accepted (and ignored) so the oracle has the same call shape
+    as the other reconstruction schemes.
+    """
+    if duration_s is not None and duration_s > ground_truth.end_time:
+        return ground_truth.extended(duration_s)
+    return ground_truth

@@ -1,0 +1,31 @@
+"""Causal-query layer: settings, counterfactual engine, evaluation."""
+
+from .engine import (
+    CounterfactualEngine,
+    CounterfactualResult,
+    TraceCounterfactual,
+    VeritasRange,
+    run_setting,
+)
+from .evaluation import (
+    format_counterfactual_report,
+    per_trace_series,
+    scheme_summaries,
+)
+from .queries import Setting, cap_bitrate, change_abr, change_buffer, change_ladder
+
+__all__ = [
+    "CounterfactualEngine",
+    "CounterfactualResult",
+    "Setting",
+    "TraceCounterfactual",
+    "VeritasRange",
+    "cap_bitrate",
+    "change_abr",
+    "change_buffer",
+    "change_ladder",
+    "format_counterfactual_report",
+    "per_trace_series",
+    "run_setting",
+    "scheme_summaries",
+]

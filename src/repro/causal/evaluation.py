@@ -1,0 +1,83 @@
+"""Evaluation helpers: turning counterfactual results into the paper's rows.
+
+The paper's Figs. 8-11/13-14 plot one point per trace with traces on the
+X axis, plus summary claims ("Baseline predicted a much higher median
+rebuffering ratio value of around 6.7%").  These helpers produce exactly
+those artefacts from a :class:`~repro.causal.engine.CounterfactualResult`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..util.stats import render_table, summarize
+from .engine import CounterfactualResult
+
+__all__ = [
+    "per_trace_series",
+    "scheme_summaries",
+    "format_counterfactual_report",
+]
+
+_SCHEMES = ("truth", "baseline", "veritas_low", "veritas_high")
+
+
+def per_trace_series(
+    result: CounterfactualResult, metric: str, sort_by: str = "truth"
+) -> dict[str, np.ndarray]:
+    """Per-trace series of ``metric``, sorted the way the paper plots them.
+
+    The figures sort traces by the ground-truth value of the metric so the
+    per-scheme curves are visually comparable; ``sort_by`` picks the key.
+    """
+    table = result.metric_table(metric)
+    if sort_by not in table:
+        raise ValueError(f"unknown sort key {sort_by!r}; have {sorted(table)}")
+    order = np.argsort(table[sort_by], kind="stable")
+    return {name: values[order] for name, values in table.items()}
+
+
+def scheme_summaries(result: CounterfactualResult, metric: str) -> dict[str, dict]:
+    """Mean/median/percentile summary of ``metric`` per scheme."""
+    table = result.metric_table(metric)
+    summaries = {}
+    for scheme in (*_SCHEMES, "veritas_median", "setting_a"):
+        s = summarize(table[scheme])
+        summaries[scheme] = {
+            "mean": s.mean,
+            "median": s.median,
+            "p10": s.p10,
+            "p90": s.p90,
+        }
+    return summaries
+
+
+def format_counterfactual_report(
+    result: CounterfactualResult,
+    metrics: tuple[str, ...] = ("mean_ssim", "rebuffer_percent", "avg_bitrate_mbps"),
+) -> str:
+    """Render the paper-style comparison tables for a counterfactual query."""
+    parts = [
+        f"Counterfactual: {result.setting_a}  =>  {result.setting_b}",
+        f"traces: {len(result.per_trace)}",
+    ]
+    for metric in metrics:
+        summaries = scheme_summaries(result, metric)
+        rows = [
+            [scheme, s["mean"], s["median"], s["p10"], s["p90"]]
+            for scheme, s in summaries.items()
+        ]
+        parts.append(
+            render_table(
+                ["scheme", "mean", "median", "p10", "p90"],
+                rows,
+                title=f"\n[{metric}]",
+            )
+        )
+        errors = result.prediction_errors(metric)
+        parts.append(
+            "prediction error vs truth:  "
+            f"baseline mean={errors['baseline'].mean():.4g}  "
+            f"veritas mean={errors['veritas'].mean():.4g}"
+        )
+    return "\n".join(parts)

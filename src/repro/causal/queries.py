@@ -1,0 +1,107 @@
+"""Counterfactual queries: "Setting A" vs "Setting B" descriptions (§3.3).
+
+A :class:`Setting` bundles everything that defines how a session would run
+*except* the network: the ABR algorithm, the player configuration, and the
+video (whose ladder is part of the design).  A counterfactual query is then
+simply a Setting-B derived from Setting-A — the three studied in the paper
+are provided as helpers:
+
+* :func:`change_abr`       — Fig. 9 (MPC→BBA) / Fig. 13 (MPC→BOLA),
+* :func:`change_buffer`    — Fig. 10 (5 s → 30 s),
+* :func:`change_ladder`    — Fig. 11 (higher qualities).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable
+
+from ..abr import make_abr
+from ..abr.base import ABRAlgorithm
+from ..player.session import SessionConfig
+from ..video.chunks import Video
+from ..video.ladder import QualityLadder
+
+__all__ = [
+    "Setting",
+    "cap_bitrate",
+    "change_abr",
+    "change_buffer",
+    "change_ladder",
+]
+
+
+@dataclass(frozen=True)
+class Setting:
+    """A complete system design: ABR + player config + video encode.
+
+    ``abr_factory`` (rather than an instance) keeps replays independent —
+    each emulated session gets a fresh algorithm with fresh internal state.
+    """
+
+    name: str
+    abr_factory: Callable[[], ABRAlgorithm]
+    config: SessionConfig
+    video: Video
+
+    def make_abr(self) -> ABRAlgorithm:
+        return self.abr_factory()
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: abr={self.make_abr().name}, "
+            f"buffer={self.config.buffer_capacity_s:g}s, "
+            f"ladder_max={self.video.ladder.highest.bitrate_mbps:g}Mbps"
+        )
+
+
+def change_abr(setting: Setting, abr_name: str, **abr_kwargs) -> Setting:
+    """Setting B: same player and video, a different ABR algorithm."""
+    return replace(
+        setting,
+        name=f"{setting.name}->abr:{abr_name}",
+        abr_factory=lambda: make_abr(abr_name, **abr_kwargs),
+    )
+
+
+def change_buffer(setting: Setting, buffer_capacity_s: float) -> Setting:
+    """Setting B: same ABR and video, a different buffer size."""
+    new_config = replace(setting.config, buffer_capacity_s=buffer_capacity_s)
+    return replace(
+        setting,
+        name=f"{setting.name}->buffer:{buffer_capacity_s:g}s",
+        config=new_config,
+    )
+
+
+def change_ladder(
+    setting: Setting, ladder: QualityLadder, seed: int = 0
+) -> Setting:
+    """Setting B: the same content re-encoded onto a different ladder."""
+    return replace(
+        setting,
+        name=f"{setting.name}->ladder:{ladder.highest.bitrate_mbps:g}Mbps",
+        video=setting.video.reencoded(ladder, seed=seed),
+    )
+
+
+def cap_bitrate(setting: Setting, max_bitrate_mbps: float) -> Setting:
+    """Setting B: remove every rung above ``max_bitrate_mbps``.
+
+    The paper's §1 COVID scenario ("many video publishers restricted the
+    maximum bit rate"): existing encodes, restricted choice set.
+    """
+    keep = [
+        level.index
+        for level in setting.video.ladder
+        if level.bitrate_mbps <= max_bitrate_mbps
+    ]
+    if not keep:
+        raise ValueError(
+            f"cap {max_bitrate_mbps} Mbps removes every ladder rung"
+        )
+    return replace(
+        setting,
+        name=f"{setting.name}->cap:{max_bitrate_mbps:g}Mbps",
+        video=setting.video.restricted(keep),
+    )

@@ -1,0 +1,74 @@
+"""Veritas core: the EHMM, its algorithms, and the abduction engine."""
+
+from .abduction import VeritasAbduction, VeritasConfig, VeritasPosterior
+from .diagnostics import (
+    ChunkDiagnostics,
+    PosteriorDiagnostics,
+    diagnose_posterior,
+)
+from .ehmm import EHMMProblem, build_problem
+from .em import EMResult, learn_transition_matrix
+from .emission import EmissionModel, naive_emission, tcp_estimator_emission
+from .forward_backward import ForwardBackwardResult, forward_backward
+from .grid import CapacityGrid
+from .interpolation import (
+    interpolate_capacity_trace,
+    window_gaps,
+    window_index,
+)
+from .interventional import (
+    DownloadTimeDistribution,
+    InterventionalPrediction,
+    VeritasDownloadPredictor,
+)
+from .model_selection import (
+    ScoredConfig,
+    score_config,
+    select_config,
+    sigma_grid_search,
+)
+from .sampler import sample_state_path, sample_state_paths
+from .transitions import (
+    TransitionModel,
+    sticky_matrix,
+    tridiagonal_matrix,
+    uniform_matrix,
+)
+from .viterbi import ViterbiResult, viterbi_path
+
+__all__ = [
+    "CapacityGrid",
+    "ChunkDiagnostics",
+    "DownloadTimeDistribution",
+    "EHMMProblem",
+    "EMResult",
+    "EmissionModel",
+    "ForwardBackwardResult",
+    "InterventionalPrediction",
+    "PosteriorDiagnostics",
+    "ScoredConfig",
+    "TransitionModel",
+    "VeritasAbduction",
+    "VeritasConfig",
+    "VeritasDownloadPredictor",
+    "VeritasPosterior",
+    "ViterbiResult",
+    "build_problem",
+    "diagnose_posterior",
+    "forward_backward",
+    "interpolate_capacity_trace",
+    "learn_transition_matrix",
+    "naive_emission",
+    "sample_state_path",
+    "sample_state_paths",
+    "score_config",
+    "select_config",
+    "sigma_grid_search",
+    "sticky_matrix",
+    "tcp_estimator_emission",
+    "tridiagonal_matrix",
+    "uniform_matrix",
+    "viterbi_path",
+    "window_gaps",
+    "window_index",
+]

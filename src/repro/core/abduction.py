@@ -1,0 +1,198 @@
+"""Veritas abduction: session logs → posterior GTBW traces (§3.2-§3.3).
+
+This is the paper's primary contribution wired end to end:
+
+1. build the EHMM for the logged session (emission = Gaussian around the
+   TCP throughput estimator ``f``, transitions = ``A^Δn``),
+2. run the Viterbi variant for the maximum-likelihood capacity path,
+3. run forward-backward for the pairwise posterior Γ,
+4. draw K posterior capacity paths with the Algorithm-1 sampler, and
+5. interpolate each path into a full δ-grid bandwidth trace ready for
+   counterfactual replay.
+
+Typical use::
+
+    veritas = VeritasAbduction(VeritasConfig(max_capacity_mbps=10.0))
+    posterior = veritas.solve(session_log)
+    traces = posterior.sample_traces(count=5, seed=0)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..net.trace import PiecewiseConstantTrace
+from ..player.logs import SessionLog
+from ..util.rng import SeedLike, ensure_rng
+from .ehmm import EHMMProblem, build_problem
+from .emission import EmissionModel, naive_emission, tcp_estimator_emission
+from .forward_backward import ForwardBackwardResult, forward_backward
+from .grid import CapacityGrid
+from .interpolation import interpolate_capacity_trace
+from .sampler import sample_state_path
+from .transitions import (
+    TransitionModel,
+    sticky_matrix,
+    tridiagonal_matrix,
+    uniform_matrix,
+)
+from .viterbi import ViterbiResult, viterbi_path
+
+__all__ = ["VeritasConfig", "VeritasPosterior", "VeritasAbduction"]
+
+_TRANSITION_BUILDERS = {
+    "tridiagonal": tridiagonal_matrix,
+    "uniform": lambda n, **_: uniform_matrix(n),
+    "sticky": sticky_matrix,
+}
+
+_EMISSION_ESTIMATORS = {
+    "tcp": tcp_estimator_emission,
+    "naive": naive_emission,
+}
+
+
+@dataclass(frozen=True)
+class VeritasConfig:
+    """Hyperparameters from §4.1 of the paper.
+
+    Defaults match the evaluation setup: δ = 5 s windows, ε = 0.5 Mbps
+    quantization, σ = 0.5 Mbps emission noise, tridiagonal transitions and
+    a uniform initial distribution.
+    """
+
+    delta_s: float = 5.0
+    epsilon_mbps: float = 0.5
+    sigma_mbps: float = 0.5
+    max_capacity_mbps: float = 10.0
+    transition_kind: str = "tridiagonal"
+    transition_stay_prob: float = 0.8
+    emission_kind: str = "tcp"
+
+    def __post_init__(self) -> None:
+        if self.delta_s <= 0:
+            raise ValueError(f"delta must be positive, got {self.delta_s}")
+        if self.transition_kind not in _TRANSITION_BUILDERS:
+            raise ValueError(
+                f"unknown transition kind {self.transition_kind!r}; "
+                f"available: {sorted(_TRANSITION_BUILDERS)}"
+            )
+        if self.emission_kind not in _EMISSION_ESTIMATORS:
+            raise ValueError(
+                f"unknown emission kind {self.emission_kind!r}; "
+                f"available: {sorted(_EMISSION_ESTIMATORS)}"
+            )
+
+
+@dataclass
+class VeritasPosterior:
+    """The abduction result for one session.
+
+    Wraps the Viterbi path and forward-backward posteriors and turns hidden
+    state paths into replayable bandwidth traces.
+    """
+
+    problem: EHMMProblem
+    viterbi: ViterbiResult
+    smoothing: ForwardBackwardResult
+    _trace_duration_s: float = field(default=0.0)
+
+    # ------------------------------------------------------------------
+    @property
+    def log_likelihood(self) -> float:
+        return self.smoothing.log_likelihood
+
+    def map_capacities_mbps(self) -> np.ndarray:
+        """Maximum-likelihood capacity (Mbps) at each chunk start."""
+        return self.problem.grid.values_of(self.viterbi.states)
+
+    def posterior_mean_capacities_mbps(self) -> np.ndarray:
+        """Posterior-mean capacity at each chunk start (smoothed)."""
+        return self.smoothing.gamma @ self.problem.grid.values_mbps
+
+    def _path_to_trace(self, states: np.ndarray) -> PiecewiseConstantTrace:
+        return interpolate_capacity_trace(
+            self.problem.start_times_s,
+            self.problem.grid.values_of(states),
+            self.problem.delta_s,
+            self.problem.grid,
+            duration_s=max(self._trace_duration_s, self.problem.session_end_s),
+        )
+
+    def map_trace(self) -> PiecewiseConstantTrace:
+        """The single most-likely GTBW trace (used by interventional queries)."""
+        return self._path_to_trace(self.viterbi.states)
+
+    def sample_trace(self, seed: SeedLike = None) -> PiecewiseConstantTrace:
+        """One posterior GTBW trace (Algorithm 1 + interpolation)."""
+        states = sample_state_path(
+            self.viterbi.states, self.smoothing.xi, seed=seed
+        )
+        return self._path_to_trace(states)
+
+    def sample_traces(
+        self, count: int = 5, seed: SeedLike = None
+    ) -> list[PiecewiseConstantTrace]:
+        """K posterior GTBW traces (the paper samples 5 by default)."""
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        rng = ensure_rng(seed)
+        return [self.sample_trace(seed=rng) for _ in range(count)]
+
+    def expected_capacity_after(self, extra_windows: int) -> float:
+        """``E[C]`` ``extra_windows`` δ-windows past the last chunk start.
+
+        Interventional queries use this with the transition matrix to
+        project the inferred GTBW forward to the next chunk (§4.4).
+        """
+        if extra_windows < 0:
+            raise ValueError(f"extra_windows must be >= 0, got {extra_windows}")
+        last_state = int(self.viterbi.states[-1])
+        return self.problem.transitions.expected_next_value(
+            last_state, extra_windows, self.problem.grid.values_mbps
+        )
+
+
+class VeritasAbduction:
+    """End-to-end abduction engine (Fig. 6's "Veritas" box)."""
+
+    def __init__(self, config: VeritasConfig | None = None):
+        self.config = config or VeritasConfig()
+        self.grid = CapacityGrid(
+            epsilon_mbps=self.config.epsilon_mbps,
+            max_mbps=self.config.max_capacity_mbps,
+        )
+        builder = _TRANSITION_BUILDERS[self.config.transition_kind]
+        matrix = builder(
+            self.grid.n_states, stay_prob=self.config.transition_stay_prob
+        ) if self.config.transition_kind != "uniform" else builder(self.grid.n_states)
+        self.transitions = TransitionModel(matrix)
+        self.emission = EmissionModel(
+            grid=self.grid,
+            sigma_mbps=self.config.sigma_mbps,
+            estimator=_EMISSION_ESTIMATORS[self.config.emission_kind],
+        )
+
+    def solve(
+        self, log: SessionLog, trace_duration_s: float | None = None
+    ) -> VeritasPosterior:
+        """Infer the GTBW posterior for one session log.
+
+        ``trace_duration_s`` optionally extends the reconstructed traces
+        (counterfactual replays can run longer than the original session).
+        """
+        problem = build_problem(
+            log, self.grid, self.transitions, self.emission, self.config.delta_s
+        )
+        vit = viterbi_path(problem.log_emissions, problem.transitions, problem.deltas)
+        smooth = forward_backward(
+            problem.log_emissions, problem.transitions, problem.deltas
+        )
+        return VeritasPosterior(
+            problem=problem,
+            viterbi=vit,
+            smoothing=smooth,
+            _trace_duration_s=trace_duration_s or 0.0,
+        )

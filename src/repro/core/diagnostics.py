@@ -1,0 +1,141 @@
+"""Posterior diagnostics: where is the inversion trustworthy?
+
+§4.2 of the paper discusses the two regimes an abduction lands in: regions
+where chunk sizes exceed the BDP and the posterior is sharp, and regions
+where "a range of different GTBW values may have resulted in the same
+throughput observations" so the posterior is wide.  A practitioner needs
+to *see* that distinction before trusting a counterfactual answer; this
+module computes it from the forward-backward output:
+
+* per-chunk posterior **entropy** (bits) of the capacity marginal,
+* per-chunk **credible-interval width** (Mbps) at a chosen mass,
+* a segmentation of the session into confident / uncertain regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .abduction import VeritasPosterior
+
+__all__ = ["ChunkDiagnostics", "PosteriorDiagnostics", "diagnose_posterior"]
+
+
+@dataclass(frozen=True)
+class ChunkDiagnostics:
+    """Uncertainty measures for one chunk's capacity estimate."""
+
+    index: int
+    start_time_s: float
+    entropy_bits: float
+    interval_low_mbps: float
+    interval_high_mbps: float
+
+    @property
+    def interval_width_mbps(self) -> float:
+        return self.interval_high_mbps - self.interval_low_mbps
+
+
+@dataclass(frozen=True)
+class PosteriorDiagnostics:
+    """Session-level uncertainty report."""
+
+    chunks: tuple[ChunkDiagnostics, ...]
+    mean_entropy_bits: float
+    max_entropy_bits: float
+    uncertain_fraction: float
+    """Fraction of chunks whose credible interval is wider than the
+    threshold passed to :func:`diagnose_posterior`."""
+
+    def uncertain_regions(self) -> list[tuple[float, float]]:
+        """Contiguous time spans of uncertain chunks ``[(start, end), ...]``."""
+        threshold_flags = [
+            c.interval_width_mbps > self._width_threshold for c in self.chunks
+        ]
+        regions = []
+        start = None
+        for chunk, flagged in zip(self.chunks, threshold_flags):
+            if flagged and start is None:
+                start = chunk.start_time_s
+            elif not flagged and start is not None:
+                regions.append((start, chunk.start_time_s))
+                start = None
+        if start is not None:
+            regions.append((start, self.chunks[-1].start_time_s))
+        return regions
+
+    # Stored for uncertain_regions(); set by diagnose_posterior.
+    _width_threshold: float = 2.0
+
+
+def _credible_interval(
+    probs: np.ndarray, values: np.ndarray, mass: float
+) -> tuple[float, float]:
+    """Smallest value range holding at least ``mass`` posterior probability."""
+    order = np.argsort(probs)[::-1]
+    kept = []
+    total = 0.0
+    for idx in order:
+        kept.append(idx)
+        total += probs[idx]
+        if total >= mass:
+            break
+    kept_values = values[np.asarray(kept)]
+    return float(kept_values.min()), float(kept_values.max())
+
+
+def diagnose_posterior(
+    posterior: VeritasPosterior,
+    credible_mass: float = 0.9,
+    width_threshold_mbps: float = 2.0,
+) -> PosteriorDiagnostics:
+    """Compute per-chunk and session-level uncertainty diagnostics.
+
+    Parameters
+    ----------
+    posterior:
+        A solved :class:`~repro.core.abduction.VeritasPosterior`.
+    credible_mass:
+        Probability mass of the per-chunk credible interval.
+    width_threshold_mbps:
+        Chunks whose interval is wider than this count as "uncertain".
+    """
+    if not 0 < credible_mass <= 1:
+        raise ValueError(f"credible_mass must be in (0, 1], got {credible_mass}")
+    if width_threshold_mbps <= 0:
+        raise ValueError(
+            f"width threshold must be positive, got {width_threshold_mbps}"
+        )
+
+    gamma = posterior.smoothing.gamma
+    values = posterior.problem.grid.values_mbps
+    starts = posterior.problem.start_times_s
+
+    chunks = []
+    for n in range(gamma.shape[0]):
+        probs = np.maximum(gamma[n], 0.0)
+        probs = probs / probs.sum()
+        nonzero = probs[probs > 0]
+        entropy = float(-(nonzero * np.log2(nonzero)).sum())
+        lo, hi = _credible_interval(probs, values, credible_mass)
+        chunks.append(
+            ChunkDiagnostics(
+                index=n,
+                start_time_s=float(starts[n]),
+                entropy_bits=entropy,
+                interval_low_mbps=lo,
+                interval_high_mbps=hi,
+            )
+        )
+
+    widths = np.asarray([c.interval_width_mbps for c in chunks])
+    entropies = np.asarray([c.entropy_bits for c in chunks])
+    return PosteriorDiagnostics(
+        chunks=tuple(chunks),
+        mean_entropy_bits=float(entropies.mean()),
+        max_entropy_bits=float(entropies.max()),
+        uncertain_fraction=float(np.mean(widths > width_threshold_mbps)),
+        _width_threshold=width_threshold_mbps,
+    )

@@ -1,0 +1,84 @@
+"""EHMM assembly: turning a session log into the arrays the algorithms need.
+
+:class:`EHMMProblem` is the bridge between the player substrate (logs with
+TCP snapshots) and the inference algorithms (pure array code): it holds the
+log-emission matrix, the window gaps Δn, and the pieces needed to turn
+sampled state paths back into bandwidth traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..player.logs import SessionLog
+from .emission import EmissionModel
+from .grid import CapacityGrid
+from .interpolation import window_gaps
+from .transitions import TransitionModel
+
+__all__ = ["EHMMProblem", "build_problem"]
+
+
+@dataclass(frozen=True)
+class EHMMProblem:
+    """All inference inputs derived from one session log."""
+
+    grid: CapacityGrid
+    transitions: TransitionModel
+    delta_s: float
+    log_emissions: np.ndarray
+    """(N, K) log emission matrix."""
+    deltas: np.ndarray
+    """(N,) window gaps Δn (Δ_1 = 0)."""
+    start_times_s: np.ndarray
+    observed_mbps: np.ndarray
+    session_end_s: float
+
+    @property
+    def n_chunks(self) -> int:
+        return int(self.log_emissions.shape[0])
+
+    @property
+    def n_states(self) -> int:
+        return int(self.log_emissions.shape[1])
+
+
+def build_problem(
+    log: SessionLog,
+    grid: CapacityGrid,
+    transitions: TransitionModel,
+    emission: EmissionModel,
+    delta_s: float,
+) -> EHMMProblem:
+    """Assemble the EHMM arrays for ``log``.
+
+    Raises :class:`ValueError` for empty logs and for mismatched grid /
+    transition model sizes, both of which indicate harness bugs.
+    """
+    if log.n_chunks == 0:
+        raise ValueError("cannot build an EHMM problem from an empty log")
+    if transitions.n_states != grid.n_states:
+        raise ValueError(
+            f"transition model has {transitions.n_states} states but grid "
+            f"has {grid.n_states}"
+        )
+    if emission.grid is not grid:
+        raise ValueError("emission model must share the problem's grid")
+
+    observed = log.throughputs_mbps()
+    starts = log.start_times_s()
+    log_b = emission.log_prob_matrix(observed, log.tcp_states(), log.sizes_bytes())
+    gaps = window_gaps(starts, delta_s)
+
+    return EHMMProblem(
+        grid=grid,
+        transitions=transitions,
+        delta_s=delta_s,
+        log_emissions=log_b,
+        deltas=gaps,
+        start_times_s=starts,
+        observed_mbps=observed,
+        session_end_s=float(log.end_times_s()[-1]),
+    )

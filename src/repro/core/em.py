@@ -1,0 +1,117 @@
+"""Learning the transition matrix from logs (EM extension).
+
+The paper fixes a tridiagonal transition matrix by hand (§4.1).  Since the
+forward-backward pass already produces the pairwise posteriors Γ (Eq. 6),
+the classical Baum-Welch M-step can *learn* ``A`` from recorded sessions.
+
+One subtlety is the embedded time base: the observed transition between
+consecutive chunks is ``A^Δn``, and the M-step update is only exact for
+unit gaps.  We therefore accumulate expected transition counts over the
+``Δn = 1`` chunk pairs (the overwhelming majority — chunks arrive every
+~2 s against δ = 5 s windows), which is the conditional maximum-likelihood
+estimator on that subset, and smooth the result toward the prior to keep
+unvisited rows proper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..player.logs import SessionLog
+from .abduction import VeritasAbduction, VeritasConfig
+from .transitions import TransitionModel
+
+__all__ = ["EMResult", "learn_transition_matrix"]
+
+
+@dataclass(frozen=True)
+class EMResult:
+    """Outcome of transition-matrix learning."""
+
+    matrix: np.ndarray
+    log_likelihoods: tuple[float, ...]
+    """Total data log-likelihood after each EM iteration."""
+
+    @property
+    def model(self) -> TransitionModel:
+        return TransitionModel(self.matrix)
+
+
+def _expected_counts(
+    solver: VeritasAbduction, logs: Sequence[SessionLog]
+) -> tuple[np.ndarray, float]:
+    """Accumulate expected unit-gap transition counts and the loglik."""
+    n_states = solver.grid.n_states
+    counts = np.zeros((n_states, n_states))
+    total_ll = 0.0
+    for log in logs:
+        posterior = solver.solve(log)
+        total_ll += posterior.log_likelihood
+        deltas = posterior.problem.deltas
+        xi = posterior.smoothing.xi
+        for n in range(xi.shape[0]):
+            # xi[n] couples chunk n and n+1; the gap of that pair is
+            # deltas[n + 1].  Only unit gaps observe A itself.
+            if deltas[n + 1] == 1:
+                counts += xi[n]
+    return counts, total_ll
+
+
+def learn_transition_matrix(
+    logs: Sequence[SessionLog],
+    config: VeritasConfig | None = None,
+    iterations: int = 5,
+    smoothing: float = 1.0,
+    tolerance: float = 1e-3,
+) -> EMResult:
+    """Baum-Welch-style learning of the GTBW transition matrix.
+
+    Parameters
+    ----------
+    logs:
+        Recorded sessions to learn from.
+    config:
+        Starting Veritas configuration (its transition matrix seeds EM).
+    iterations:
+        Maximum EM iterations.
+    smoothing:
+        Dirichlet-style pseudo-count added toward the *initial* matrix so
+        rows with no observed mass stay proper and structure is preserved.
+    tolerance:
+        Stop early when the total log-likelihood improves by less.
+    """
+    if not logs:
+        raise ValueError("need at least one session log")
+    if iterations < 1:
+        raise ValueError(f"iterations must be >= 1, got {iterations}")
+    if smoothing < 0:
+        raise ValueError(f"smoothing must be non-negative, got {smoothing}")
+
+    solver = VeritasAbduction(config)
+    prior = solver.transitions.matrix
+    history: list[float] = []
+
+    for _ in range(iterations):
+        counts, loglik = _expected_counts(solver, logs)
+        history.append(loglik)
+        if len(history) >= 2 and history[-1] - history[-2] < tolerance:
+            break
+        new_matrix = counts + smoothing * prior
+        row_sums = new_matrix.sum(axis=1, keepdims=True)
+        # Rows that saw no mass at all fall back to the prior row.
+        empty = row_sums[:, 0] <= 0
+        new_matrix[empty] = prior[empty]
+        row_sums = new_matrix.sum(axis=1, keepdims=True)
+        new_matrix /= row_sums
+        solver.transitions = TransitionModel(new_matrix)
+
+    # Score the final matrix so callers can compare before/after.
+    _, final_ll = _expected_counts(solver, logs)
+    history.append(final_ll)
+    return EMResult(
+        matrix=solver.transitions.matrix,
+        log_likelihoods=tuple(history),
+    )

@@ -1,0 +1,125 @@
+"""The EHMM emission model (paper Eq. 3).
+
+For chunk ``n`` with observed throughput ``Y_n``, TCP start state ``W_sn``
+and size ``S_n``, the emission probability of capacity state ``c`` is
+
+    P(Y_n | W_sn, S_n, C_sn = c) = Normal(f(c, W_sn, S_n), σ²)
+
+where ``f`` is the domain-specific TCP throughput estimator (Algorithm 4).
+The Gaussian absorbs ``f``'s modelling error (Fig. 5).
+
+The module also provides the **naive** emission used by the ablation bench:
+``f(c, ·, ·) = c``, i.e. assuming observed throughput equals GTBW — which is
+exactly the assumption Veritas exists to avoid.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..tcp.estimator import estimate_throughput_grid
+from ..tcp.state import TCPStateSnapshot
+from .grid import CapacityGrid
+
+__all__ = ["EmissionModel", "tcp_estimator_emission", "naive_emission"]
+
+EstimatorFn = Callable[[np.ndarray, TCPStateSnapshot, float], np.ndarray]
+
+
+def tcp_estimator_emission(
+    grid_values: np.ndarray, tcp_state: TCPStateSnapshot, size_bytes: float
+) -> np.ndarray:
+    """Predicted throughput per capacity state via Algorithm 4 (the default)."""
+    return estimate_throughput_grid(grid_values, tcp_state, size_bytes)
+
+
+def naive_emission(
+    grid_values: np.ndarray, tcp_state: TCPStateSnapshot, size_bytes: float
+) -> np.ndarray:
+    """Ablation: assume the chunk would observe the full capacity."""
+    return np.asarray(grid_values, dtype=float).copy()
+
+
+class EmissionModel:
+    """Gaussian emission around a per-state throughput predictor.
+
+    A small ``outlier_mass`` mixes in a uniform component over the
+    observable throughput range.  The emission approximation of Eq. 3 uses
+    only the capacity at the chunk's *start* window; when GTBW shifts
+    mid-download the observation can sit far from ``f(c, W, S)`` for every
+    state ``c``, and a pure Gaussian would let a single such chunk dominate
+    the whole trajectory.  The mixture caps the influence of those
+    model-mismatch outliers without affecting well-modelled chunks.
+    """
+
+    def __init__(
+        self,
+        grid: CapacityGrid,
+        sigma_mbps: float = 0.5,
+        estimator: EstimatorFn = tcp_estimator_emission,
+        outlier_mass: float = 0.05,
+    ):
+        if sigma_mbps <= 0:
+            raise ValueError(f"sigma must be positive, got {sigma_mbps}")
+        if not 0 <= outlier_mass < 1:
+            raise ValueError(f"outlier_mass must be in [0, 1), got {outlier_mass}")
+        self.grid = grid
+        self.sigma_mbps = float(sigma_mbps)
+        self.estimator = estimator
+        self.outlier_mass = float(outlier_mass)
+
+    # ------------------------------------------------------------------
+    def predicted_throughput(
+        self, tcp_state: TCPStateSnapshot, size_bytes: float
+    ) -> np.ndarray:
+        """``f(c, W, S)`` for every grid state ``c`` (shape ``(n_states,)``)."""
+        return self.estimator(self.grid.values_mbps, tcp_state, size_bytes)
+
+    def log_prob_row(
+        self,
+        observed_mbps: float,
+        tcp_state: TCPStateSnapshot,
+        size_bytes: float,
+    ) -> np.ndarray:
+        """Log emission probabilities of one observation for all states."""
+        if observed_mbps < 0:
+            raise ValueError(f"observed throughput must be >= 0, got {observed_mbps}")
+        predicted = self.predicted_throughput(tcp_state, size_bytes)
+        z = (observed_mbps - predicted) / self.sigma_mbps
+        log_normal = -0.5 * z * z - math.log(self.sigma_mbps * math.sqrt(2 * math.pi))
+        if self.outlier_mass == 0:
+            return log_normal
+        # Mixture with a uniform density over [0, grid max] (floored so the
+        # uniform component is proper even for tiny grids).
+        uniform_density = 1.0 / max(self.grid.max_mbps, 1.0)
+        log_uniform = math.log(self.outlier_mass * uniform_density)
+        peak = np.log1p(
+            (1.0 - self.outlier_mass)
+            * np.exp(np.minimum(log_normal - log_uniform, 700.0))
+        )
+        return log_uniform + peak
+
+    def log_prob_matrix(
+        self,
+        observed_mbps: Sequence[float],
+        tcp_states: Sequence[TCPStateSnapshot],
+        sizes_bytes: Sequence[float],
+    ) -> np.ndarray:
+        """Log emissions for a whole session (shape ``(n_chunks, n_states)``)."""
+        observed = list(observed_mbps)
+        states = list(tcp_states)
+        sizes = list(sizes_bytes)
+        if not len(observed) == len(states) == len(sizes):
+            raise ValueError(
+                "observations, TCP states, and sizes must have equal length"
+            )
+        if not observed:
+            raise ValueError("need at least one observation")
+        rows = [
+            self.log_prob_row(y, w, s)
+            for y, w, s in zip(observed, states, sizes)
+        ]
+        return np.vstack(rows)

@@ -1,0 +1,111 @@
+"""Veritas's forward–backward variant (paper Algorithm 2).
+
+The scaled Baum-Welch forward-backward recursion with the constant
+transition matrix replaced by the embedded powers ``A^Δn``.  Outputs:
+
+* ``gamma[n, i]  = P(C_sn = iε | Y_{1:N}, W_{s_{1:N}}, S_{1:N})`` — the
+  posterior marginals,
+* ``xi[n, i, j]  = P(C_sn = iε, C_s{n+1} = jε | ...)`` — the pairwise
+  posterior Γ of paper Eq. 6, which drives the capacity sampler, and
+* the data log-likelihood (useful for hyperparameter diagnostics).
+
+Emissions arrive in log space; each row is max-shifted before
+exponentiation so chunks whose observation is unlikely under *every*
+capacity state cannot underflow the scaled recursion to 0/0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .transitions import TransitionModel
+
+__all__ = ["ForwardBackwardResult", "forward_backward"]
+
+_TINY = 1e-300
+
+
+@dataclass(frozen=True)
+class ForwardBackwardResult:
+    """Posterior marginals, pairwise posteriors, and the log-likelihood."""
+
+    gamma: np.ndarray
+    """(N, K) posterior state marginals."""
+    xi: np.ndarray
+    """(N-1, K, K) pairwise posteriors Γ (paper Eq. 6); empty for N == 1."""
+    log_likelihood: float
+
+
+def forward_backward(
+    log_emissions: np.ndarray,
+    transitions: TransitionModel,
+    deltas: np.ndarray,
+) -> ForwardBackwardResult:
+    """Run the scaled forward-backward recursion with ``A^Δn`` transitions."""
+    log_b = np.asarray(log_emissions, dtype=float)
+    if log_b.ndim != 2:
+        raise ValueError("log_emissions must be 2-D (chunks x states)")
+    n_chunks, n_states = log_b.shape
+    if n_states != transitions.n_states:
+        raise ValueError(
+            f"emissions have {n_states} states but transition model has "
+            f"{transitions.n_states}"
+        )
+    gaps = np.asarray(deltas, dtype=int)
+    if gaps.shape != (n_chunks,):
+        raise ValueError(f"deltas must have shape ({n_chunks},), got {gaps.shape}")
+    if np.any(gaps[1:] < 0):
+        raise ValueError("window gaps must be non-negative")
+
+    # Per-row max shift keeps the scaled recursion away from 0/0 even when
+    # an observation is improbable under every state.
+    shifts = log_b.max(axis=1)
+    b = np.exp(log_b - shifts[:, None])
+
+    alpha = np.zeros((n_chunks, n_states))
+    scale = np.zeros(n_chunks)
+
+    alpha[0] = transitions.initial * b[0]
+    scale[0] = alpha[0].sum()
+    if scale[0] <= 0:
+        raise FloatingPointError("forward pass underflowed at chunk 0")
+    alpha[0] /= scale[0]
+
+    powers = [transitions.power(int(gaps[n])) for n in range(n_chunks)]
+    for n in range(1, n_chunks):
+        alpha[n] = (alpha[n - 1] @ powers[n]) * b[n]
+        scale[n] = alpha[n].sum()
+        if scale[n] <= 0:
+            raise FloatingPointError(f"forward pass underflowed at chunk {n}")
+        alpha[n] /= scale[n]
+
+    beta = np.zeros((n_chunks, n_states))
+    beta[-1] = 1.0
+    for n in range(n_chunks - 2, -1, -1):
+        beta[n] = powers[n + 1] @ (b[n + 1] * beta[n + 1])
+        beta[n] /= scale[n + 1]
+
+    gamma = alpha * beta
+    gamma /= np.maximum(gamma.sum(axis=1, keepdims=True), _TINY)
+
+    if n_chunks > 1:
+        xi = np.zeros((n_chunks - 1, n_states, n_states))
+        for n in range(n_chunks - 1):
+            joint = (
+                alpha[n][:, None]
+                * powers[n + 1]
+                * (b[n + 1] * beta[n + 1])[None, :]
+            )
+            total = joint.sum()
+            if total <= 0:
+                raise FloatingPointError(
+                    f"pairwise posterior underflowed between chunks {n} and {n + 1}"
+                )
+            xi[n] = joint / total
+    else:
+        xi = np.zeros((0, n_states, n_states))
+
+    log_likelihood = float(np.sum(np.log(scale)) + np.sum(shifts))
+    return ForwardBackwardResult(gamma=gamma, xi=xi, log_likelihood=log_likelihood)

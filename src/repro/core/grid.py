@@ -1,0 +1,83 @@
+"""The quantized capacity state space of the EHMM.
+
+"GTBW values are quantized via a hyperparameter ε > 0.  For instance,
+ε = 0.5 implies that the hidden states are C = {0.0, 0.5, 1.0, ...} Mbps"
+(§3.2).  :class:`CapacityGrid` owns that mapping between state indices and
+bandwidth values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["CapacityGrid"]
+
+
+class CapacityGrid:
+    """Evenly spaced capacity states ``{0, ε, 2ε, ..., max}``.
+
+    Parameters
+    ----------
+    epsilon_mbps:
+        The paper's minimum GTBW discrepancy ε (default 0.5 Mbps in §4.1).
+    max_mbps:
+        Largest representable capacity; must be a reachable multiple of ε
+        (it is rounded up to one if not).
+    """
+
+    def __init__(self, epsilon_mbps: float = 0.5, max_mbps: float = 10.0):
+        if epsilon_mbps <= 0:
+            raise ValueError(f"epsilon must be positive, got {epsilon_mbps}")
+        if max_mbps < epsilon_mbps:
+            raise ValueError(
+                f"max capacity {max_mbps} must be at least epsilon {epsilon_mbps}"
+            )
+        self.epsilon_mbps = float(epsilon_mbps)
+        n_steps = int(np.ceil(max_mbps / epsilon_mbps - 1e-9))
+        self._values = epsilon_mbps * np.arange(n_steps + 1)
+
+    # ------------------------------------------------------------------
+    @property
+    def values_mbps(self) -> np.ndarray:
+        """All state values, ascending (index ``i`` -> ``i * ε`` Mbps)."""
+        return self._values.copy()
+
+    @property
+    def n_states(self) -> int:
+        return int(self._values.size)
+
+    @property
+    def max_mbps(self) -> float:
+        return float(self._values[-1])
+
+    def __len__(self) -> int:
+        return self.n_states
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"CapacityGrid(epsilon={self.epsilon_mbps}, "
+            f"max={self.max_mbps}, states={self.n_states})"
+        )
+
+    # ------------------------------------------------------------------
+    def value_of(self, index: int) -> float:
+        """Bandwidth (Mbps) of state ``index``."""
+        if not 0 <= index < self.n_states:
+            raise IndexError(f"state {index} out of range [0, {self.n_states})")
+        return float(self._values[index])
+
+    def values_of(self, indices: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`value_of`."""
+        idx = np.asarray(indices, dtype=int)
+        if np.any((idx < 0) | (idx >= self.n_states)):
+            raise IndexError("state index out of range")
+        return self._values[idx]
+
+    def index_of(self, mbps: float) -> int:
+        """Nearest state index for a bandwidth value (clamped to the grid)."""
+        index = int(round(mbps / self.epsilon_mbps))
+        return min(max(index, 0), self.n_states - 1)
+
+    def quantize(self, mbps: float) -> float:
+        """Snap a bandwidth value onto the grid."""
+        return self.value_of(self.index_of(mbps))

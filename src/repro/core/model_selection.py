@@ -1,0 +1,86 @@
+"""Hyperparameter selection by marginal likelihood.
+
+The paper fixes the EHMM hyperparameters (σ, the transition stay
+probability, δ, ε) by hand (§4.1).  Because the forward pass already
+computes the data log-likelihood ``log P(Y_{1:N} | W, S)``, the natural
+extension is empirical-Bayes selection: score each candidate configuration
+by the total likelihood of held-out session logs and keep the best.  This
+module implements that grid search — useful when porting Veritas to a
+deployment whose TCP/network behaviour differs from the defaults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, Sequence
+
+from ..player.logs import SessionLog
+from .abduction import VeritasAbduction, VeritasConfig
+
+__all__ = ["ScoredConfig", "score_config", "select_config", "sigma_grid_search"]
+
+
+@dataclass(frozen=True)
+class ScoredConfig:
+    """A candidate configuration with its total held-out log-likelihood."""
+
+    config: VeritasConfig
+    log_likelihood: float
+
+    def describe(self) -> str:
+        c = self.config
+        return (
+            f"sigma={c.sigma_mbps:g} stay={c.transition_stay_prob:g} "
+            f"delta={c.delta_s:g} eps={c.epsilon_mbps:g} "
+            f"-> loglik {self.log_likelihood:.1f}"
+        )
+
+
+def score_config(config: VeritasConfig, logs: Sequence[SessionLog]) -> float:
+    """Total forward log-likelihood of ``logs`` under ``config``."""
+    if not logs:
+        raise ValueError("need at least one session log to score")
+    solver = VeritasAbduction(config)
+    return float(sum(solver.solve(log).log_likelihood for log in logs))
+
+
+def select_config(
+    candidates: Iterable[VeritasConfig], logs: Sequence[SessionLog]
+) -> list[ScoredConfig]:
+    """Score every candidate on ``logs``; return them best-first.
+
+    Likelihoods are only comparable between configs with the same δ and ε
+    (they define the observation windows, not the density); mixing grids
+    raises :class:`ValueError`.
+    """
+    candidate_list = list(candidates)
+    if not candidate_list:
+        raise ValueError("need at least one candidate configuration")
+    grids = {(c.delta_s, c.epsilon_mbps) for c in candidate_list}
+    if len(grids) > 1:
+        raise ValueError(
+            "candidates must share delta/epsilon for likelihoods to be "
+            f"comparable; got {sorted(grids)}"
+        )
+    scored = [
+        ScoredConfig(config=c, log_likelihood=score_config(c, logs))
+        for c in candidate_list
+    ]
+    return sorted(scored, key=lambda s: s.log_likelihood, reverse=True)
+
+
+def sigma_grid_search(
+    base: VeritasConfig,
+    logs: Sequence[SessionLog],
+    sigmas: Sequence[float] = (0.25, 0.5, 1.0, 2.0),
+    stay_probs: Sequence[float] = (0.6, 0.8, 0.9),
+) -> ScoredConfig:
+    """Grid-search σ × stay-probability around ``base``; return the winner."""
+    if not sigmas or not stay_probs:
+        raise ValueError("grids must be non-empty")
+    candidates = [
+        replace(base, sigma_mbps=s, transition_stay_prob=p)
+        for s in sigmas
+        for p in stay_probs
+    ]
+    return select_config(candidates, logs)[0]

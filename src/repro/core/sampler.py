@@ -1,0 +1,94 @@
+"""The capacity sampler (paper Algorithm 1).
+
+Draws posterior samples of the per-chunk hidden capacities ``C_{s_{1:N}}``:
+the last chunk's state is anchored at the Viterbi (maximum likelihood)
+solution, and earlier states are sampled backwards from the pairwise
+posterior Γ — ``P(C_sn = i | C_s{n+1} = j, observations) ∝ Γ[n, i, j]``.
+
+Sampling (rather than a single point estimate) is what lets Veritas report
+a *range* of counterfactual outcomes reflecting the intrinsic uncertainty
+of the inversion (§3.3, Fig. 7(b)).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..util.rng import SeedLike, ensure_rng
+
+__all__ = ["sample_state_path", "sample_state_paths"]
+
+
+def sample_state_path(
+    viterbi_states: np.ndarray,
+    xi: np.ndarray,
+    seed: SeedLike = None,
+    anchor_last: bool = True,
+    gamma: np.ndarray | None = None,
+) -> np.ndarray:
+    """Draw one posterior sample of the hidden capacity index sequence.
+
+    Parameters
+    ----------
+    viterbi_states:
+        ``(N,)`` Viterbi path; its final state anchors the backward pass
+        when ``anchor_last`` (the paper's Algorithm 1).
+    xi:
+        ``(N-1, K, K)`` pairwise posteriors from forward-backward.
+    anchor_last:
+        When ``False``, the last state is drawn from ``gamma[-1]`` instead
+        (a fully Bayesian FFBS variant; requires ``gamma``).
+    gamma:
+        ``(N, K)`` posterior marginals (only needed when not anchoring).
+    """
+    states = np.asarray(viterbi_states, dtype=int)
+    n_chunks = states.shape[0]
+    if n_chunks == 0:
+        raise ValueError("cannot sample an empty path")
+    if xi.shape[0] != max(n_chunks - 1, 0):
+        raise ValueError(
+            f"xi has {xi.shape[0]} pair entries for {n_chunks} chunks"
+        )
+    rng = ensure_rng(seed)
+
+    path = np.empty(n_chunks, dtype=int)
+    if anchor_last:
+        path[-1] = states[-1]
+    else:
+        if gamma is None:
+            raise ValueError("gamma is required when anchor_last=False")
+        marginal = np.maximum(gamma[-1], 0)
+        marginal = marginal / marginal.sum()
+        path[-1] = int(rng.choice(marginal.size, p=marginal))
+
+    for n in range(n_chunks - 2, -1, -1):
+        weights = np.maximum(xi[n][:, path[n + 1]], 0)
+        total = weights.sum()
+        if total <= 0:
+            # Degenerate column (next state unreachable in the pairwise
+            # posterior): fall back to the Viterbi state, which is always
+            # consistent with the observations.
+            path[n] = states[n]
+            continue
+        path[n] = int(rng.choice(weights.size, p=weights / total))
+    return path
+
+
+def sample_state_paths(
+    viterbi_states: np.ndarray,
+    xi: np.ndarray,
+    count: int,
+    seed: SeedLike = None,
+    anchor_last: bool = True,
+    gamma: np.ndarray | None = None,
+) -> list[np.ndarray]:
+    """Draw ``count`` independent posterior paths (§4.1 uses K = 5)."""
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    rng = ensure_rng(seed)
+    return [
+        sample_state_path(
+            viterbi_states, xi, seed=rng, anchor_last=anchor_last, gamma=gamma
+        )
+        for _ in range(count)
+    ]

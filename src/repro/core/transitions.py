@@ -1,0 +1,165 @@
+"""GTBW transition models: the matrix ``A`` and its embedded powers ``A^Δn``.
+
+The paper models GTBW as a first-order Markov chain on the quantized grid
+(Eq. 2) with a **tridiagonal** transition matrix by default — "the
+tridiagonal transition matrix prioritizes GTBW states to be stable, but it
+allows variation over time" (§4.1) — and a uniform initial distribution.
+
+Because chunks embed into real time (Fig. 4), consecutive chunk starts can
+be 0, 1 or many δ-windows apart, so the effective transition between chunk
+``n-1`` and ``n`` is ``A^Δn``.  :class:`TransitionModel` caches those matrix
+powers (and their logs) keyed by Δ.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "TransitionModel",
+    "tridiagonal_matrix",
+    "uniform_matrix",
+    "sticky_matrix",
+]
+
+_LOG_FLOOR = 1e-300
+
+
+def tridiagonal_matrix(
+    n_states: int,
+    stay_prob: float = 0.8,
+    step_prob: float | None = None,
+    jump_mass: float = 0.02,
+) -> np.ndarray:
+    """The paper's default prior: stay with high probability, else move ±1.
+
+    Boundary rows renormalise the probability of the missing neighbour onto
+    the diagonal so every row still sums to one.
+
+    ``jump_mass`` blends in a small uniform component: a strictly banded
+    matrix assigns probability zero to any >1-state move per window, which
+    makes the sharp bandwidth drops present in real broadband traces
+    *unreachable* for Viterbi no matter how strongly the observations
+    support them.  The default keeps 98% of the mass tridiagonal —
+    "prioritizes GTBW states to be stable, but allows variation over time"
+    (§4.1) — while letting overwhelming evidence move the state arbitrarily.
+    """
+    if n_states < 1:
+        raise ValueError(f"need at least one state, got {n_states}")
+    if not 0 < stay_prob <= 1:
+        raise ValueError(f"stay_prob must be in (0, 1], got {stay_prob}")
+    if not 0 <= jump_mass < 1:
+        raise ValueError(f"jump_mass must be in [0, 1), got {jump_mass}")
+    if step_prob is None:
+        step_prob = (1.0 - stay_prob) / 2.0
+    if step_prob < 0 or stay_prob + 2 * step_prob > 1 + 1e-12:
+        raise ValueError(
+            f"invalid probabilities: stay={stay_prob}, step={step_prob}"
+        )
+    matrix = np.zeros((n_states, n_states))
+    for i in range(n_states):
+        matrix[i, i] = stay_prob
+        if i > 0:
+            matrix[i, i - 1] = step_prob
+        else:
+            matrix[i, i] += step_prob
+        if i < n_states - 1:
+            matrix[i, i + 1] = step_prob
+        else:
+            matrix[i, i] += step_prob
+        # Any residual mass (stay + 2*step < 1) goes to the diagonal.
+        matrix[i, i] += 1.0 - matrix[i].sum()
+    if jump_mass > 0 and n_states > 1:
+        matrix = (1.0 - jump_mass) * matrix + jump_mass / n_states
+    return matrix
+
+
+def uniform_matrix(n_states: int) -> np.ndarray:
+    """Memoryless prior: every state equally likely next (ablation)."""
+    if n_states < 1:
+        raise ValueError(f"need at least one state, got {n_states}")
+    return np.full((n_states, n_states), 1.0 / n_states)
+
+
+def sticky_matrix(n_states: int, stay_prob: float = 0.98) -> np.ndarray:
+    """Near-identity prior: remaining mass spread uniformly (ablation)."""
+    if n_states < 1:
+        raise ValueError(f"need at least one state, got {n_states}")
+    if not 0 < stay_prob <= 1:
+        raise ValueError(f"stay_prob must be in (0, 1], got {stay_prob}")
+    if n_states == 1:
+        return np.ones((1, 1))
+    off = (1.0 - stay_prob) / (n_states - 1)
+    matrix = np.full((n_states, n_states), off)
+    np.fill_diagonal(matrix, stay_prob)
+    return matrix
+
+
+class TransitionModel:
+    """A transition matrix, an initial distribution, and cached powers."""
+
+    def __init__(self, matrix: np.ndarray, initial: np.ndarray | None = None):
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ValueError("transition matrix must be square")
+        if np.any(matrix < 0):
+            raise ValueError("transition probabilities must be non-negative")
+        if not np.allclose(matrix.sum(axis=1), 1.0, atol=1e-9):
+            raise ValueError("transition matrix rows must sum to 1")
+        n = matrix.shape[0]
+        if initial is None:
+            initial = np.full(n, 1.0 / n)
+        initial = np.asarray(initial, dtype=float)
+        if initial.shape != (n,):
+            raise ValueError("initial distribution shape mismatch")
+        if np.any(initial < 0) or not np.isclose(initial.sum(), 1.0, atol=1e-9):
+            raise ValueError("initial distribution must be a probability vector")
+        self._matrix = matrix
+        self._initial = initial
+        self._power_cache: dict[int, np.ndarray] = {0: np.eye(n), 1: matrix.copy()}
+        self._log_power_cache: dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def n_states(self) -> int:
+        return int(self._matrix.shape[0])
+
+    @property
+    def matrix(self) -> np.ndarray:
+        return self._matrix.copy()
+
+    @property
+    def initial(self) -> np.ndarray:
+        return self._initial.copy()
+
+    @property
+    def log_initial(self) -> np.ndarray:
+        return np.log(np.maximum(self._initial, _LOG_FLOOR))
+
+    # ------------------------------------------------------------------
+    def power(self, delta: int) -> np.ndarray:
+        """``A^Δ`` — the effective transition across Δ GTBW windows."""
+        if delta < 0:
+            raise ValueError(f"delta must be non-negative, got {delta}")
+        cached = self._power_cache.get(delta)
+        if cached is None:
+            cached = np.linalg.matrix_power(self._matrix, delta)
+            self._power_cache[delta] = cached
+        return cached
+
+    def log_power(self, delta: int) -> np.ndarray:
+        """``log A^Δ`` with zero entries floored (for log-space Viterbi)."""
+        cached = self._log_power_cache.get(delta)
+        if cached is None:
+            cached = np.log(np.maximum(self.power(delta), _LOG_FLOOR))
+            self._log_power_cache[delta] = cached
+        return cached
+
+    def expected_next_value(
+        self, state_index: int, delta: int, state_values: np.ndarray
+    ) -> float:
+        """``E[C_{t+Δ} | C_t = state]`` — used by interventional queries."""
+        if not 0 <= state_index < self.n_states:
+            raise IndexError(f"state {state_index} out of range")
+        distribution = self.power(delta)[state_index]
+        return float(np.dot(distribution, state_values))

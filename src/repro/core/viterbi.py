@@ -1,0 +1,76 @@
+"""Veritas's Viterbi variant (paper Algorithm 3).
+
+Standard log-space Viterbi with one change: the transition between chunks
+``n-1`` and ``n`` is ``A^Δn`` rather than a constant ``A``, where ``Δn`` is
+the number of GTBW windows between the two chunk start times (Fig. 4).
+``Δn = 0`` (two chunks starting in the same window) uses the identity —
+both chunks then share the same hidden capacity window, as required.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .transitions import TransitionModel
+
+__all__ = ["ViterbiResult", "viterbi_path"]
+
+
+@dataclass(frozen=True)
+class ViterbiResult:
+    """Maximum-likelihood hidden state path and its log joint probability."""
+
+    states: np.ndarray
+    log_probability: float
+
+
+def viterbi_path(
+    log_emissions: np.ndarray,
+    transitions: TransitionModel,
+    deltas: np.ndarray,
+) -> ViterbiResult:
+    """Most likely capacity index sequence ``I*_{1:N}`` (paper Eq. 4).
+
+    Parameters
+    ----------
+    log_emissions:
+        ``(N, K)`` log emission matrix (chunk × capacity state).
+    transitions:
+        The transition model supplying ``log A^Δ``.
+    deltas:
+        ``(N,)`` integer window gaps; ``deltas[0]`` is ignored (the first
+        chunk uses the initial distribution).
+    """
+    log_b = np.asarray(log_emissions, dtype=float)
+    if log_b.ndim != 2:
+        raise ValueError("log_emissions must be 2-D (chunks x states)")
+    n_chunks, n_states = log_b.shape
+    if n_states != transitions.n_states:
+        raise ValueError(
+            f"emissions have {n_states} states but transition model has "
+            f"{transitions.n_states}"
+        )
+    gaps = np.asarray(deltas, dtype=int)
+    if gaps.shape != (n_chunks,):
+        raise ValueError(f"deltas must have shape ({n_chunks},), got {gaps.shape}")
+    if np.any(gaps[1:] < 0):
+        raise ValueError("window gaps must be non-negative")
+
+    score = transitions.log_initial + log_b[0]
+    backpointers = np.zeros((n_chunks, n_states), dtype=int)
+
+    for n in range(1, n_chunks):
+        log_a = transitions.log_power(int(gaps[n]))
+        # candidate[i, j] = score[i] + log A^Δn[i, j]
+        candidate = score[:, None] + log_a
+        backpointers[n] = np.argmax(candidate, axis=0)
+        score = candidate[backpointers[n], np.arange(n_states)] + log_b[n]
+
+    path = np.empty(n_chunks, dtype=int)
+    path[-1] = int(np.argmax(score))
+    for n in range(n_chunks - 1, 0, -1):
+        path[n - 1] = backpointers[n, path[n]]
+
+    return ViterbiResult(states=path, log_probability=float(np.max(score)))

@@ -1,0 +1,35 @@
+"""Network substrate: piecewise-constant bandwidth traces and generators."""
+
+from .generators import (
+    constant_trace,
+    markov_trace_from_matrix,
+    random_walk_trace,
+    square_wave_trace,
+    trace_corpus,
+)
+from .io import (
+    MTU_BYTES,
+    from_mahimahi,
+    load_csv,
+    load_mahimahi,
+    save_csv,
+    save_mahimahi,
+    to_mahimahi,
+)
+from .trace import PiecewiseConstantTrace
+
+__all__ = [
+    "MTU_BYTES",
+    "PiecewiseConstantTrace",
+    "constant_trace",
+    "from_mahimahi",
+    "load_csv",
+    "load_mahimahi",
+    "markov_trace_from_matrix",
+    "random_walk_trace",
+    "save_csv",
+    "save_mahimahi",
+    "square_wave_trace",
+    "to_mahimahi",
+    "trace_corpus",
+]

@@ -1,0 +1,128 @@
+"""Trace file interoperability.
+
+Two formats are supported:
+
+* **Mahimahi** packet-delivery traces (the format the paper's testbed
+  replays): one integer millisecond timestamp per line, each granting one
+  MTU-sized packet delivery.  ``to_mahimahi`` discretises a
+  :class:`~repro.net.trace.PiecewiseConstantTrace` into such a schedule
+  and ``from_mahimahi`` recovers a windowed bandwidth trace from one —
+  so corpora can round-trip with real Mahimahi tooling.
+* **CSV** ``time_s,bandwidth_mbps`` rows (the convenient analysis format).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import math
+from pathlib import Path
+from typing import Iterable
+
+import numpy as np
+
+from ..util.units import mbps_to_bytes_per_sec
+from .trace import PiecewiseConstantTrace
+
+__all__ = [
+    "MTU_BYTES",
+    "to_mahimahi",
+    "from_mahimahi",
+    "save_mahimahi",
+    "load_mahimahi",
+    "save_csv",
+    "load_csv",
+]
+
+MTU_BYTES = 1500
+"""Bytes granted per Mahimahi delivery opportunity."""
+
+
+def to_mahimahi(trace: PiecewiseConstantTrace, mtu_bytes: int = MTU_BYTES) -> list[int]:
+    """Discretise ``trace`` into Mahimahi delivery timestamps (ms).
+
+    One timestamp is emitted each time the trace's cumulative byte budget
+    crosses another MTU.  Zero-bandwidth stretches simply emit nothing.
+    """
+    if mtu_bytes <= 0:
+        raise ValueError(f"mtu must be positive, got {mtu_bytes}")
+    timestamps: list[int] = []
+    budget = 0.0
+    start = trace.start_time
+    # Millisecond resolution, like real mm-link traces.
+    n_ms = int(math.ceil(trace.duration * 1000))
+    for ms in range(n_ms):
+        t0 = start + ms / 1000.0
+        budget += trace.integrate_bytes(t0, t0 + 1 / 1000.0)
+        while budget >= mtu_bytes:
+            timestamps.append(ms + 1)
+            budget -= mtu_bytes
+    return timestamps
+
+
+def from_mahimahi(
+    timestamps_ms: Iterable[int],
+    window_s: float = 1.0,
+    mtu_bytes: int = MTU_BYTES,
+) -> PiecewiseConstantTrace:
+    """Recover a windowed bandwidth trace from Mahimahi timestamps."""
+    if window_s <= 0:
+        raise ValueError(f"window must be positive, got {window_s}")
+    if mtu_bytes <= 0:
+        raise ValueError(f"mtu must be positive, got {mtu_bytes}")
+    stamps = np.asarray(sorted(int(t) for t in timestamps_ms), dtype=float)
+    if stamps.size == 0:
+        raise ValueError("cannot build a trace from an empty schedule")
+    if stamps[0] < 0:
+        raise ValueError("timestamps must be non-negative")
+    duration_s = stamps[-1] / 1000.0
+    n_windows = max(1, int(math.ceil(duration_s / window_s)))
+    counts, _ = np.histogram(
+        stamps / 1000.0, bins=n_windows, range=(0.0, n_windows * window_s)
+    )
+    values = counts * mtu_bytes * 8 / 1e6 / window_s
+    return PiecewiseConstantTrace.from_uniform(values, window_s)
+
+
+def save_mahimahi(trace: PiecewiseConstantTrace, path: str | Path) -> None:
+    """Write ``trace`` as an mm-link-compatible file."""
+    lines = "\n".join(str(ts) for ts in to_mahimahi(trace))
+    Path(path).write_text(lines + "\n", encoding="utf-8")
+
+
+def load_mahimahi(path: str | Path, window_s: float = 1.0) -> PiecewiseConstantTrace:
+    """Read an mm-link file into a windowed bandwidth trace."""
+    text = Path(path).read_text(encoding="utf-8")
+    stamps = [int(line) for line in text.split() if line.strip()]
+    return from_mahimahi(stamps, window_s=window_s)
+
+
+def save_csv(trace: PiecewiseConstantTrace, path: str | Path) -> None:
+    """Write ``time_s,bandwidth_mbps`` rows (one per interval start)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["time_s", "bandwidth_mbps"])
+    bounds = trace.boundaries
+    for t, v in zip(bounds[:-1], trace.values):
+        writer.writerow([f"{t:.6f}", f"{v:.6f}"])
+    writer.writerow([f"{bounds[-1]:.6f}", f"{trace.values[-1]:.6f}"])
+    Path(path).write_text(buffer.getvalue(), encoding="utf-8")
+
+
+def load_csv(path: str | Path) -> PiecewiseConstantTrace:
+    """Read a trace written by :func:`save_csv` (or any time,Mbps CSV)."""
+    rows = []
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None:
+            raise ValueError(f"{path}: empty CSV")
+        for row in reader:
+            if not row:
+                continue
+            rows.append((float(row[0]), float(row[1])))
+    if len(rows) < 2:
+        raise ValueError(f"{path}: need at least two rows to define an interval")
+    times = [t for t, _ in rows]
+    values = [v for _, v in rows[:-1]]
+    return PiecewiseConstantTrace(times, values)

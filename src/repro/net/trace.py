@@ -1,0 +1,269 @@
+"""Piecewise-constant bandwidth traces.
+
+The Ground-Truth Bandwidth (GTBW) process in the paper is "a discrete
+process over discrete time intervals ... with the GTBW during any time
+interval being a constant" (§3.1).  :class:`PiecewiseConstantTrace` is that
+object: a step function from time (seconds) to bandwidth (Mbps).
+
+The class supports the handful of operations the rest of the library needs:
+
+* point lookup (``value_at``) and interval averaging (``average``),
+* integration — how many bytes a saturating flow moves in ``[t0, t1]``,
+* the inverse integral (``time_to_transfer``) — when does a transfer of
+  ``size`` bytes starting at ``t0`` complete,
+* quantization onto an ε grid (used to compare reconstructions), and
+* resampling onto a uniform δ grid.
+
+Queries past the end of the trace hold the final value, matching how the
+replay engine extends reconstructed traces when a counterfactual session
+runs longer than the original one.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..util.units import mbps_to_bytes_per_sec
+
+_EPS_TIME = 1e-12
+
+
+class PiecewiseConstantTrace:
+    """A step function ``t -> bandwidth`` defined by interval boundaries.
+
+    Parameters
+    ----------
+    boundaries:
+        Strictly increasing times ``t_0 < t_1 < ... < t_k`` (seconds).  The
+        trace takes ``values[i]`` on ``[t_i, t_{i+1})``.
+    values:
+        Bandwidth (Mbps) on each of the ``k`` intervals; all must be >= 0.
+    """
+
+    __slots__ = ("_bounds", "_values", "_cum_bytes")
+
+    def __init__(self, boundaries: Sequence[float], values: Sequence[float]):
+        bounds = np.asarray(boundaries, dtype=float)
+        vals = np.asarray(values, dtype=float)
+        if bounds.ndim != 1 or vals.ndim != 1:
+            raise ValueError("boundaries and values must be one-dimensional")
+        if bounds.size != vals.size + 1:
+            raise ValueError(
+                f"need len(boundaries) == len(values) + 1, got "
+                f"{bounds.size} and {vals.size}"
+            )
+        if vals.size == 0:
+            raise ValueError("a trace needs at least one interval")
+        if not np.all(np.diff(bounds) > 0):
+            raise ValueError("boundaries must be strictly increasing")
+        if np.any(vals < 0):
+            raise ValueError("bandwidth values must be non-negative")
+        self._bounds = bounds
+        self._values = vals
+        # Cumulative bytes moved from start_time up to each boundary; makes
+        # integrate()/time_to_transfer() O(log k) instead of O(k).
+        rates = mbps_to_bytes_per_sec(vals)
+        self._cum_bytes = np.concatenate(
+            [[0.0], np.cumsum(rates * np.diff(bounds))]
+        )
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_uniform(
+        cls, values: Iterable[float], interval: float, start_time: float = 0.0
+    ) -> "PiecewiseConstantTrace":
+        """Build a trace whose intervals all last ``interval`` seconds."""
+        vals = np.asarray(list(values), dtype=float)
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        bounds = start_time + interval * np.arange(vals.size + 1)
+        return cls(bounds, vals)
+
+    @classmethod
+    def constant(
+        cls, mbps: float, duration: float, start_time: float = 0.0
+    ) -> "PiecewiseConstantTrace":
+        """A single-interval constant-bandwidth trace."""
+        return cls([start_time, start_time + duration], [mbps])
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def start_time(self) -> float:
+        return float(self._bounds[0])
+
+    @property
+    def end_time(self) -> float:
+        return float(self._bounds[-1])
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time
+
+    @property
+    def boundaries(self) -> np.ndarray:
+        return self._bounds.copy()
+
+    @property
+    def values(self) -> np.ndarray:
+        return self._values.copy()
+
+    def __len__(self) -> int:
+        return int(self._values.size)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"PiecewiseConstantTrace(intervals={len(self)}, "
+            f"span=[{self.start_time:.3g}, {self.end_time:.3g}]s, "
+            f"mean={self.mean():.3g} Mbps)"
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _interval_index(self, t: float) -> int:
+        """Index of the interval containing time ``t`` (clamped at the ends)."""
+        idx = int(np.searchsorted(self._bounds, t, side="right")) - 1
+        return min(max(idx, 0), len(self) - 1)
+
+    def value_at(self, t: float) -> float:
+        """Bandwidth at time ``t`` (Mbps); clamps before/after the trace."""
+        return float(self._values[self._interval_index(t)])
+
+    def values_at(self, times: Iterable[float]) -> np.ndarray:
+        """Vectorised :meth:`value_at`."""
+        ts = np.asarray(list(times), dtype=float)
+        idx = np.clip(
+            np.searchsorted(self._bounds, ts, side="right") - 1, 0, len(self) - 1
+        )
+        return self._values[idx]
+
+    def mean(self) -> float:
+        """Time-weighted mean bandwidth over the trace span."""
+        widths = np.diff(self._bounds)
+        return float(np.sum(self._values * widths) / np.sum(widths))
+
+    def integrate_bytes(self, t0: float, t1: float) -> float:
+        """Bytes a saturating flow moves on ``[t0, t1]`` (t1 may exceed the end)."""
+        if t1 < t0:
+            raise ValueError(f"need t0 <= t1, got {t0} > {t1}")
+
+        def cum(t: float) -> float:
+            if t <= self.start_time:
+                # Hold first value before the trace begins.
+                rate = mbps_to_bytes_per_sec(float(self._values[0]))
+                return rate * (t - self.start_time)
+            if t >= self.end_time:
+                rate = mbps_to_bytes_per_sec(float(self._values[-1]))
+                return float(self._cum_bytes[-1]) + rate * (t - self.end_time)
+            i = self._interval_index(t)
+            rate = mbps_to_bytes_per_sec(float(self._values[i]))
+            return float(self._cum_bytes[i]) + rate * (t - float(self._bounds[i]))
+
+        return cum(t1) - cum(t0)
+
+    def average(self, t0: float, t1: float) -> float:
+        """Time-weighted mean bandwidth (Mbps) over ``[t0, t1]``."""
+        if t1 <= t0:
+            return self.value_at(t0)
+        bytes_moved = self.integrate_bytes(t0, t1)
+        return bytes_moved * 8 / 1e6 / (t1 - t0)
+
+    def time_to_transfer(self, start: float, size_bytes: float) -> float:
+        """Seconds for a saturating flow starting at ``start`` to move ``size_bytes``.
+
+        The trace is held constant at its final value beyond ``end_time``.
+        Raises :class:`RuntimeError` when the transfer can never finish
+        (zero bandwidth from some point on).
+        """
+        if size_bytes < 0:
+            raise ValueError(f"size must be non-negative, got {size_bytes}")
+        if size_bytes == 0:
+            return 0.0
+
+        eps_bytes = 1e-9
+        remaining = float(size_bytes)
+        t = float(start)
+
+        # Before the trace begins the first value holds (mirrors integrate_bytes).
+        if t < self.start_time:
+            rate = mbps_to_bytes_per_sec(float(self._values[0]))
+            capacity = rate * (self.start_time - t)
+            if rate > 0 and capacity >= remaining - eps_bytes:
+                return remaining / rate
+            remaining -= capacity
+            t = self.start_time
+
+        i = self._interval_index(t)
+        while i < len(self):
+            seg_end = float(self._bounds[i + 1])
+            rate = mbps_to_bytes_per_sec(float(self._values[i]))
+            # `t` can sit exactly on (or beyond) the segment end when the
+            # start time equals end_time; clamp so capacity is never negative.
+            capacity = rate * max(0.0, seg_end - t)
+            if rate > 0 and capacity >= remaining - eps_bytes:
+                return t + remaining / rate - start
+            remaining -= capacity
+            t = max(t, seg_end)
+            i += 1
+
+        # Past the end of the trace: the final value holds forever.
+        rate = mbps_to_bytes_per_sec(float(self._values[-1]))
+        if rate <= 0:
+            raise RuntimeError("transfer cannot complete: trailing bandwidth is zero")
+        return t + remaining / rate - start
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def quantized(self, epsilon: float) -> "PiecewiseConstantTrace":
+        """Round every value to the nearest multiple of ``epsilon`` Mbps."""
+        if epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {epsilon}")
+        vals = np.round(self._values / epsilon) * epsilon
+        return PiecewiseConstantTrace(self._bounds, vals)
+
+    def resampled(self, interval: float, duration: float | None = None) -> "PiecewiseConstantTrace":
+        """Resample onto a uniform ``interval`` grid using interval averages."""
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        span = duration if duration is not None else self.duration
+        count = max(1, int(np.ceil(span / interval - _EPS_TIME)))
+        starts = self.start_time + interval * np.arange(count)
+        vals = [self.average(s, s + interval) for s in starts]
+        return PiecewiseConstantTrace.from_uniform(vals, interval, self.start_time)
+
+    def extended(self, until: float) -> "PiecewiseConstantTrace":
+        """Return a trace that explicitly lasts until at least ``until``."""
+        if until <= self.end_time:
+            return self
+        bounds = np.concatenate([self._bounds, [until]])
+        vals = np.concatenate([self._values, [self._values[-1]]])
+        return PiecewiseConstantTrace(bounds, vals)
+
+    def shifted(self, offset: float) -> "PiecewiseConstantTrace":
+        """Return the same trace translated in time by ``offset`` seconds."""
+        return PiecewiseConstantTrace(self._bounds + offset, self._values)
+
+    def clipped(self, lo: float, hi: float) -> "PiecewiseConstantTrace":
+        """Clamp all values into ``[lo, hi]`` Mbps."""
+        if lo > hi:
+            raise ValueError(f"need lo <= hi, got {lo} > {hi}")
+        return PiecewiseConstantTrace(self._bounds, np.clip(self._values, lo, hi))
+
+    # ------------------------------------------------------------------
+    # Comparison helpers (used by tests and the fig7 benchmark)
+    # ------------------------------------------------------------------
+    def mean_absolute_error(
+        self, other: "PiecewiseConstantTrace", interval: float = 1.0
+    ) -> float:
+        """Mean absolute difference between two traces on a common grid."""
+        t0 = min(self.start_time, other.start_time)
+        t1 = max(self.end_time, other.end_time)
+        grid = np.arange(t0, t1, interval) + interval / 2
+        return float(np.mean(np.abs(self.values_at(grid) - other.values_at(grid))))

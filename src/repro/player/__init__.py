@@ -1,0 +1,16 @@
+"""Video player substrate: buffer, session simulator, logs, QoE metrics."""
+
+from .buffer import PlayerBuffer
+from .logs import ChunkRecord, SessionLog
+from .metrics import QoEMetrics, compute_metrics
+from .session import SessionConfig, StreamingSession
+
+__all__ = [
+    "ChunkRecord",
+    "PlayerBuffer",
+    "QoEMetrics",
+    "SessionConfig",
+    "SessionLog",
+    "StreamingSession",
+    "compute_metrics",
+]

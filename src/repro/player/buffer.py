@@ -1,0 +1,54 @@
+"""Playout buffer accounting.
+
+Semantics follow the common simulator convention (Pensieve, Puffer test
+harnesses): the buffer drains in real time while video plays, a downloaded
+chunk appends ``chunk_duration`` seconds, and when the post-append level
+exceeds the configured capacity the player *sleeps* before issuing the next
+request until the level is back at capacity.  Stalls (drain hitting zero
+mid-download) are counted as rebuffering.
+"""
+
+from __future__ import annotations
+
+__all__ = ["PlayerBuffer"]
+
+
+class PlayerBuffer:
+    """Seconds-denominated playout buffer with stall accounting."""
+
+    def __init__(self, capacity_s: float):
+        if capacity_s <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_s}")
+        self.capacity_s = capacity_s
+        self.level_s = 0.0
+        self.playing = False
+        self.total_rebuffer_s = 0.0
+
+    def start_playback(self) -> None:
+        """Begin draining (called once the first chunk has arrived)."""
+        self.playing = True
+
+    def drain(self, wall_seconds: float) -> float:
+        """Advance playback by ``wall_seconds``; returns stall time incurred.
+
+        Before playback starts the buffer does not drain and no stall is
+        charged (that time is startup delay, accounted separately).
+        """
+        if wall_seconds < 0:
+            raise ValueError(f"cannot drain negative time: {wall_seconds}")
+        if not self.playing:
+            return 0.0
+        stall = max(0.0, wall_seconds - self.level_s)
+        self.level_s = max(0.0, self.level_s - wall_seconds)
+        self.total_rebuffer_s += stall
+        return stall
+
+    def append_chunk(self, chunk_duration_s: float) -> None:
+        """Add one downloaded chunk's worth of playable video."""
+        if chunk_duration_s <= 0:
+            raise ValueError(f"chunk duration must be positive, got {chunk_duration_s}")
+        self.level_s += chunk_duration_s
+
+    def overflow_wait_s(self) -> float:
+        """Seconds the player must sleep before the next request."""
+        return max(0.0, self.level_s - self.capacity_s)

@@ -1,0 +1,192 @@
+"""Session logs: the observed data Veritas works from.
+
+A :class:`SessionLog` holds exactly what the paper's Setting-A deployment
+records per chunk (§3.3): size, start and end time of the download, the TCP
+state at the start (cwnd, ssthresh, rto, ...), plus the quality index and
+buffer level that the QoE metrics need.  It deliberately does **not**
+contain the ground-truth bandwidth — keeping GTBW out of the log object is
+what makes "Veritas never saw the ground truth" auditable in tests.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..tcp.state import TCPStateSnapshot
+from ..util.units import throughput_mbps
+
+__all__ = ["ChunkRecord", "SessionLog"]
+
+
+@dataclass(frozen=True)
+class ChunkRecord:
+    """Everything logged about one chunk download."""
+
+    index: int
+    quality: int
+    size_bytes: float
+    start_time_s: float
+    end_time_s: float
+    tcp_state: TCPStateSnapshot
+    buffer_before_s: float
+    buffer_after_s: float
+    rebuffer_s: float
+    ssim: float
+    bitrate_mbps: float
+
+    def __post_init__(self) -> None:
+        if self.end_time_s <= self.start_time_s:
+            raise ValueError(
+                f"chunk {self.index}: end {self.end_time_s} must follow "
+                f"start {self.start_time_s}"
+            )
+        if self.size_bytes <= 0:
+            raise ValueError(f"chunk {self.index}: size must be positive")
+        if self.rebuffer_s < 0:
+            raise ValueError(f"chunk {self.index}: negative rebuffer time")
+
+    @property
+    def download_time_s(self) -> float:
+        return self.end_time_s - self.start_time_s
+
+    @property
+    def throughput_mbps(self) -> float:
+        """Observed throughput ``Y_n = S_n / D_n`` in Mbps."""
+        return throughput_mbps(self.size_bytes, self.download_time_s)
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "quality": self.quality,
+            "size_bytes": self.size_bytes,
+            "start_time_s": self.start_time_s,
+            "end_time_s": self.end_time_s,
+            "tcp_state": self.tcp_state.to_dict(),
+            "buffer_before_s": self.buffer_before_s,
+            "buffer_after_s": self.buffer_after_s,
+            "rebuffer_s": self.rebuffer_s,
+            "ssim": self.ssim,
+            "bitrate_mbps": self.bitrate_mbps,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChunkRecord":
+        data = dict(data)
+        data["tcp_state"] = TCPStateSnapshot.from_dict(data["tcp_state"])
+        return cls(**data)
+
+
+@dataclass
+class SessionLog:
+    """The complete log of one streaming session.
+
+    ``chunk_duration_s`` and the setting description travel with the log so
+    downstream consumers (abduction, metrics, counterfactual replay) never
+    need the original simulator objects.
+    """
+
+    abr_name: str
+    buffer_capacity_s: float
+    chunk_duration_s: float
+    rtt_s: float
+    startup_time_s: float
+    total_rebuffer_s: float
+    records: list[ChunkRecord] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for prev, cur in zip(self.records, self.records[1:]):
+            if cur.start_time_s < prev.end_time_s - 1e-9:
+                raise ValueError(
+                    f"chunk {cur.index} starts before chunk {prev.index} ends"
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def n_chunks(self) -> int:
+        return len(self.records)
+
+    @property
+    def session_end_s(self) -> float:
+        """Wall-clock time when playback of the last chunk completes."""
+        if not self.records:
+            return 0.0
+        playback = self.n_chunks * self.chunk_duration_s
+        return self.startup_time_s + playback + self.total_rebuffer_s
+
+    @property
+    def session_duration_s(self) -> float:
+        return self.session_end_s
+
+    # Convenience arrays used by abduction and the baselines -----------
+    def sizes_bytes(self) -> np.ndarray:
+        return np.asarray([r.size_bytes for r in self.records])
+
+    def start_times_s(self) -> np.ndarray:
+        return np.asarray([r.start_time_s for r in self.records])
+
+    def end_times_s(self) -> np.ndarray:
+        return np.asarray([r.end_time_s for r in self.records])
+
+    def download_times_s(self) -> np.ndarray:
+        return np.asarray([r.download_time_s for r in self.records])
+
+    def throughputs_mbps(self) -> np.ndarray:
+        return np.asarray([r.throughput_mbps for r in self.records])
+
+    def qualities(self) -> np.ndarray:
+        return np.asarray([r.quality for r in self.records], dtype=int)
+
+    def tcp_states(self) -> list[TCPStateSnapshot]:
+        return [r.tcp_state for r in self.records]
+
+    # Serialisation ----------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "abr_name": self.abr_name,
+            "buffer_capacity_s": self.buffer_capacity_s,
+            "chunk_duration_s": self.chunk_duration_s,
+            "rtt_s": self.rtt_s,
+            "startup_time_s": self.startup_time_s,
+            "total_rebuffer_s": self.total_rebuffer_s,
+            "records": [r.to_dict() for r in self.records],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SessionLog":
+        data = dict(data)
+        data["records"] = [ChunkRecord.from_dict(r) for r in data["records"]]
+        return cls(**data)
+
+    def save(self, path: str | Path) -> None:
+        """Write the log as JSON (what a deployment would ship home)."""
+        Path(path).write_text(json.dumps(self.to_dict()), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SessionLog":
+        """Read a log written by :meth:`save`."""
+        return cls.from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+
+    def truncated(self, n_chunks: int) -> "SessionLog":
+        """A prefix log containing only the first ``n_chunks`` chunks.
+
+        Used by interventional queries: "given the session *so far*,
+        predict the next download".
+        """
+        if not 0 <= n_chunks <= self.n_chunks:
+            raise ValueError(
+                f"cannot truncate to {n_chunks} chunks (have {self.n_chunks})"
+            )
+        prefix = self.records[:n_chunks]
+        return SessionLog(
+            abr_name=self.abr_name,
+            buffer_capacity_s=self.buffer_capacity_s,
+            chunk_duration_s=self.chunk_duration_s,
+            rtt_s=self.rtt_s,
+            startup_time_s=self.startup_time_s,
+            total_rebuffer_s=sum(r.rebuffer_s for r in prefix),
+            records=list(prefix),
+        )

@@ -1,0 +1,73 @@
+"""QoE metrics over session logs.
+
+The paper evaluates counterfactual answers with "standard metrics such as
+video quality (measured by SSIM) and rebuffering ratios" (§4.1), and the
+appendix adds average bitrate (Fig. 14).  All three are derived purely from
+a :class:`~repro.player.logs.SessionLog`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..video.ladder import ssim_to_db
+from .logs import SessionLog
+
+__all__ = ["QoEMetrics", "compute_metrics"]
+
+
+@dataclass(frozen=True)
+class QoEMetrics:
+    """Session-level quality-of-experience summary."""
+
+    mean_ssim: float
+    mean_ssim_db: float
+    rebuffer_ratio: float
+    """Stall time as a fraction of the session duration (0..1)."""
+    avg_bitrate_mbps: float
+    """Delivered bits divided by video playback duration."""
+    startup_time_s: float
+    quality_switches: int
+    n_chunks: int
+
+    @property
+    def rebuffer_percent(self) -> float:
+        """Rebuffering ratio as "% of session", the unit of Figs. 8–11."""
+        return 100.0 * self.rebuffer_ratio
+
+    def as_row(self) -> list[float]:
+        return [
+            self.mean_ssim,
+            self.rebuffer_percent,
+            self.avg_bitrate_mbps,
+            self.startup_time_s,
+            float(self.quality_switches),
+        ]
+
+
+def compute_metrics(log: SessionLog) -> QoEMetrics:
+    """Compute :class:`QoEMetrics` for a finished session."""
+    if log.n_chunks == 0:
+        raise ValueError("cannot compute metrics for an empty session")
+
+    ssim = np.asarray([r.ssim for r in log.records])
+    qualities = log.qualities()
+    sizes = log.sizes_bytes()
+    playback_s = log.n_chunks * log.chunk_duration_s
+
+    session_duration = log.session_duration_s
+    rebuffer_ratio = (
+        log.total_rebuffer_s / session_duration if session_duration > 0 else 0.0
+    )
+
+    return QoEMetrics(
+        mean_ssim=float(ssim.mean()),
+        mean_ssim_db=float(np.mean([ssim_to_db(s) for s in ssim])),
+        rebuffer_ratio=float(rebuffer_ratio),
+        avg_bitrate_mbps=float(sizes.sum() * 8 / 1e6 / playback_s),
+        startup_time_s=log.startup_time_s,
+        quality_switches=int(np.count_nonzero(np.diff(qualities))),
+        n_chunks=log.n_chunks,
+    )

@@ -1,0 +1,157 @@
+"""The streaming-session simulator (the paper's emulation testbed).
+
+:class:`StreamingSession` wires together the substrates: an ABR algorithm
+chooses qualities, a :class:`~repro.tcp.connection.TCPConnection` downloads
+chunks over a ground-truth bandwidth trace, and a
+:class:`~repro.player.buffer.PlayerBuffer` tracks playback.  Running a
+session produces a :class:`~repro.player.logs.SessionLog` — the observed
+data Setting A hands to Veritas — and the same class replays a session under
+a *reconstructed* trace for Setting-B counterfactuals.
+
+The event loop per chunk ``n``:
+
+1. the player sleeps while the buffer is above capacity (this produces the
+   idle gaps that trigger TCP slow-start restart — a key observable),
+2. the ABR picks a quality from client-visible state only,
+3. the TCP connection downloads the chunk over the trace (the buffer drains
+   meanwhile; hitting zero counts as a stall),
+4. the chunk is appended and the log record written.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..abr.base import ABRAlgorithm, ABRContext
+from ..net.trace import PiecewiseConstantTrace
+from ..tcp.connection import TCPConnection
+from ..video.chunks import Video
+from .buffer import PlayerBuffer
+from .logs import ChunkRecord, SessionLog
+
+__all__ = ["SessionConfig", "StreamingSession"]
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Player/network settings for one session (the paper's "Setting")."""
+
+    buffer_capacity_s: float = 5.0
+    rtt_s: float = 0.08
+    request_overhead_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.buffer_capacity_s <= 0:
+            raise ValueError("buffer capacity must be positive")
+        if self.rtt_s <= 0:
+            raise ValueError("rtt must be positive")
+        if self.request_overhead_s < 0:
+            raise ValueError("request overhead cannot be negative")
+
+
+class StreamingSession:
+    """One client streaming ``video`` over ``trace`` with ``abr``."""
+
+    def __init__(
+        self,
+        video: Video,
+        abr: ABRAlgorithm,
+        trace: PiecewiseConstantTrace,
+        config: SessionConfig | None = None,
+    ):
+        self.video = video
+        self.abr = abr
+        self.trace = trace
+        self.config = config or SessionConfig()
+
+    def run(self) -> SessionLog:
+        """Simulate the whole session and return its log."""
+        video = self.video
+        config = self.config
+        abr = self.abr
+        abr.reset()
+
+        connection = TCPConnection(self.trace, rtt_s=config.rtt_s, start_time_s=0.0)
+        buffer = PlayerBuffer(config.buffer_capacity_s)
+
+        records: list[ChunkRecord] = []
+        throughput_history: list[float] = []
+        download_history: list[float] = []
+        last_quality: int | None = None
+        now = 0.0
+        startup_time = 0.0
+
+        for n in range(video.n_chunks):
+            # 1. Sleep while the buffer is over capacity.  The buffer keeps
+            #    draining during the sleep; no stall is possible here.
+            wait = buffer.overflow_wait_s()
+            if wait > 0:
+                buffer.drain(wait)
+                now += wait
+            if config.request_overhead_s:
+                buffer.drain(config.request_overhead_s)
+                now += config.request_overhead_s
+
+            # 2. ABR decision from client-observable state only.
+            context = ABRContext(
+                chunk_index=n,
+                buffer_s=buffer.level_s,
+                buffer_capacity_s=config.buffer_capacity_s,
+                last_quality=last_quality,
+                video=video,
+                throughput_history_mbps=throughput_history,
+                download_time_history_s=download_history,
+            )
+            quality = abr.choose_quality(context)
+            if not 0 <= quality < video.n_qualities:
+                raise ValueError(
+                    f"{abr.name} chose invalid quality {quality} for chunk {n}"
+                )
+            size = video.chunk_size_bytes(n, quality)
+
+            # 3. Download over the ground-truth trace.
+            buffer_before = buffer.level_s
+            result = connection.download(size, now)
+            stall = buffer.drain(result.duration_s)
+            now = result.end_time_s
+
+            # 4. Append and log.
+            buffer.append_chunk(video.chunk_duration_s)
+            if n == 0:
+                startup_time = now
+                buffer.start_playback()
+
+            records.append(
+                ChunkRecord(
+                    index=n,
+                    quality=quality,
+                    size_bytes=size,
+                    start_time_s=result.start_time_s,
+                    end_time_s=result.end_time_s,
+                    tcp_state=result.tcp_state_at_start,
+                    buffer_before_s=buffer_before,
+                    buffer_after_s=buffer.level_s,
+                    rebuffer_s=stall,
+                    ssim=video.chunk_ssim(n, quality),
+                    bitrate_mbps=video.bitrate_mbps(quality),
+                )
+            )
+            throughput_history.append(records[-1].throughput_mbps)
+            download_history.append(records[-1].download_time_s)
+            last_quality = quality
+
+            # Feedback hook for algorithms that learn from finished
+            # downloads (e.g. the Veritas-in-the-loop ABR).
+            observe = getattr(abr, "observe_download", None)
+            if observe is not None:
+                observe(records[-1])
+
+        return SessionLog(
+            abr_name=abr.name,
+            buffer_capacity_s=config.buffer_capacity_s,
+            chunk_duration_s=video.chunk_duration_s,
+            rtt_s=config.rtt_s,
+            startup_time_s=startup_time,
+            total_rebuffer_s=buffer.total_rebuffer_s,
+            records=records,
+        )

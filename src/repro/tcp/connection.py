@@ -1,0 +1,174 @@
+"""Flow-level TCP download simulator.
+
+This is the repo's substitute for the paper's Mahimahi + Linux TCP testbed
+(see DESIGN.md §2).  A :class:`TCPConnection` downloads chunks over a
+time-varying :class:`~repro.net.trace.PiecewiseConstantTrace` using the same
+congestion-control mechanisms the paper's estimator models — slow start,
+additive congestion avoidance, and RFC 2861 slow-start restart after idle
+periods — but, unlike the estimator, it sees the *actual* bandwidth at each
+instant of the download rather than a single constant.
+
+The simulation alternates between two regimes:
+
+* **window-limited rounds** while ``cwnd`` is below the instantaneous BDP:
+  each round lasts one RTT and moves ``cwnd`` segments;
+* **fluid transfer** once the pipe is full: the remaining bytes drain at
+  the (time-varying) link rate via ``trace.time_to_transfer``.
+
+This produces exactly the observable biases the paper documents: small
+chunks see throughput far below GTBW (Fig. 2(c)), idle gaps reset the
+window, and only > BDP transfers observe throughput close to GTBW.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..net.trace import PiecewiseConstantTrace
+from ..util.units import mbps_to_bytes_per_sec, throughput_mbps
+from .constants import (
+    INIT_CWND_SEGMENTS,
+    MAX_CWND_SEGMENTS,
+    MSS_BYTES,
+    SLOW_START_GROWTH,
+)
+from .state import MutableTCPState, TCPStateSnapshot, apply_slow_start_restart
+
+__all__ = ["DownloadResult", "TCPConnection"]
+
+
+@dataclass(frozen=True)
+class DownloadResult:
+    """Outcome of a single chunk download."""
+
+    start_time_s: float
+    end_time_s: float
+    size_bytes: float
+    rounds: int
+    slow_start_restarted: bool
+    tcp_state_at_start: TCPStateSnapshot
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_time_s - self.start_time_s
+
+    @property
+    def throughput_mbps(self) -> float:
+        return throughput_mbps(self.size_bytes, self.duration_s)
+
+
+class TCPConnection:
+    """A persistent TCP connection downloading chunks over a bandwidth trace.
+
+    Parameters
+    ----------
+    trace:
+        Ground-truth bandwidth over time (Mbps).
+    rtt_s:
+        End-to-end round-trip propagation delay (the paper uses 80 ms).
+    start_time_s:
+        Wall-clock time at which the connection is established.
+    """
+
+    def __init__(
+        self,
+        trace: PiecewiseConstantTrace,
+        rtt_s: float = 0.08,
+        start_time_s: float = 0.0,
+    ):
+        if rtt_s <= 0:
+            raise ValueError(f"rtt must be positive, got {rtt_s}")
+        self.trace = trace
+        self.rtt_s = rtt_s
+        self.state = MutableTCPState(last_send_time_s=start_time_s)
+        # The handshake measures the first RTT sample.
+        self.state.observe_rtt(rtt_s)
+
+    # ------------------------------------------------------------------
+    def snapshot(self, now_s: float) -> TCPStateSnapshot:
+        """The ``tcp_info`` record a client would log at time ``now_s``."""
+        return self.state.snapshot(now_s)
+
+    # ------------------------------------------------------------------
+    def download(self, size_bytes: float, start_time_s: float) -> DownloadResult:
+        """Download ``size_bytes`` starting at ``start_time_s``.
+
+        Advances the connection's congestion state and returns the timing of
+        the transfer.  Raises :class:`RuntimeError` if the trace bandwidth is
+        zero forever after the start time (the transfer would never finish).
+        """
+        if size_bytes <= 0:
+            raise ValueError(f"size must be positive, got {size_bytes}")
+        if start_time_s < self.state.last_send_time_s:
+            raise ValueError(
+                f"download at {start_time_s} precedes last send at "
+                f"{self.state.last_send_time_s}; requests must move forward in time"
+            )
+
+        state = self.state
+        snapshot = state.snapshot(start_time_s)
+
+        cwnd, ssthresh, restarted = apply_slow_start_restart(
+            state.cwnd_segments,
+            state.ssthresh_segments,
+            snapshot.time_since_last_send_s,
+            snapshot.rto_s,
+        )
+
+        remaining = float(size_bytes)
+        # The HTTP request consumes one round trip before payload flows;
+        # the client-side download time (what logs record) includes it.
+        t = float(start_time_s) + self.rtt_s
+        rounds = 0
+        while remaining > 0:
+            bandwidth = self.trace.value_at(t)
+            bdp_bytes = mbps_to_bytes_per_sec(bandwidth) * self.rtt_s
+            cwnd_bytes = cwnd * MSS_BYTES
+            if cwnd_bytes >= bdp_bytes:
+                # Pipe is (or can be kept) full — drain the rest at the link
+                # rate.  time_to_transfer walks zero-bandwidth intervals and
+                # raises only if bandwidth never resumes.
+                fluid_s = self.trace.time_to_transfer(t, remaining)
+                # The window keeps opening ~1 segment per RTT while the
+                # transfer proceeds in congestion avoidance.
+                cwnd = min(
+                    cwnd + max(0, int(fluid_s / self.rtt_s)), MAX_CWND_SEGMENTS
+                )
+                rounds += max(1, math.ceil(fluid_s / self.rtt_s))
+                t += fluid_s
+                remaining = 0.0
+            else:
+                # Window-limited round: one RTT moves cwnd segments.
+                sent = min(cwnd_bytes, remaining)
+                remaining -= sent
+                if cwnd < ssthresh:
+                    cwnd = min(
+                        max(cwnd + 1, int(cwnd * SLOW_START_GROWTH)),
+                        MAX_CWND_SEGMENTS,
+                    )
+                else:
+                    cwnd = min(cwnd + 1, MAX_CWND_SEGMENTS)
+                t += self.rtt_s
+                rounds += 1
+
+        state.cwnd_segments = cwnd
+        state.ssthresh_segments = ssthresh
+        state.observe_rtt(self.rtt_s)
+        state.last_send_time_s = t
+
+        return DownloadResult(
+            start_time_s=start_time_s,
+            end_time_s=t,
+            size_bytes=size_bytes,
+            rounds=rounds,
+            slow_start_restarted=restarted,
+            tcp_state_at_start=snapshot,
+        )
+
+    # ------------------------------------------------------------------
+    def reset(self, start_time_s: float = 0.0) -> None:
+        """Forget all congestion state (a brand-new connection)."""
+        self.state = MutableTCPState(last_send_time_s=start_time_s)
+        self.state.observe_rtt(self.rtt_s)
+        self.state.cwnd_segments = INIT_CWND_SEGMENTS

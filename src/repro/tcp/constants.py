@@ -1,0 +1,33 @@
+"""TCP model constants.
+
+Values follow the Linux defaults the paper's estimator (Algorithm 4) is
+modelled on: an initial window of 10 segments (RFC 6928), a 200 ms minimum
+retransmission timeout, and the standard ``srtt + 4 * rttvar`` RTO formula.
+"""
+
+MSS_BYTES = 1500
+"""Maximum segment size used to convert bytes to segments."""
+
+INIT_CWND_SEGMENTS = 10
+"""Initial congestion window (segments), also the slow-start-restart floor."""
+
+INITIAL_SSTHRESH_SEGMENTS = 1 << 20
+"""Effectively-infinite initial slow start threshold."""
+
+MAX_CWND_SEGMENTS = 1 << 14
+"""Receive-window-style cap on the congestion window (~24 MB)."""
+
+RTO_MIN_SECONDS = 0.2
+"""Linux TCP_RTO_MIN."""
+
+RTO_RTTVAR_FACTOR = 4
+"""The K in ``rto = srtt + K * rttvar`` (RFC 6298)."""
+
+SLOW_START_GROWTH = 1.5
+"""Per-round congestion-window growth factor during slow start.
+
+Textbook slow start doubles the window every RTT; with delayed ACKs (one
+ACK per two segments, the Linux default) the effective growth is ~1.5x per
+round, which is what bulk transfers actually see.  Both the flow simulator
+and the throughput estimator ``f`` use this value, so the emission model
+stays consistent with the (simulated) ground truth."""

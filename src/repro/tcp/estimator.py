@@ -1,0 +1,191 @@
+"""The paper's network throughput estimator ``f`` (Algorithm 4).
+
+``f(C, W_sn, S_n)`` estimates the throughput a chunk of size ``S_n`` would
+observe if the GTBW were ``C`` and the TCP connection started the download
+in state ``W_sn``.  It models three phases of Reno-style congestion control:
+
+* slow-start restart when the connection has been idle longer than the RTO,
+* slow start (window doubles every round) below ssthresh,
+* additive congestion avoidance (window + 1 per round) above it,
+
+and charges one ``min_rtt`` per transmission round plus one round trip of
+request latency (the HTTP GET a DASH client sends before any payload byte
+arrives — included because the logged download time measures exactly that
+span).  Loss is not modelled, as in the paper.  The result is capped at the
+GTBW ``C``.
+
+This function is the emission model of the Veritas EHMM: the whole point of
+the paper is that conditioning on the logged TCP state lets the HMM "invert"
+observed throughput back into latent GTBW.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..util.units import mbps_to_bytes_per_sec
+from .constants import MSS_BYTES, SLOW_START_GROWTH
+from .state import TCPStateSnapshot, apply_slow_start_restart
+
+__all__ = [
+    "REQUEST_RTTS",
+    "estimate_download_time",
+    "estimate_throughput",
+    "estimate_throughput_grid",
+]
+
+REQUEST_RTTS = 1.0
+"""Round trips charged for the chunk request before payload flows."""
+
+
+def _segments(size_bytes: float) -> int:
+    """Number of MSS-sized segments needed for ``size_bytes`` (at least 1)."""
+    return max(1, math.ceil(size_bytes / MSS_BYTES))
+
+
+def _window_phase(
+    data_segments: int, bdp_segments: int, cwnd: int, ssthresh: int
+) -> tuple[int, int]:
+    """Window-limited phase of Algorithm 4: ``(rounds, segments_sent)``.
+
+    Runs the paper's ``while sent < data_segments`` loop only while the
+    congestion window is below the BDP (each such round lasts one RTT and
+    moves ``cwnd`` segments).  Once the pipe is full the remainder drains at
+    the link rate; the caller charges that tail as a fluid transfer — the
+    continuous-time equivalent of the paper's ``ceil(remaining / bdp)``
+    rounds, and exactly what the flow simulator does, which keeps the
+    emission model unbiased (and monotone in the candidate capacity).
+    """
+    rounds = 0
+    sent = 0
+    while sent < data_segments and cwnd < bdp_segments:
+        sent += cwnd  # cwnd < bdp, so min(cwnd, bdp) == cwnd
+        if cwnd < ssthresh:
+            cwnd = max(cwnd + 1, int(cwnd * SLOW_START_GROWTH))
+        else:
+            cwnd += 1
+        rounds += 1
+    return rounds, sent
+
+
+def estimate_download_time(
+    gtbw_mbps: float,
+    tcp_state: TCPStateSnapshot,
+    size_bytes: float,
+    request_rtts: float = REQUEST_RTTS,
+) -> float:
+    """Download time (seconds) implied by Algorithm 4, request included."""
+    if gtbw_mbps < 0:
+        raise ValueError(f"GTBW must be non-negative, got {gtbw_mbps}")
+    if size_bytes <= 0:
+        raise ValueError(f"size must be positive, got {size_bytes}")
+    if gtbw_mbps == 0:
+        return float("inf")
+
+    cwnd, ssthresh, _ = apply_slow_start_restart(
+        tcp_state.cwnd_segments,
+        tcp_state.ssthresh_segments,
+        tcp_state.time_since_last_send_s,
+        tcp_state.rto_s,
+    )
+
+    min_rtt = tcp_state.min_rtt_s
+    request_s = request_rtts * min_rtt
+    data_segments = _segments(size_bytes)
+    bdp_segments = _segments(mbps_to_bytes_per_sec(gtbw_mbps) * min_rtt)
+
+    rate = mbps_to_bytes_per_sec(gtbw_mbps)
+    if cwnd > bdp_segments:
+        if data_segments > bdp_segments:
+            # Saturated transfer: payload drains at the link rate.
+            return request_s + size_bytes / rate
+        # Whole chunk fits in one congestion window: one round trip.
+        return request_s + min_rtt
+
+    rounds, sent = _window_phase(data_segments, bdp_segments, cwnd, ssthresh)
+    tail_bytes = max(0.0, size_bytes - sent * MSS_BYTES)
+    return request_s + rounds * min_rtt + tail_bytes / rate
+
+
+def estimate_throughput(
+    gtbw_mbps: float,
+    tcp_state: TCPStateSnapshot,
+    size_bytes: float,
+    request_rtts: float = REQUEST_RTTS,
+) -> float:
+    """Paper Algorithm 4: expected observed throughput (Mbps) for one chunk.
+
+    Parameters
+    ----------
+    gtbw_mbps:
+        Candidate ground-truth bandwidth ``C`` (Mbps).
+    tcp_state:
+        ``tcp_info`` snapshot at the start of the download (``W_sn``).
+    size_bytes:
+        Chunk size ``S_n``.
+    request_rtts:
+        Round trips charged for the request (0 disables the overhead and
+        recovers the paper's literal Algorithm 4).
+    """
+    download_s = estimate_download_time(
+        gtbw_mbps, tcp_state, size_bytes, request_rtts=request_rtts
+    )
+    if not math.isfinite(download_s) or download_s <= 0:
+        return 0.0
+    return size_bytes * 8 / 1e6 / download_s
+
+
+def estimate_throughput_grid(
+    gtbw_grid_mbps: np.ndarray,
+    tcp_state: TCPStateSnapshot,
+    size_bytes: float,
+    request_rtts: float = REQUEST_RTTS,
+) -> np.ndarray:
+    """Vectorised Algorithm 4 over a grid of candidate GTBW values.
+
+    The EHMM needs ``f`` evaluated at every capacity state for every chunk;
+    this helper shares the slow-start-restart work across the grid and
+    caches the round counts by BDP bucket.
+    """
+    grid = np.asarray(gtbw_grid_mbps, dtype=float)
+    if np.any(grid < 0):
+        raise ValueError("GTBW grid values must be non-negative")
+    if size_bytes <= 0:
+        raise ValueError(f"size must be positive, got {size_bytes}")
+
+    cwnd0, ssthresh0, _ = apply_slow_start_restart(
+        tcp_state.cwnd_segments,
+        tcp_state.ssthresh_segments,
+        tcp_state.time_since_last_send_s,
+        tcp_state.rto_s,
+    )
+    min_rtt = tcp_state.min_rtt_s
+    request_s = request_rtts * min_rtt
+    data_segments = _segments(size_bytes)
+    chunk_mbits = size_bytes * 8 / 1e6
+
+    out = np.empty_like(grid)
+    rounds_cache: dict[int, tuple[int, int]] = {}
+    for i, c in enumerate(grid):
+        if c == 0:
+            out[i] = 0.0
+            continue
+        rate = mbps_to_bytes_per_sec(c)
+        bdp_segments = _segments(rate * min_rtt)
+        if cwnd0 > bdp_segments:
+            if data_segments > bdp_segments:
+                download_s = request_s + size_bytes / rate
+            else:
+                download_s = request_s + min_rtt
+        else:
+            phase = rounds_cache.get(bdp_segments)
+            if phase is None:
+                phase = _window_phase(data_segments, bdp_segments, cwnd0, ssthresh0)
+                rounds_cache[bdp_segments] = phase
+            rounds, sent = phase
+            tail_bytes = max(0.0, size_bytes - sent * MSS_BYTES)
+            download_s = request_s + rounds * min_rtt + tail_bytes / rate
+        out[i] = chunk_mbits / download_s
+    return out

@@ -1,0 +1,152 @@
+"""TCP connection state and the logged ``tcp_info``-style snapshot.
+
+The paper's key control variable is "the TCP state observed at the start of
+the download of video chunks" — cwnd, ssthresh, RTT, min RTT, time since the
+last data send, and RTO (§3.1), i.e. the fields of Linux's ``tcp_info``
+struct.  :class:`TCPStateSnapshot` is the frozen, loggable version of that
+state; :class:`MutableTCPState` is the live connection state the simulator
+evolves.
+
+Slow-start restart (RFC 2861 / paper Algorithm 4) lives here too because the
+estimator ``f`` and the connection simulator must apply the *same* decay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .constants import (
+    INIT_CWND_SEGMENTS,
+    INITIAL_SSTHRESH_SEGMENTS,
+    RTO_MIN_SECONDS,
+    RTO_RTTVAR_FACTOR,
+)
+
+
+@dataclass(frozen=True)
+class TCPStateSnapshot:
+    """Immutable ``tcp_info`` snapshot logged at the start of a chunk download.
+
+    Attributes
+    ----------
+    cwnd_segments:
+        Congestion window in MSS-sized segments.
+    ssthresh_segments:
+        Slow start threshold in segments.
+    srtt_s / min_rtt_s:
+        Smoothed and minimum round-trip times (seconds).
+    rto_s:
+        Retransmission timeout (seconds).
+    time_since_last_send_s:
+        Idle gap since the last data segment was sent; this is what decides
+        whether slow-start restart fires for the next download.
+    """
+
+    cwnd_segments: int
+    ssthresh_segments: int
+    srtt_s: float
+    min_rtt_s: float
+    rto_s: float
+    time_since_last_send_s: float
+
+    def __post_init__(self) -> None:
+        if self.cwnd_segments < 1:
+            raise ValueError(f"cwnd must be >= 1 segment, got {self.cwnd_segments}")
+        if self.ssthresh_segments < 1:
+            raise ValueError(
+                f"ssthresh must be >= 1 segment, got {self.ssthresh_segments}"
+            )
+        if self.min_rtt_s <= 0 or self.srtt_s <= 0:
+            raise ValueError("RTTs must be positive")
+        if self.rto_s <= 0:
+            raise ValueError(f"rto must be positive, got {self.rto_s}")
+        if self.time_since_last_send_s < 0:
+            raise ValueError("idle gap cannot be negative")
+
+    def to_dict(self) -> dict:
+        return {
+            "cwnd_segments": self.cwnd_segments,
+            "ssthresh_segments": self.ssthresh_segments,
+            "srtt_s": self.srtt_s,
+            "min_rtt_s": self.min_rtt_s,
+            "rto_s": self.rto_s,
+            "time_since_last_send_s": self.time_since_last_send_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TCPStateSnapshot":
+        return cls(**data)
+
+
+def apply_slow_start_restart(
+    cwnd_segments: int,
+    ssthresh_segments: int,
+    idle_gap_s: float,
+    rto_s: float,
+    restart_cwnd: int = INIT_CWND_SEGMENTS,
+) -> tuple[int, int, bool]:
+    """Apply the RFC 2861 idle-restart decay used by paper Algorithm 4.
+
+    For every RTO of idle time the congestion window halves, floored at the
+    restart window; ssthresh is raised to at least 3/4 of the decayed window
+    (``(cwnd >> 1) + (cwnd >> 2)`` in the paper's pseudo-code).
+
+    Returns ``(new_cwnd, new_ssthresh, triggered)``.
+    """
+    if idle_gap_s <= rto_s or cwnd_segments <= restart_cwnd:
+        return cwnd_segments, ssthresh_segments, False
+
+    remaining_gap = idle_gap_s
+    cwnd = cwnd_segments
+    while remaining_gap > rto_s and cwnd > restart_cwnd:
+        remaining_gap -= rto_s
+        cwnd >>= 1
+    cwnd = max(cwnd, restart_cwnd)
+    ssthresh = max(ssthresh_segments, (cwnd >> 1) + (cwnd >> 2), 2)
+    return cwnd, ssthresh, True
+
+
+@dataclass
+class MutableTCPState:
+    """Live TCP sender state evolved by :class:`~repro.tcp.connection.TCPConnection`."""
+
+    cwnd_segments: int = INIT_CWND_SEGMENTS
+    ssthresh_segments: int = INITIAL_SSTHRESH_SEGMENTS
+    srtt_s: float = 0.0
+    rttvar_s: float = 0.0
+    min_rtt_s: float = float("inf")
+    last_send_time_s: float = 0.0
+
+    def observe_rtt(self, rtt_s: float) -> None:
+        """RFC 6298 smoothed RTT / RTT variance update."""
+        if rtt_s <= 0:
+            raise ValueError(f"rtt must be positive, got {rtt_s}")
+        self.min_rtt_s = min(self.min_rtt_s, rtt_s)
+        if self.srtt_s == 0.0:
+            self.srtt_s = rtt_s
+            self.rttvar_s = rtt_s / 2
+        else:
+            self.rttvar_s = 0.75 * self.rttvar_s + 0.25 * abs(self.srtt_s - rtt_s)
+            self.srtt_s = 0.875 * self.srtt_s + 0.125 * rtt_s
+
+    @property
+    def rto_s(self) -> float:
+        if self.srtt_s == 0.0:
+            # RFC 6298: 1 s before the first RTT measurement.
+            return 1.0
+        return max(
+            RTO_MIN_SECONDS, self.srtt_s + RTO_RTTVAR_FACTOR * self.rttvar_s
+        )
+
+    def snapshot(self, now_s: float) -> TCPStateSnapshot:
+        """Freeze the state as the ``tcp_info`` record for a download at ``now_s``."""
+        srtt = self.srtt_s if self.srtt_s > 0 else 1.0
+        min_rtt = self.min_rtt_s if self.min_rtt_s != float("inf") else srtt
+        return TCPStateSnapshot(
+            cwnd_segments=self.cwnd_segments,
+            ssthresh_segments=self.ssthresh_segments,
+            srtt_s=srtt,
+            min_rtt_s=min_rtt,
+            rto_s=self.rto_s,
+            time_since_last_send_s=max(0.0, now_s - self.last_send_time_s),
+        )

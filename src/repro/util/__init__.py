@@ -1,0 +1,29 @@
+"""Shared utilities: units, seeded RNG helpers, summary statistics."""
+
+from .plot import ascii_line_plot, ascii_scatter
+from .rng import SeedLike, child_rng, ensure_rng, spawn_seeds
+from .stats import Summary, cdf_at, empirical_cdf, render_table, summarize
+from .units import (
+    bytes_per_sec_to_mbps,
+    mbps_to_bytes_per_sec,
+    throughput_mbps,
+    transfer_bytes,
+)
+
+__all__ = [
+    "SeedLike",
+    "Summary",
+    "ascii_line_plot",
+    "ascii_scatter",
+    "bytes_per_sec_to_mbps",
+    "cdf_at",
+    "child_rng",
+    "empirical_cdf",
+    "ensure_rng",
+    "mbps_to_bytes_per_sec",
+    "render_table",
+    "spawn_seeds",
+    "summarize",
+    "throughput_mbps",
+    "transfer_bytes",
+]

@@ -1,0 +1,144 @@
+"""ASCII plotting for terminals without a display stack.
+
+The benchmark harness and examples run in offline environments where
+matplotlib may be unavailable, so the figures the paper draws are rendered
+as Unicode text: multi-series line charts (Fig. 7-style time series) and
+scatter plots (Fig. 12-style predicted-vs-actual).  Output is deterministic
+and easy to eyeball in CI logs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["ascii_line_plot", "ascii_scatter"]
+
+_SERIES_MARKS = "*o+x#@%&"
+
+
+def _scale(value: float, lo: float, hi: float, cells: int) -> int:
+    if hi <= lo:
+        return 0
+    frac = (value - lo) / (hi - lo)
+    return min(cells - 1, max(0, int(frac * (cells - 1) + 0.5)))
+
+
+def ascii_line_plot(
+    x: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    width: int = 72,
+    height: int = 16,
+    title: str = "",
+    y_label: str = "",
+) -> str:
+    """Render one or more aligned series as an ASCII line chart.
+
+    Parameters
+    ----------
+    x:
+        Shared x coordinates (ascending).
+    series:
+        Mapping of legend label -> y values (same length as ``x``).
+    """
+    xs = np.asarray(list(x), dtype=float)
+    if xs.size == 0:
+        raise ValueError("need at least one x value")
+    if not series:
+        raise ValueError("need at least one series")
+    for label, ys in series.items():
+        if len(ys) != xs.size:
+            raise ValueError(
+                f"series {label!r} has {len(ys)} points for {xs.size} x values"
+            )
+    if width < 16 or height < 4:
+        raise ValueError("plot must be at least 16x4 cells")
+
+    all_y = np.concatenate([np.asarray(list(v), dtype=float) for v in series.values()])
+    y_lo, y_hi = float(all_y.min()), float(all_y.max())
+    if math.isclose(y_lo, y_hi):
+        y_lo, y_hi = y_lo - 0.5, y_hi + 0.5
+    x_lo, x_hi = float(xs.min()), float(xs.max())
+
+    canvas = [[" "] * width for _ in range(height)]
+    for idx, (label, ys) in enumerate(series.items()):
+        mark = _SERIES_MARKS[idx % len(_SERIES_MARKS)]
+        for xv, yv in zip(xs, np.asarray(list(ys), dtype=float)):
+            col = _scale(xv, x_lo, x_hi, width)
+            row = height - 1 - _scale(yv, y_lo, y_hi, height)
+            canvas[row][col] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    legend = "   ".join(
+        f"{_SERIES_MARKS[i % len(_SERIES_MARKS)]} {label}"
+        for i, label in enumerate(series)
+    )
+    lines.append(legend)
+    for r, row in enumerate(canvas):
+        # Left axis: y value at the top, middle and bottom rows.
+        if r == 0:
+            axis = f"{y_hi:8.2f} |"
+        elif r == height - 1:
+            axis = f"{y_lo:8.2f} |"
+        elif r == height // 2:
+            axis = f"{(y_lo + y_hi) / 2:8.2f} |"
+        else:
+            axis = " " * 8 + " |"
+        lines.append(axis + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(
+        " " * 10 + f"{x_lo:<12.4g}{y_label:^{max(width - 24, 0)}}{x_hi:>12.4g}"
+    )
+    return "\n".join(lines)
+
+
+def ascii_scatter(
+    x: Sequence[float],
+    y: Sequence[float],
+    width: int = 56,
+    height: int = 20,
+    title: str = "",
+    diagonal: bool = False,
+) -> str:
+    """Render a scatter plot; ``diagonal`` adds the y = x reference line."""
+    xs = np.asarray(list(x), dtype=float)
+    ys = np.asarray(list(y), dtype=float)
+    if xs.size == 0 or xs.size != ys.size:
+        raise ValueError("x and y must be equal-length and non-empty")
+    if width < 16 or height < 4:
+        raise ValueError("plot must be at least 16x4 cells")
+
+    lo = float(min(xs.min(), ys.min()))
+    hi = float(max(xs.max(), ys.max()))
+    if math.isclose(lo, hi):
+        lo, hi = lo - 0.5, hi + 0.5
+
+    canvas = [[" "] * width for _ in range(height)]
+    if diagonal:
+        for c in range(width):
+            value = lo + (hi - lo) * c / (width - 1)
+            r = height - 1 - _scale(value, lo, hi, height)
+            canvas[r][c] = "."
+    for xv, yv in zip(xs, ys):
+        col = _scale(xv, lo, hi, width)
+        row = height - 1 - _scale(yv, lo, hi, height)
+        canvas[row][col] = "*"
+
+    lines = []
+    if title:
+        lines.append(title)
+    for r, row in enumerate(canvas):
+        if r == 0:
+            axis = f"{hi:8.2f} |"
+        elif r == height - 1:
+            axis = f"{lo:8.2f} |"
+        else:
+            axis = " " * 8 + " |"
+        lines.append(axis + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(" " * 10 + f"{lo:<10.4g}{'':^{max(width - 20, 0)}}{hi:>10.4g}")
+    return "\n".join(lines)

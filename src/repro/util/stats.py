@@ -1,0 +1,110 @@
+"""Small statistics helpers shared by evaluation code and benchmarks.
+
+Nothing here is Veritas-specific: empirical CDFs, percentile summaries and a
+plain-text table renderer used by the benchmark harness to print the same
+rows/series the paper's figures report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number summary (plus mean) of an empirical distribution."""
+
+    count: int
+    mean: float
+    p10: float
+    p25: float
+    median: float
+    p75: float
+    p90: float
+    minimum: float
+    maximum: float
+
+    def row(self) -> list[float]:
+        return [
+            self.mean,
+            self.p10,
+            self.p25,
+            self.median,
+            self.p75,
+            self.p90,
+            self.minimum,
+            self.maximum,
+        ]
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    """Compute a :class:`Summary` of ``values``.
+
+    Raises :class:`ValueError` on empty input — an empty experiment result is
+    always a harness bug, never a legitimate outcome.
+    """
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise ValueError("cannot summarize an empty sequence")
+    p10, p25, p50, p75, p90 = np.percentile(array, [10, 25, 50, 75, 90])
+    return Summary(
+        count=int(array.size),
+        mean=float(array.mean()),
+        p10=float(p10),
+        p25=float(p25),
+        median=float(p50),
+        p75=float(p75),
+        p90=float(p90),
+        minimum=float(array.min()),
+        maximum=float(array.max()),
+    )
+
+
+def empirical_cdf(values: Iterable[float]) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(sorted_values, cumulative_probabilities)`` for plotting."""
+    array = np.sort(np.asarray(list(values), dtype=float))
+    if array.size == 0:
+        raise ValueError("cannot build a CDF from an empty sequence")
+    probs = np.arange(1, array.size + 1) / array.size
+    return array, probs
+
+
+def cdf_at(values: Iterable[float], threshold: float) -> float:
+    """Fraction of ``values`` that are <= ``threshold``."""
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise ValueError("cannot evaluate a CDF on an empty sequence")
+    return float(np.mean(array <= threshold))
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:
+    """Render a plain-text table (used by benchmark harnesses).
+
+    Floats are formatted to four significant digits; everything else is
+    stringified as-is.
+    """
+
+    def fmt(cell) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.4g}"
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append("-+-".join("-" * w for w in widths))
+    parts.extend(line(row) for row in str_rows)
+    return "\n".join(parts)

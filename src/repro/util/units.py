@@ -1,0 +1,44 @@
+"""Unit conversions used throughout the library.
+
+Conventions (kept consistent across every module):
+
+* bandwidth / throughput — megabits per second (``Mbps``, ``float``)
+* data sizes            — bytes (``int`` where exact, ``float`` otherwise)
+* time                  — seconds (``float``)
+
+Only three conversions ever happen, so they are centralised here instead of
+being repeated (and occasionally inverted) at call sites.
+"""
+
+from __future__ import annotations
+
+BITS_PER_BYTE = 8
+BYTES_PER_KB = 1024
+BYTES_PER_MB = 1024 * 1024
+MEGA = 1_000_000
+
+
+def mbps_to_bytes_per_sec(mbps: float) -> float:
+    """Convert a bandwidth in Mbps to a byte rate (bytes/second)."""
+    return mbps * MEGA / BITS_PER_BYTE
+
+
+def bytes_per_sec_to_mbps(rate: float) -> float:
+    """Convert a byte rate (bytes/second) to Mbps."""
+    return rate * BITS_PER_BYTE / MEGA
+
+
+def throughput_mbps(size_bytes: float, duration_s: float) -> float:
+    """Observed throughput ``Y = S / D`` in Mbps.
+
+    Raises :class:`ValueError` for non-positive durations, which always
+    indicate a logging bug upstream rather than a legitimate observation.
+    """
+    if duration_s <= 0:
+        raise ValueError(f"duration must be positive, got {duration_s!r}")
+    return bytes_per_sec_to_mbps(size_bytes / duration_s)
+
+
+def transfer_bytes(mbps: float, duration_s: float) -> float:
+    """Bytes moved by a constant ``mbps`` link over ``duration_s`` seconds."""
+    return mbps_to_bytes_per_sec(mbps) * duration_s

@@ -1,0 +1,33 @@
+"""Video substrate: quality ladders, SSIM model, VBR chunk matrices."""
+
+from .chunks import Video
+from .ladder import (
+    DEFAULT_LADDER_MBPS,
+    HIGHER_LADDER_MBPS,
+    QualityLadder,
+    QualityLevel,
+    ssim_from_bitrate,
+    ssim_from_db,
+    ssim_to_db,
+)
+from .library import (
+    default_ladder,
+    higher_ladder,
+    paper_video,
+    short_video,
+)
+
+__all__ = [
+    "DEFAULT_LADDER_MBPS",
+    "HIGHER_LADDER_MBPS",
+    "QualityLadder",
+    "QualityLevel",
+    "Video",
+    "default_ladder",
+    "higher_ladder",
+    "paper_video",
+    "short_video",
+    "ssim_from_bitrate",
+    "ssim_from_db",
+    "ssim_to_db",
+]

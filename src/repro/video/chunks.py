@@ -1,0 +1,221 @@
+"""Variable-bitrate video objects.
+
+A :class:`Video` is a matrix of per-(chunk, quality) encoded sizes plus the
+matching SSIM values.  Sizes are VBR: each chunk has a content-difficulty
+multiplier shared across the ladder (a hard scene is bigger at *every*
+quality and slightly lower-SSIM at a given bitrate), plus small per-encoding
+jitter.  This reproduces the paper's observation that a deployed ABR can pick
+"lower-sized chunks of higher quality given variable bit rate video" (§4.2).
+
+The difficulty sequence is retained so a video can be *re-encoded* onto a
+different ladder — that is exactly the Fig. 11 counterfactual ("what if a
+higher set of qualities were used?"): same content, new ladder.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..util.rng import SeedLike, ensure_rng
+from .ladder import QualityLadder, ssim_from_bitrate, ssim_from_db, ssim_to_db
+
+__all__ = ["Video"]
+
+
+class Video:
+    """A chunked, multi-quality encoded video.
+
+    Parameters
+    ----------
+    ladder:
+        The encoding ladder.
+    chunk_duration_s:
+        Playback duration of every chunk (the paper's setup uses ~2 s).
+    sizes_bytes:
+        Array of shape ``(n_chunks, n_qualities)``.
+    ssim:
+        Matching per-(chunk, quality) SSIM values in (0, 1).
+    difficulty_db:
+        Per-chunk content difficulty (dB offset); kept so the video can be
+        re-encoded onto another ladder with identical content.
+    """
+
+    def __init__(
+        self,
+        ladder: QualityLadder,
+        chunk_duration_s: float,
+        sizes_bytes: np.ndarray,
+        ssim: np.ndarray,
+        difficulty_db: np.ndarray | None = None,
+    ):
+        sizes = np.asarray(sizes_bytes, dtype=float)
+        ssim_arr = np.asarray(ssim, dtype=float)
+        if chunk_duration_s <= 0:
+            raise ValueError(f"chunk duration must be positive, got {chunk_duration_s}")
+        if sizes.ndim != 2 or sizes.shape != ssim_arr.shape:
+            raise ValueError("sizes and ssim must be 2-D arrays of equal shape")
+        if sizes.shape[1] != len(ladder):
+            raise ValueError(
+                f"{sizes.shape[1]} quality columns but ladder has {len(ladder)}"
+            )
+        if np.any(sizes <= 0):
+            raise ValueError("all chunk sizes must be positive")
+        if np.any((ssim_arr <= 0) | (ssim_arr >= 1)):
+            raise ValueError("all SSIM values must lie in (0, 1)")
+        self.ladder = ladder
+        self.chunk_duration_s = float(chunk_duration_s)
+        self._sizes = sizes
+        self._ssim = ssim_arr
+        self._difficulty_db = (
+            np.zeros(sizes.shape[0])
+            if difficulty_db is None
+            else np.asarray(difficulty_db, dtype=float)
+        )
+        if self._difficulty_db.shape != (sizes.shape[0],):
+            raise ValueError("difficulty_db must have one entry per chunk")
+
+    # ------------------------------------------------------------------
+    @property
+    def n_chunks(self) -> int:
+        return int(self._sizes.shape[0])
+
+    @property
+    def n_qualities(self) -> int:
+        return int(self._sizes.shape[1])
+
+    @property
+    def duration_s(self) -> float:
+        return self.n_chunks * self.chunk_duration_s
+
+    def chunk_size_bytes(self, chunk: int, quality: int) -> float:
+        """Encoded size of ``chunk`` at ladder level ``quality``."""
+        return float(self._sizes[chunk, quality])
+
+    def chunk_ssim(self, chunk: int, quality: int) -> float:
+        """SSIM of ``chunk`` at ladder level ``quality``."""
+        return float(self._ssim[chunk, quality])
+
+    def sizes_for_chunk(self, chunk: int) -> np.ndarray:
+        """All ladder sizes for one chunk (ascending quality order)."""
+        return self._sizes[chunk].copy()
+
+    def bitrate_mbps(self, quality: int) -> float:
+        return self.ladder[quality].bitrate_mbps
+
+    def mean_ssim_per_quality(self) -> np.ndarray:
+        """Column means — matches the paper's reported 0.908 / 0.986 anchors."""
+        return self._ssim.mean(axis=0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Video(chunks={self.n_chunks}, qualities={self.n_qualities}, "
+            f"duration={self.duration_s:.1f}s)"
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def generate(
+        cls,
+        ladder: QualityLadder,
+        duration_s: float,
+        chunk_duration_s: float = 2.002,
+        vbr_sigma: float = 0.15,
+        difficulty_sigma_db: float = 0.4,
+        seed: SeedLike = None,
+    ) -> "Video":
+        """Generate a synthetic VBR encode of ``duration_s`` seconds.
+
+        ``vbr_sigma`` is the log-normal spread of per-chunk sizes around the
+        nominal ``bitrate * duration``; ``difficulty_sigma_db`` is the spread
+        of per-chunk content difficulty in SSIM-dB.
+        """
+        if duration_s <= 0:
+            raise ValueError(f"duration must be positive, got {duration_s}")
+        rng = ensure_rng(seed)
+        n_chunks = max(1, int(round(duration_s / chunk_duration_s)))
+        bitrates = np.asarray(ladder.bitrates_mbps)
+
+        # Shared per-chunk difficulty: harder scenes are bigger at every
+        # quality and slightly worse-looking at a fixed bitrate.
+        difficulty_db = rng.normal(0.0, difficulty_sigma_db, size=n_chunks)
+        size_mult = np.exp(
+            rng.normal(0.0, vbr_sigma, size=(n_chunks, 1))
+            + 0.05 * difficulty_db[:, None]
+        )
+        per_encode_jitter = np.exp(
+            rng.normal(0.0, vbr_sigma / 3, size=(n_chunks, len(ladder)))
+        )
+        nominal_bytes = bitrates[None, :] * 1e6 / 8 * chunk_duration_s
+        sizes = nominal_bytes * size_mult * per_encode_jitter
+
+        base_db = np.array([ssim_to_db(ssim_from_bitrate(r)) for r in bitrates])
+        db = base_db[None, :] - difficulty_db[:, None]
+        db = np.maximum(db, 0.5)
+        ssim = np.vectorize(ssim_from_db)(db)
+
+        return cls(
+            ladder=ladder,
+            chunk_duration_s=chunk_duration_s,
+            sizes_bytes=sizes,
+            ssim=ssim,
+            difficulty_db=difficulty_db,
+        )
+
+    def restricted(self, quality_indices: "list[int]") -> "Video":
+        """Keep only the given ladder rungs (ascending indices).
+
+        This is the paper's §1 motivating what-if "an existing bit rate
+        choice were removed (e.g., during the COVID crisis, many video
+        publishers restricted the maximum bit rate)": the encodes already
+        exist, the ABR is simply no longer allowed to pick the dropped
+        rungs — so sizes and SSIM are sliced, not regenerated.
+        """
+        indices = list(quality_indices)
+        if not indices:
+            raise ValueError("must keep at least one quality")
+        if sorted(set(indices)) != indices:
+            raise ValueError("quality indices must be ascending and unique")
+        if indices[0] < 0 or indices[-1] >= self.n_qualities:
+            raise ValueError(
+                f"indices {indices} out of range for {self.n_qualities} qualities"
+            )
+        new_ladder = QualityLadder(
+            [self.ladder[i].bitrate_mbps for i in indices]
+        )
+        return Video(
+            ladder=new_ladder,
+            chunk_duration_s=self.chunk_duration_s,
+            sizes_bytes=self._sizes[:, indices],
+            ssim=self._ssim[:, indices],
+            difficulty_db=self._difficulty_db.copy(),
+        )
+
+    def reencoded(self, new_ladder: QualityLadder, seed: SeedLike = None) -> "Video":
+        """Re-encode the *same content* onto ``new_ladder``.
+
+        The per-chunk difficulty sequence is preserved so counterfactual
+        ladders ask "what if this video had been encoded differently", not
+        "what if it were a different video".
+        """
+        rng = ensure_rng(seed)
+        n_chunks = self.n_chunks
+        bitrates = np.asarray(new_ladder.bitrates_mbps)
+        size_mult = np.exp(0.05 * self._difficulty_db[:, None])
+        # Re-use the old relative chunk-size profile (column-normalised) so
+        # scene structure carries over to the new encode.
+        old_profile = self._sizes / self._sizes.mean(axis=0, keepdims=True)
+        profile = old_profile.mean(axis=1, keepdims=True)
+        jitter = np.exp(rng.normal(0.0, 0.05, size=(n_chunks, len(new_ladder))))
+        nominal_bytes = bitrates[None, :] * 1e6 / 8 * self.chunk_duration_s
+        sizes = nominal_bytes * profile * size_mult * jitter
+
+        base_db = np.array([ssim_to_db(ssim_from_bitrate(r)) for r in bitrates])
+        db = np.maximum(base_db[None, :] - self._difficulty_db[:, None], 0.5)
+        ssim = np.vectorize(ssim_from_db)(db)
+        return Video(
+            ladder=new_ladder,
+            chunk_duration_s=self.chunk_duration_s,
+            sizes_bytes=sizes,
+            ssim=ssim,
+            difficulty_db=self._difficulty_db.copy(),
+        )

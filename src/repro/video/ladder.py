@@ -1,0 +1,150 @@
+"""Quality ladders and the bitrate → SSIM model.
+
+The paper's testbed plays "a 10 minute pre-recorded video clip with bitrate
+ranging from 0.1 Mbps to 4 Mbps" whose "average SSIM index of lowest quality
+and highest quality are 0.908 and 0.986 respectively" (§4.1).  We model SSIM
+in dB space (``-10 log10(1 - ssim)``), which is linear in log-bitrate over a
+wide operating range — the standard empirical rate-quality behaviour and
+what Puffer/Fugu report — and anchor the line to the paper's two published
+points.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = [
+    "QualityLevel",
+    "QualityLadder",
+    "ssim_from_bitrate",
+    "ssim_to_db",
+    "ssim_from_db",
+]
+
+# Anchors from §4.1 of the paper.
+_ANCHOR_LOW_MBPS = 0.1
+_ANCHOR_LOW_SSIM = 0.908
+_ANCHOR_HIGH_MBPS = 4.0
+_ANCHOR_HIGH_SSIM = 0.986
+
+
+def ssim_to_db(ssim: float) -> float:
+    """Map SSIM in (0, 1) to the dB scale used by Puffer-style QoE."""
+    if not 0 < ssim < 1:
+        raise ValueError(f"ssim must be in (0, 1), got {ssim}")
+    return -10.0 * math.log10(1.0 - ssim)
+
+
+def ssim_from_db(db: float) -> float:
+    """Inverse of :func:`ssim_to_db`."""
+    return 1.0 - 10.0 ** (-db / 10.0)
+
+
+_DB_LOW = ssim_to_db(_ANCHOR_LOW_SSIM)
+_DB_HIGH = ssim_to_db(_ANCHOR_HIGH_SSIM)
+_DB_SLOPE = (_DB_HIGH - _DB_LOW) / math.log(_ANCHOR_HIGH_MBPS / _ANCHOR_LOW_MBPS)
+
+
+def ssim_from_bitrate(bitrate_mbps: float) -> float:
+    """Mean SSIM of a chunk encoded at ``bitrate_mbps``.
+
+    Linear in dB vs log-bitrate, anchored at (0.1 Mbps, 0.908) and
+    (4 Mbps, 0.986); extrapolates smoothly (and saturates below 1.0) for the
+    "higher qualities" counterfactual ladders.
+    """
+    if bitrate_mbps <= 0:
+        raise ValueError(f"bitrate must be positive, got {bitrate_mbps}")
+    db = _DB_LOW + _DB_SLOPE * math.log(bitrate_mbps / _ANCHOR_LOW_MBPS)
+    return ssim_from_db(max(db, 0.1))
+
+
+@dataclass(frozen=True)
+class QualityLevel:
+    """One rung of an encoding ladder."""
+
+    index: int
+    bitrate_mbps: float
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.bitrate_mbps <= 0:
+            raise ValueError(f"bitrate must be positive, got {self.bitrate_mbps}")
+
+
+class QualityLadder:
+    """An ordered set of encodings the ABR algorithm may choose from."""
+
+    def __init__(self, bitrates_mbps: Iterable[float], names: Sequence[str] | None = None):
+        rates = [float(r) for r in bitrates_mbps]
+        if not rates:
+            raise ValueError("a ladder needs at least one quality")
+        if any(r <= 0 for r in rates):
+            raise ValueError("all ladder bitrates must be positive")
+        if sorted(rates) != rates:
+            raise ValueError("ladder bitrates must be sorted ascending")
+        if len(set(rates)) != len(rates):
+            raise ValueError("ladder bitrates must be distinct")
+        if names is not None and len(names) != len(rates):
+            raise ValueError("names must match bitrates in length")
+        self._levels = tuple(
+            QualityLevel(
+                index=i,
+                bitrate_mbps=r,
+                name=names[i] if names is not None else f"q{i}",
+            )
+            for i, r in enumerate(rates)
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def levels(self) -> tuple[QualityLevel, ...]:
+        return self._levels
+
+    @property
+    def bitrates_mbps(self) -> list[float]:
+        return [level.bitrate_mbps for level in self._levels]
+
+    @property
+    def lowest(self) -> QualityLevel:
+        return self._levels[0]
+
+    @property
+    def highest(self) -> QualityLevel:
+        return self._levels[-1]
+
+    def __len__(self) -> int:
+        return len(self._levels)
+
+    def __iter__(self):
+        return iter(self._levels)
+
+    def __getitem__(self, index: int) -> QualityLevel:
+        return self._levels[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        rates = ", ".join(f"{level.bitrate_mbps:g}" for level in self._levels)
+        return f"QualityLadder([{rates}] Mbps)"
+
+    # ------------------------------------------------------------------
+    def nearest_level(self, bitrate_mbps: float) -> QualityLevel:
+        """The ladder level whose bitrate is closest to ``bitrate_mbps``."""
+        return min(
+            self._levels, key=lambda lv: abs(lv.bitrate_mbps - bitrate_mbps)
+        )
+
+    def highest_below(self, bitrate_mbps: float) -> QualityLevel:
+        """Highest level with bitrate <= ``bitrate_mbps`` (lowest if none)."""
+        candidate = self._levels[0]
+        for level in self._levels:
+            if level.bitrate_mbps <= bitrate_mbps:
+                candidate = level
+        return candidate
+
+
+DEFAULT_LADDER_MBPS = [0.1, 0.3, 0.75, 1.2, 2.0, 3.0, 4.0]
+"""The deployed (Setting A) ladder: spans the paper's 0.1–4 Mbps range."""
+
+HIGHER_LADDER_MBPS = [0.75, 1.2, 2.0, 3.0, 4.0, 5.5, 8.0]
+"""The "higher set of qualities" ladder for the Fig. 11 counterfactual."""

@@ -1,0 +1,47 @@
+"""Pre-canned videos matching the paper's evaluation setup (§4.1)."""
+
+from __future__ import annotations
+
+from ..util.rng import SeedLike
+from .chunks import Video
+from .ladder import DEFAULT_LADDER_MBPS, HIGHER_LADDER_MBPS, QualityLadder
+
+__all__ = [
+    "default_ladder",
+    "higher_ladder",
+    "paper_video",
+    "short_video",
+]
+
+PAPER_VIDEO_DURATION_S = 600.0
+PAPER_CHUNK_DURATION_S = 2.002
+
+
+def default_ladder() -> QualityLadder:
+    """The deployed Setting-A ladder: 0.1–4 Mbps, seven rungs."""
+    return QualityLadder(DEFAULT_LADDER_MBPS)
+
+
+def higher_ladder() -> QualityLadder:
+    """The Fig. 11 counterfactual ladder with higher qualities."""
+    return QualityLadder(HIGHER_LADDER_MBPS)
+
+
+def paper_video(seed: SeedLike = 7) -> Video:
+    """The 10-minute clip from §4.1 (0.1–4 Mbps, SSIM 0.908–0.986)."""
+    return Video.generate(
+        ladder=default_ladder(),
+        duration_s=PAPER_VIDEO_DURATION_S,
+        chunk_duration_s=PAPER_CHUNK_DURATION_S,
+        seed=seed,
+    )
+
+
+def short_video(duration_s: float = 240.0, seed: SeedLike = 7) -> Video:
+    """A shorter clip for tests and fast benchmark variants."""
+    return Video.generate(
+        ladder=default_ladder(),
+        duration_s=duration_s,
+        chunk_duration_s=PAPER_CHUNK_DURATION_S,
+        seed=seed,
+    )

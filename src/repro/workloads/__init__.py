@@ -1,0 +1,19 @@
+"""Workloads: synthetic FCC-like corpora and named experiment scenarios."""
+
+from .fcc import bimodal_corpus, paper_corpus, wide_corpus
+from .scenarios import (
+    fast_setting_a,
+    paper_session_config,
+    paper_setting_a,
+    paper_veritas_config,
+)
+
+__all__ = [
+    "bimodal_corpus",
+    "fast_setting_a",
+    "paper_corpus",
+    "paper_session_config",
+    "paper_setting_a",
+    "paper_veritas_config",
+    "wide_corpus",
+]

@@ -1,0 +1,110 @@
+"""Synthetic FCC-like trace corpora (the paper's workload, §4.1).
+
+The paper emulates FCC Measuring-Broadband-America 2016 traces; offline we
+generate seeded corpora covering the same bandwidth regimes:
+
+* :func:`paper_corpus`      — "GTBW of FCC traces varies from 3 Mbps to
+  8 Mbps" (the counterfactual studies, Figs. 7-11/13-14),
+* :func:`bimodal_corpus`    — 50 poor [0-0.3 Mbps] + 50 good [9-10 Mbps]
+  traces (the Fugu bias study, Fig. 2(a)/(b)),
+* :func:`wide_corpus`       — means uniform in 0.5-10 Mbps (Fugu training
+  and the interventional study, Fig. 12).
+"""
+
+from __future__ import annotations
+
+from ..net.generators import random_walk_trace, trace_corpus
+from ..net.trace import PiecewiseConstantTrace
+from ..util.rng import SeedLike, ensure_rng, spawn_seeds
+
+__all__ = ["paper_corpus", "bimodal_corpus", "wide_corpus"]
+
+
+def paper_corpus(
+    count: int = 100,
+    duration_s: float = 900.0,
+    seed: SeedLike = 2023,
+) -> list[PiecewiseConstantTrace]:
+    """The default counterfactual corpus: means in [3, 8] Mbps.
+
+    Traces make 1 Mbps moves per 5 s window and may dip to 1.5 Mbps — real
+    FCC broadband traces show exactly these excursions, and the dips are
+    what drive the deployed ABR to low qualities (small chunks), producing
+    the observed-throughput bias Veritas must undo.
+    """
+    return trace_corpus(
+        count=count,
+        mean_range=(3.0, 8.0),
+        duration=duration_s,
+        interval=5.0,
+        step_mbps=1.0,
+        stay_prob=0.55,
+        low=2.0,
+        high=9.5,
+        dip_prob=0.05,
+        dip_range_mbps=(1.2, 2.2),
+        dip_windows=(2, 5),
+        seed=seed,
+    )
+
+
+def bimodal_corpus(
+    count_per_mode: int = 50,
+    duration_s: float = 900.0,
+    seed: SeedLike = 2023,
+) -> tuple[list[PiecewiseConstantTrace], list[PiecewiseConstantTrace]]:
+    """(poor, good) corpora: [0-0.3 Mbps] and [9-10 Mbps] (Fig. 2(a)/(b)).
+
+    Poor traces are floored at 0.1 Mbps (a fully dead link would make
+    sessions never finish — the paper's Mahimahi setup has the same
+    practical floor at one MTU per delivery interval).
+    """
+    poor_seed, good_seed = spawn_seeds(seed, 2)
+    poor = trace_corpus(
+        count=count_per_mode,
+        mean_range=(0.1, 0.3),
+        duration=duration_s,
+        interval=5.0,
+        step_mbps=0.1,
+        stay_prob=0.7,
+        low=0.1,
+        high=0.3,
+        seed=poor_seed,
+    )
+    good = trace_corpus(
+        count=count_per_mode,
+        mean_range=(9.0, 10.0),
+        duration=duration_s,
+        interval=5.0,
+        step_mbps=0.5,
+        stay_prob=0.7,
+        low=9.0,
+        high=10.0,
+        seed=good_seed,
+    )
+    return poor, good
+
+
+def wide_corpus(
+    count: int = 100,
+    duration_s: float = 900.0,
+    seed: SeedLike = 2023,
+) -> list[PiecewiseConstantTrace]:
+    """Means uniform in [0.5, 10] Mbps (Fugu training / Fig. 12 testing)."""
+    rng = ensure_rng(seed)
+    traces = []
+    for _ in range(count):
+        mean = float(rng.uniform(0.5, 10.0))
+        traces.append(
+            random_walk_trace(
+                mean_mbps=mean,
+                duration=duration_s,
+                interval=5.0,
+                step_mbps=0.5,
+                stay_prob=0.6,
+                low=0.3,
+                high=10.0,
+                seed=rng,
+            )
+        )
+    return traces

@@ -1,0 +1,62 @@
+"""Named experiment scenarios shared by benchmarks, examples and tests.
+
+Centralising the Setting construction keeps every consumer on the paper's
+§4.1 defaults: MPC ABR, 5 s buffer, 80 ms end-to-end delay, the 0.1-4 Mbps
+ladder, and the Veritas hyperparameters (δ=5 s, ε=0.5 Mbps, σ=0.5,
+tridiagonal transitions).
+"""
+
+from __future__ import annotations
+
+from ..abr import make_abr
+from ..causal.queries import Setting
+from ..core.abduction import VeritasConfig
+from ..player.session import SessionConfig
+from ..util.rng import SeedLike
+from ..video.chunks import Video
+from ..video.library import paper_video, short_video
+
+__all__ = [
+    "paper_session_config",
+    "paper_setting_a",
+    "paper_veritas_config",
+    "fast_setting_a",
+]
+
+
+def paper_session_config(buffer_capacity_s: float = 5.0) -> SessionConfig:
+    """§4.1 player setup: 5 s buffer, 80 ms end-to-end delay."""
+    return SessionConfig(buffer_capacity_s=buffer_capacity_s, rtt_s=0.08)
+
+
+def paper_setting_a(
+    video: Video | None = None, seed: SeedLike = 7
+) -> Setting:
+    """The deployed system: MPC, 5 s buffer, the 10-minute paper video."""
+    return Setting(
+        name="settingA",
+        abr_factory=lambda: make_abr("mpc"),
+        config=paper_session_config(),
+        video=video if video is not None else paper_video(seed=seed),
+    )
+
+
+def fast_setting_a(duration_s: float = 240.0, seed: SeedLike = 7) -> Setting:
+    """A shorter-video variant of Setting A for tests and quick benches."""
+    return Setting(
+        name="settingA-fast",
+        abr_factory=lambda: make_abr("mpc"),
+        config=paper_session_config(),
+        video=short_video(duration_s=duration_s, seed=seed),
+    )
+
+
+def paper_veritas_config(max_capacity_mbps: float = 10.0) -> VeritasConfig:
+    """§4.1 Veritas hyperparameters."""
+    return VeritasConfig(
+        delta_s=5.0,
+        epsilon_mbps=0.5,
+        sigma_mbps=0.5,
+        max_capacity_mbps=max_capacity_mbps,
+        transition_kind="tridiagonal",
+    )

@@ -1,0 +1,54 @@
+"""Shared fixtures for the test suite.
+
+Keeps the expensive objects (videos, corpora, session logs) session-scoped
+so the full suite stays fast while still exercising realistic paths.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    MPCAlgorithm,
+    SessionConfig,
+    StreamingSession,
+    VeritasAbduction,
+    paper_veritas_config,
+    random_walk_trace,
+    short_video,
+)
+
+
+@pytest.fixture(scope="session")
+def small_video():
+    """A 2-minute video (60 chunks) — enough for HMM structure tests."""
+    return short_video(duration_s=120.0, seed=3)
+
+
+@pytest.fixture(scope="session")
+def medium_video():
+    """A 4-minute video used by integration tests."""
+    return short_video(duration_s=240.0, seed=3)
+
+
+@pytest.fixture(scope="session")
+def gentle_trace():
+    """A mild 5 Mbps random-walk trace, 400 s long."""
+    return random_walk_trace(
+        mean_mbps=5.0, duration=400.0, seed=10, low=2.0, high=9.0
+    )
+
+
+@pytest.fixture(scope="session")
+def mpc_log(medium_video, gentle_trace):
+    """A deployed-MPC session log over the gentle trace."""
+    session = StreamingSession(
+        medium_video, MPCAlgorithm(), gentle_trace, SessionConfig()
+    )
+    return session.run()
+
+
+@pytest.fixture(scope="session")
+def solved_posterior(mpc_log):
+    """A Veritas posterior for the shared MPC log."""
+    return VeritasAbduction(paper_veritas_config()).solve(mpc_log)

@@ -1,0 +1,160 @@
+"""Integration tests for end-to-end Veritas abduction.
+
+These exercise the headline capability: given only a session log (no
+ground-truth bandwidth), the inferred GTBW should track the truth far
+better than the observed-throughput Baseline whenever TCP effects bias the
+observations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    MPCAlgorithm,
+    SessionConfig,
+    StreamingSession,
+    VeritasAbduction,
+    VeritasConfig,
+    baseline_trace,
+    constant_trace,
+    paper_veritas_config,
+    random_walk_trace,
+)
+from repro.video import short_video
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        config = VeritasConfig()
+        assert config.delta_s == 5.0
+        assert config.epsilon_mbps == 0.5
+        assert config.sigma_mbps == 0.5
+        assert config.transition_kind == "tridiagonal"
+
+    def test_rejects_unknown_transition(self):
+        with pytest.raises(ValueError):
+            VeritasConfig(transition_kind="magic")
+
+    def test_rejects_unknown_emission(self):
+        with pytest.raises(ValueError):
+            VeritasConfig(emission_kind="magic")
+
+    def test_rejects_bad_delta(self):
+        with pytest.raises(ValueError):
+            VeritasConfig(delta_s=0.0)
+
+
+class TestAbductionBasics:
+    def test_solve_empty_log_raises(self, mpc_log):
+        empty = mpc_log.truncated(0)
+        veritas = VeritasAbduction(paper_veritas_config())
+        with pytest.raises(ValueError):
+            veritas.solve(empty)
+
+    def test_posterior_shapes(self, solved_posterior, mpc_log):
+        post = solved_posterior
+        assert post.viterbi.states.shape == (mpc_log.n_chunks,)
+        assert post.smoothing.gamma.shape[0] == mpc_log.n_chunks
+        assert np.isfinite(post.log_likelihood)
+
+    def test_map_capacities_on_grid(self, solved_posterior):
+        caps = solved_posterior.map_capacities_mbps()
+        offsets = caps / 0.5
+        assert np.allclose(offsets, np.round(offsets))
+
+    def test_posterior_mean_within_grid(self, solved_posterior):
+        mean = solved_posterior.posterior_mean_capacities_mbps()
+        assert np.all(mean >= 0.0)
+        assert np.all(mean <= 10.0)
+
+    def test_sampling_deterministic_with_seed(self, solved_posterior):
+        a = solved_posterior.sample_trace(seed=3)
+        b = solved_posterior.sample_trace(seed=3)
+        assert np.array_equal(a.values, b.values)
+
+    def test_sample_traces_count(self, solved_posterior):
+        traces = solved_posterior.sample_traces(count=5, seed=1)
+        assert len(traces) == 5
+
+    def test_sample_traces_rejects_zero(self, solved_posterior):
+        with pytest.raises(ValueError):
+            solved_posterior.sample_traces(count=0)
+
+    def test_trace_duration_extension(self, mpc_log):
+        veritas = VeritasAbduction(paper_veritas_config())
+        post = veritas.solve(mpc_log, trace_duration_s=2000.0)
+        assert post.map_trace().end_time >= 2000.0
+
+    def test_expected_capacity_after(self, solved_posterior):
+        now = solved_posterior.expected_capacity_after(0)
+        later = solved_posterior.expected_capacity_after(50)
+        assert 0.0 <= now <= 10.0
+        assert 0.0 <= later <= 10.0
+        with pytest.raises(ValueError):
+            solved_posterior.expected_capacity_after(-1)
+
+
+class TestRecoveryAccuracy:
+    def _run(self, trace, duration=240.0, seed=3):
+        video = short_video(duration_s=duration, seed=seed)
+        log = StreamingSession(
+            video, MPCAlgorithm(), trace, SessionConfig()
+        ).run()
+        veritas = VeritasAbduction(paper_veritas_config())
+        return log, veritas.solve(log)
+
+    def test_constant_bandwidth_recovered(self):
+        trace = constant_trace(4.0, 2000.0)
+        log, post = self._run(trace)
+        caps = post.map_capacities_mbps()
+        # Skip the cold-start ramp; steady state should pin 4.0 well.
+        steady = caps[20:]
+        assert np.median(steady) == pytest.approx(4.0, abs=0.75)
+
+    def test_map_beats_baseline_under_bias(self):
+        """The core claim: on a biased session, Veritas MAP tracks GTBW
+        better than the observed-throughput Baseline."""
+        trace = random_walk_trace(
+            7.0, 2000.0, seed=21, low=4.0, high=9.0, step_mbps=1.0, stay_prob=0.5
+        )
+        log, post = self._run(trace, duration=300.0)
+        base = baseline_trace(log)
+        grid_t = np.arange(5.0, log.end_times_s()[-1] - 5.0, 2.0)
+        gt = trace.values_at(grid_t)
+        mae_map = np.mean(np.abs(post.map_trace().values_at(grid_t) - gt))
+        mae_base = np.mean(np.abs(base.values_at(grid_t) - gt))
+        assert mae_map < mae_base
+
+    def test_loglik_prefers_true_sigma_scale(self):
+        """Wildly wrong sigma should not fit better than the default."""
+        trace = constant_trace(4.0, 2000.0)
+        video = short_video(duration_s=240.0, seed=3)
+        log = StreamingSession(video, MPCAlgorithm(), trace, SessionConfig()).run()
+        good = VeritasAbduction(VeritasConfig(sigma_mbps=0.5)).solve(log)
+        bad = VeritasAbduction(VeritasConfig(sigma_mbps=50.0)).solve(log)
+        assert good.log_likelihood > bad.log_likelihood
+
+    def test_naive_emission_underestimates_under_bias(self):
+        """Dropping the TCP-state control (ablation) must hurt: the naive
+        emission reads biased throughput at face value."""
+        trace = constant_trace(8.0, 2000.0)
+        video = short_video(duration_s=240.0, seed=3)
+        log = StreamingSession(video, MPCAlgorithm(), trace, SessionConfig()).run()
+        tcp_post = VeritasAbduction(VeritasConfig(emission_kind="tcp")).solve(log)
+        naive_post = VeritasAbduction(VeritasConfig(emission_kind="naive")).solve(log)
+        tcp_mean = tcp_post.map_capacities_mbps()[20:].mean()
+        naive_mean = naive_post.map_capacities_mbps()[20:].mean()
+        assert naive_mean < tcp_mean
+        assert tcp_mean == pytest.approx(8.0, abs=1.2)
+
+    def test_samples_bracket_map(self, solved_posterior):
+        samples = solved_posterior.sample_traces(count=5, seed=0)
+        grid_t = np.arange(10.0, 200.0, 5.0)
+        map_vals = solved_posterior.map_trace().values_at(grid_t)
+        lo = np.min([s.values_at(grid_t) for s in samples], axis=0)
+        hi = np.max([s.values_at(grid_t) for s in samples], axis=0)
+        # MAP should mostly lie within the sampled envelope.
+        inside = np.mean((map_vals >= lo - 0.5) & (map_vals <= hi + 0.5))
+        assert inside > 0.8

@@ -1,0 +1,238 @@
+"""Tests for the ABR algorithms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.abr import (
+    ABRContext,
+    BBAAlgorithm,
+    BOLAAlgorithm,
+    HarmonicMeanPredictor,
+    MPCAlgorithm,
+    RandomABRAlgorithm,
+    RateBasedAlgorithm,
+    make_abr,
+)
+from repro.video import short_video
+
+
+@pytest.fixture(scope="module")
+def video():
+    return short_video(duration_s=120.0, seed=4)
+
+
+def ctx(video, buffer_s=3.0, capacity=5.0, last=None, tput=None, chunk=5):
+    return ABRContext(
+        chunk_index=chunk,
+        buffer_s=buffer_s,
+        buffer_capacity_s=capacity,
+        last_quality=last,
+        video=video,
+        throughput_history_mbps=list(tput or []),
+        download_time_history_s=[0.5] * len(tput or []),
+    )
+
+
+class TestHarmonicPredictor:
+    def test_cold_start(self):
+        p = HarmonicMeanPredictor()
+        assert p.predict([]) == pytest.approx(p.cold_start_mbps)
+
+    def test_harmonic_mean(self):
+        p = HarmonicMeanPredictor(window=3)
+        got = p.predict([2.0, 4.0, 4.0])
+        assert got == pytest.approx(3.0)  # 3 / (1/2 + 1/4 + 1/4)
+
+    def test_window_limits_history(self):
+        p = HarmonicMeanPredictor(window=2)
+        assert p.predict([100.0, 4.0, 4.0]) == pytest.approx(4.0)
+
+    def test_error_discount_reduces_prediction(self):
+        p = HarmonicMeanPredictor(window=5)
+        first = p.predict([4.0])
+        p.observe(1.0)  # actual was far below the prediction
+        second = p.predict([4.0, 1.0])
+        undiscounted = 2 / (1 / 4 + 1 / 1)
+        assert second < undiscounted
+        assert first > second
+
+    def test_observe_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            HarmonicMeanPredictor().observe(0.0)
+
+    def test_reset_clears_errors(self):
+        p = HarmonicMeanPredictor()
+        p.predict([4.0])
+        p.observe(1.0)
+        p.reset()
+        assert p.predict([4.0]) == pytest.approx(4.0)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            HarmonicMeanPredictor(window=0)
+
+
+class TestBBA:
+    def test_low_buffer_gives_lowest_quality(self, video):
+        abr = BBAAlgorithm()
+        assert abr.choose_quality(ctx(video, buffer_s=0.5)) == 0
+
+    def test_high_buffer_gives_highest_quality(self, video):
+        abr = BBAAlgorithm()
+        q = abr.choose_quality(ctx(video, buffer_s=4.9))
+        assert q == video.n_qualities - 1
+
+    def test_monotone_in_buffer(self, video):
+        abr = BBAAlgorithm()
+        qs = [
+            abr.choose_quality(ctx(video, buffer_s=b, capacity=30.0))
+            for b in np.linspace(0, 30, 40)
+        ]
+        assert all(a <= b for a, b in zip(qs, qs[1:]))
+
+    def test_ignores_throughput(self, video):
+        abr = BBAAlgorithm()
+        a = abr.choose_quality(ctx(video, buffer_s=3.0, tput=[0.1]))
+        b = abr.choose_quality(ctx(video, buffer_s=3.0, tput=[50.0]))
+        assert a == b
+
+    def test_rejects_bad_fractions(self):
+        with pytest.raises(ValueError):
+            BBAAlgorithm(reservoir_fraction=0.9, upper_fraction=0.5)
+
+
+class TestMPC:
+    def test_infinite_bandwidth_gives_top_quality(self, video):
+        abr = MPCAlgorithm()
+        abr.reset()
+        q = abr.choose_quality(
+            ctx(video, buffer_s=4.0, tput=[1000.0] * 8)
+        )
+        assert q == video.n_qualities - 1
+
+    def test_tiny_bandwidth_gives_bottom_quality(self, video):
+        abr = MPCAlgorithm()
+        abr.reset()
+        q = abr.choose_quality(ctx(video, buffer_s=0.5, tput=[0.05] * 8))
+        assert q == 0
+
+    def test_cold_start_is_conservative(self, video):
+        abr = MPCAlgorithm()
+        abr.reset()
+        q = abr.choose_quality(ctx(video, buffer_s=0.0, tput=[], chunk=0))
+        assert q <= 2
+
+    def test_horizon_truncated_at_video_end(self, video):
+        abr = MPCAlgorithm(horizon=5)
+        abr.reset()
+        q = abr.choose_quality(
+            ctx(video, buffer_s=3.0, tput=[5.0] * 5, chunk=video.n_chunks - 1)
+        )
+        assert 0 <= q < video.n_qualities
+
+    def test_rejects_chunk_past_end(self, video):
+        abr = MPCAlgorithm()
+        abr.reset()
+        with pytest.raises(ValueError):
+            abr.choose_quality(ctx(video, chunk=video.n_chunks))
+
+    def test_rejects_bad_horizon(self):
+        with pytest.raises(ValueError):
+            MPCAlgorithm(horizon=0)
+
+    def test_robust_flag_changes_behaviour(self, video):
+        robust = MPCAlgorithm(robust=True)
+        plain = MPCAlgorithm(robust=False)
+        robust.reset()
+        plain.reset()
+        history = [5.0, 1.0, 5.0, 1.0, 5.0]
+        q_r = robust.choose_quality(ctx(video, buffer_s=2.0, tput=history))
+        q_p = plain.choose_quality(ctx(video, buffer_s=2.0, tput=history))
+        assert q_r <= q_p
+
+    def test_more_buffer_never_lowers_quality(self, video):
+        abr = MPCAlgorithm()
+        history = [2.0] * 8
+        qs = []
+        for b in [0.5, 2.0, 4.0]:
+            abr.reset()
+            qs.append(abr.choose_quality(ctx(video, buffer_s=b, tput=history)))
+        assert all(a <= b for a, b in zip(qs, qs[1:]))
+
+
+class TestBOLA:
+    def test_low_buffer_gives_lowest(self, video):
+        abr = BOLAAlgorithm()
+        abr.reset()
+        assert abr.choose_quality(ctx(video, buffer_s=0.0)) == 0
+
+    def test_high_buffer_gives_highest(self, video):
+        abr = BOLAAlgorithm()
+        abr.reset()
+        q = abr.choose_quality(ctx(video, buffer_s=4.9, capacity=5.0))
+        assert q == video.n_qualities - 1
+
+    def test_monotone_in_buffer(self, video):
+        abr = BOLAAlgorithm()
+        abr.reset()
+        qs = [
+            abr.choose_quality(ctx(video, buffer_s=b, capacity=10.0))
+            for b in np.linspace(0, 10, 30)
+        ]
+        assert all(a <= b for a, b in zip(qs, qs[1:]))
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            BOLAAlgorithm(upper_fraction=0.0)
+
+
+class TestRateBased:
+    def test_picks_below_prediction(self, video):
+        abr = RateBasedAlgorithm(safety=0.9)
+        abr.reset()
+        q = abr.choose_quality(ctx(video, tput=[2.0] * 5))
+        assert video.bitrate_mbps(q) <= 2.0 * 0.9 + 1e-9
+
+    def test_rejects_bad_safety(self):
+        with pytest.raises(ValueError):
+            RateBasedAlgorithm(safety=1.5)
+
+
+class TestRandomABR:
+    def test_seeded_reproducibility(self, video):
+        a = RandomABRAlgorithm(seed=5)
+        b = RandomABRAlgorithm(seed=5)
+        a.reset()
+        b.reset()
+        qa = [a.choose_quality(ctx(video, chunk=i)) for i in range(20)]
+        qb = [b.choose_quality(ctx(video, chunk=i)) for i in range(20)]
+        assert qa == qb
+
+    def test_reset_replays_sequence(self, video):
+        abr = RandomABRAlgorithm(seed=5)
+        abr.reset()
+        first = [abr.choose_quality(ctx(video, chunk=i)) for i in range(10)]
+        abr.reset()
+        second = [abr.choose_quality(ctx(video, chunk=i)) for i in range(10)]
+        assert first == second
+
+    def test_covers_the_ladder(self, video):
+        abr = RandomABRAlgorithm(seed=6)
+        abr.reset()
+        qs = {abr.choose_quality(ctx(video, chunk=i % 50)) for i in range(300)}
+        assert qs == set(range(video.n_qualities))
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", ["mpc", "bba", "bola", "rate", "random"])
+    def test_make_abr(self, name):
+        assert make_abr(name).name == name
+
+    def test_make_abr_case_insensitive(self):
+        assert make_abr("MPC").name == "mpc"
+
+    def test_make_abr_unknown(self):
+        with pytest.raises(ValueError):
+            make_abr("pensieve")

@@ -1,0 +1,199 @@
+"""Tests for the comparator schemes: Baseline trace, oracle, MLP, Fugu."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    FuguPredictor,
+    MLPRegressor,
+    MPCAlgorithm,
+    SessionConfig,
+    StreamingSession,
+    baseline_trace,
+    constant_trace,
+    oracle_trace,
+)
+from repro.video import short_video
+
+
+class TestBaselineTrace:
+    def test_empty_log_rejected(self, mpc_log):
+        with pytest.raises(ValueError):
+            baseline_trace(mpc_log.truncated(0))
+
+    def test_bad_grid_rejected(self, mpc_log):
+        with pytest.raises(ValueError):
+            baseline_trace(mpc_log, grid_s=0.0)
+
+    def test_download_window_holds_observed_throughput(self, mpc_log):
+        trace = baseline_trace(mpc_log, grid_s=0.25)
+        record = mpc_log.records[10]
+        mid = (record.start_time_s + record.end_time_s) / 2
+        assert trace.value_at(mid) == pytest.approx(
+            record.throughput_mbps, rel=0.02
+        )
+
+    def test_off_period_interpolates(self, mpc_log):
+        trace = baseline_trace(mpc_log, grid_s=0.25)
+        # Find an off period (gap between chunks) of at least one second.
+        for prev, nxt in zip(mpc_log.records, mpc_log.records[1:]):
+            gap = nxt.start_time_s - prev.end_time_s
+            if gap > 1.0:
+                mid = (prev.end_time_s + nxt.start_time_s) / 2
+                lo = min(prev.throughput_mbps, nxt.throughput_mbps)
+                hi = max(prev.throughput_mbps, nxt.throughput_mbps)
+                assert lo - 0.6 <= trace.value_at(mid) <= hi + 0.6
+                return
+        pytest.skip("no off period longer than 1 s in the shared log")
+
+    def test_duration_extension_holds_last(self, mpc_log):
+        trace = baseline_trace(mpc_log, duration_s=5000.0)
+        assert trace.end_time >= 5000.0
+        last = mpc_log.records[-1].throughput_mbps
+        assert trace.value_at(4999.0) == pytest.approx(last, rel=0.02)
+
+    def test_underestimates_on_biased_session(self):
+        """Small chunks + slow-start restarts => Baseline mean < GTBW."""
+        video = short_video(duration_s=240.0, seed=5)
+        gtbw = constant_trace(8.0, 2000.0)
+        log = StreamingSession(video, MPCAlgorithm(), gtbw, SessionConfig()).run()
+        base = baseline_trace(log)
+        assert base.mean() < 8.0
+
+
+class TestOracle:
+    def test_returns_ground_truth(self, mpc_log, gentle_trace):
+        trace = oracle_trace(mpc_log, gentle_trace)
+        assert trace is gentle_trace
+
+    def test_extends_when_needed(self, mpc_log, gentle_trace):
+        trace = oracle_trace(mpc_log, gentle_trace, duration_s=10_000.0)
+        assert trace.end_time >= 10_000.0
+        assert trace.value_at(9_999.0) == gentle_trace.values[-1]
+
+
+class TestMLP:
+    def test_rejects_bad_architecture(self):
+        with pytest.raises(ValueError):
+            MLPRegressor([5])
+        with pytest.raises(ValueError):
+            MLPRegressor([5, 0, 1])
+
+    def test_fit_validates_shapes(self):
+        model = MLPRegressor([2, 4, 1], seed=0)
+        with pytest.raises(ValueError):
+            model.fit(np.zeros((3, 2)), np.zeros(4))
+
+    def test_predict_before_fit_raises(self):
+        model = MLPRegressor([2, 4, 1], seed=0)
+        with pytest.raises(RuntimeError):
+            model.predict(np.zeros(2))
+
+    def test_overfits_tiny_dataset(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(64, 3))
+        y = x @ np.array([1.0, -2.0, 0.5]) + 0.3
+        model = MLPRegressor([3, 32, 32, 1], seed=1)
+        losses = model.fit(x, y, epochs=200, batch_size=16, learning_rate=3e-3, seed=2)
+        assert losses[-1] < 0.01
+        pred = model.predict(x)
+        assert np.mean((pred - y) ** 2) < 0.05 * np.var(y)
+
+    def test_losses_decrease(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(128, 2))
+        y = np.sin(x[:, 0]) + x[:, 1]
+        model = MLPRegressor([2, 16, 1], seed=3)
+        losses = model.fit(x, y, epochs=50, seed=4)
+        assert losses[-1] < losses[0]
+
+    def test_gradients_match_finite_differences(self):
+        """Backprop correctness: analytic gradient vs numeric."""
+        rng = np.random.default_rng(5)
+        model = MLPRegressor([3, 5, 1], seed=6)
+        x = rng.normal(size=(7, 3))
+        y = rng.normal(size=(7, 1))
+
+        def loss():
+            out, _ = model._forward(x)
+            return float(np.mean((out - y) ** 2))
+
+        out, acts = model._forward(x)
+        grad_out = 2.0 * (out - y) / x.shape[0]
+        grad_w, grad_b = model._backward(acts, grad_out)
+
+        eps = 1e-6
+        for layer in range(len(model.weights)):
+            w = model.weights[layer]
+            for idx in [(0, 0), (1, 2), (2, 4)]:
+                if idx[0] >= w.shape[0] or idx[1] >= w.shape[1]:
+                    continue
+                original = w[idx]
+                w[idx] = original + eps
+                up = loss()
+                w[idx] = original - eps
+                down = loss()
+                w[idx] = original
+                numeric = (up - down) / (2 * eps)
+                assert grad_w[layer][idx] == pytest.approx(numeric, rel=1e-3, abs=1e-6)
+
+    def test_predict_single_and_batch(self):
+        model = MLPRegressor([2, 8, 1], seed=7)
+        rng = np.random.default_rng(8)
+        x = rng.normal(size=(32, 2))
+        model.fit(x, x.sum(axis=1), epochs=10, seed=9)
+        single = model.predict(x[0])
+        batch = model.predict(x)
+        assert np.isscalar(single) or np.ndim(single) == 0
+        assert batch.shape == (32,)
+        assert batch[0] == pytest.approx(single)
+
+
+class TestFugu:
+    def _logs(self, n=3):
+        logs = []
+        for i in range(n):
+            video = short_video(duration_s=120.0, seed=i)
+            trace = constant_trace(2.0 + 2.0 * i, 2000.0)
+            logs.append(
+                StreamingSession(video, MPCAlgorithm(), trace, SessionConfig()).run()
+            )
+        return logs
+
+    def test_rejects_bad_history(self):
+        with pytest.raises(ValueError):
+            FuguPredictor(history_length=0)
+
+    def test_predict_before_train_raises(self):
+        fugu = FuguPredictor()
+        with pytest.raises(RuntimeError):
+            fugu.predict_download_time(1000, [], [])
+
+    def test_rejects_bad_candidate(self):
+        fugu = FuguPredictor()
+        fugu.train(self._logs(1), epochs=2)
+        with pytest.raises(ValueError):
+            fugu.predict_download_time(0, [], [])
+
+    def test_train_and_predict_positive(self):
+        fugu = FuguPredictor(seed=0)
+        fugu.train(self._logs(), epochs=10)
+        d = fugu.predict_download_time(500_000, [400_000] * 8, [1.0] * 8)
+        assert d > 0
+
+    def test_learns_size_monotonicity_in_distribution(self):
+        """Within the training distribution, bigger chunks take longer."""
+        fugu = FuguPredictor(seed=0)
+        fugu.train(self._logs(), epochs=25)
+        past_sizes = [500_000] * 8
+        past_times = [1.3] * 8
+        d_small = fugu.predict_download_time(100_000, past_sizes, past_times)
+        d_big = fugu.predict_download_time(1_000_000, past_sizes, past_times)
+        assert d_big > d_small
+
+    def test_train_rejects_empty(self):
+        fugu = FuguPredictor()
+        with pytest.raises(ValueError):
+            fugu.train([])

@@ -1,0 +1,86 @@
+"""Tests for the command-line interface and log file round-trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import MPCAlgorithm, SessionConfig, SessionLog, StreamingSession, constant_trace
+from repro.cli import build_parser, main
+from repro.video import short_video
+
+
+class TestLogFileIO:
+    def test_save_load_round_trip(self, tmp_path):
+        video = short_video(duration_s=60.0, seed=1)
+        log = StreamingSession(
+            video, MPCAlgorithm(), constant_trace(5.0, 600.0), SessionConfig()
+        ).run()
+        path = tmp_path / "session.json"
+        log.save(path)
+        restored = SessionLog.load(path)
+        assert restored.n_chunks == log.n_chunks
+        assert restored.records[3] == log.records[3]
+        assert restored.abr_name == log.abr_name
+
+    def test_saved_file_is_json(self, tmp_path):
+        video = short_video(duration_s=60.0, seed=1)
+        log = StreamingSession(
+            video, MPCAlgorithm(), constant_trace(5.0, 600.0), SessionConfig()
+        ).run()
+        path = tmp_path / "session.json"
+        log.save(path)
+        data = json.loads(path.read_text())
+        assert "records" in data
+        assert len(data["records"]) == log.n_chunks
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_args(self):
+        args = build_parser().parse_args(
+            ["simulate", "--traces", "2", "--out", "/tmp/x"]
+        )
+        assert args.command == "simulate"
+        assert args.traces == 2
+
+    def test_counterfactual_query_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["counterfactual", "--query", "nope"])
+
+
+class TestEndToEnd:
+    def test_simulate_then_abduct(self, tmp_path, capsys):
+        out = tmp_path / "logs"
+        rc = main([
+            "simulate", "--traces", "1", "--duration-s", "200",
+            "--out", str(out),
+        ])
+        assert rc == 0
+        files = sorted(out.glob("session_*.json"))
+        assert len(files) == 1
+
+        trace_out = tmp_path / "traces.json"
+        rc = main([
+            "abduct", str(files[0]), "--samples", "2", "--out", str(trace_out),
+        ])
+        assert rc == 0
+        captured = capsys.readouterr().out
+        assert "log-likelihood" in captured
+        payload = json.loads(trace_out.read_text())
+        assert len(payload["samples"]) == 2
+        assert "map" in payload
+
+    def test_counterfactual_command(self, capsys):
+        rc = main([
+            "counterfactual", "--query", "bba", "--traces", "2",
+            "--duration-s", "300", "--samples", "2",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Counterfactual:" in out
+        assert "mean_ssim" in out

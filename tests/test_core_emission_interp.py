@@ -1,0 +1,188 @@
+"""Tests for the emission model and trace interpolation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CapacityGrid,
+    EmissionModel,
+    interpolate_capacity_trace,
+    naive_emission,
+    window_gaps,
+    window_index,
+)
+from repro.tcp import TCPStateSnapshot
+
+
+def snap(gap=2.0):
+    return TCPStateSnapshot(
+        cwnd_segments=10,
+        ssthresh_segments=1 << 20,
+        srtt_s=0.08,
+        min_rtt_s=0.08,
+        rto_s=0.25,
+        time_since_last_send_s=gap,
+    )
+
+
+@pytest.fixture
+def grid():
+    return CapacityGrid(0.5, 10.0)
+
+
+class TestEmissionModel:
+    def test_rejects_bad_sigma(self, grid):
+        with pytest.raises(ValueError):
+            EmissionModel(grid, sigma_mbps=0.0)
+
+    def test_rejects_bad_outlier_mass(self, grid):
+        with pytest.raises(ValueError):
+            EmissionModel(grid, outlier_mass=1.0)
+
+    def test_row_shape(self, grid):
+        model = EmissionModel(grid)
+        row = model.log_prob_row(3.0, snap(), 500_000)
+        assert row.shape == (grid.n_states,)
+        assert np.all(np.isfinite(row))
+
+    def test_row_peaks_near_truth_for_large_chunks(self, grid):
+        """Large chunks nearly saturate the link, so the argmax capacity
+        should be close to the observed throughput."""
+        model = EmissionModel(grid, outlier_mass=0.0)
+        observed = 4.0
+        row = model.log_prob_row(observed, snap(), 4_000_000)
+        best = grid.value_of(int(np.argmax(row)))
+        assert abs(best - observed) <= 1.0
+
+    def test_small_chunk_plateau_is_one_sided(self, grid):
+        """For tiny chunks, capacities above a threshold are equally likely
+        — the paper's uncertainty phenomenon (§4.3)."""
+        model = EmissionModel(grid, outlier_mass=0.0)
+        row = model.log_prob_row(0.8, snap(), 25_000)
+        top = row.max()
+        plateau = grid.values_mbps[row > top - 0.1]
+        assert plateau.max() == grid.max_mbps
+        assert plateau.min() >= 0.5
+
+    def test_outlier_mass_caps_penalty(self, grid):
+        plain = EmissionModel(grid, outlier_mass=0.0)
+        robust = EmissionModel(grid, outlier_mass=0.05)
+        # An absurd observation: 9 Mbps for a chunk predicted ~1 Mbps.
+        row_plain = plain.log_prob_row(9.0, snap(), 25_000)
+        row_robust = robust.log_prob_row(9.0, snap(), 25_000)
+        assert row_plain.min() < row_robust.min()
+        assert row_robust.min() > -10.0
+
+    def test_matrix_stacks_rows(self, grid):
+        model = EmissionModel(grid)
+        mat = model.log_prob_matrix(
+            [2.0, 3.0], [snap(), snap()], [100_000, 200_000]
+        )
+        assert mat.shape == (2, grid.n_states)
+
+    def test_matrix_validates_lengths(self, grid):
+        model = EmissionModel(grid)
+        with pytest.raises(ValueError):
+            model.log_prob_matrix([1.0], [snap(), snap()], [100, 200])
+
+    def test_matrix_rejects_empty(self, grid):
+        model = EmissionModel(grid)
+        with pytest.raises(ValueError):
+            model.log_prob_matrix([], [], [])
+
+    def test_negative_observation_rejected(self, grid):
+        model = EmissionModel(grid)
+        with pytest.raises(ValueError):
+            model.log_prob_row(-1.0, snap(), 1000)
+
+    def test_naive_emission_ignores_tcp(self, grid):
+        vals = naive_emission(grid.values_mbps, snap(), 25_000)
+        assert np.array_equal(vals, grid.values_mbps)
+
+    def test_naive_vs_tcp_emission_differ(self, grid):
+        tcp = EmissionModel(grid)
+        naive = EmissionModel(grid, estimator=naive_emission)
+        row_tcp = tcp.log_prob_row(1.0, snap(), 25_000)
+        row_naive = naive.log_prob_row(1.0, snap(), 25_000)
+        # Naive thinks capacity ~1 Mbps; TCP-aware knows a small chunk at
+        # 1 Mbps observed is consistent with much higher capacity.
+        assert int(np.argmax(row_naive)) == grid.index_of(1.0)
+        assert int(np.argmax(row_tcp)) >= grid.index_of(1.0)
+
+
+class TestWindows:
+    def test_window_index(self):
+        assert window_index(0.0, 5.0) == 0
+        assert window_index(4.99, 5.0) == 0
+        assert window_index(5.0, 5.0) == 1
+        assert window_index(47.0, 5.0) == 9
+
+    def test_window_index_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            window_index(1.0, 0.0)
+        with pytest.raises(ValueError):
+            window_index(-1.0, 5.0)
+
+    def test_window_gaps_paper_figure4(self):
+        """Fig. 4: chunks 2,3 share a window (gap 0); 4 to 5 spans 2."""
+        starts = np.array([1.0, 6.0, 7.0, 16.0, 26.0])
+        gaps = window_gaps(starts, 5.0)
+        assert list(gaps) == [0, 1, 0, 2, 2]
+
+    def test_window_gaps_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            window_gaps(np.array([5.0, 1.0]), 5.0)
+
+    def test_window_gaps_rejects_empty(self):
+        with pytest.raises(ValueError):
+            window_gaps(np.array([]), 5.0)
+
+
+class TestInterpolation:
+    def test_constant_capacity(self, grid):
+        trace = interpolate_capacity_trace(
+            np.array([1.0, 7.0, 13.0]), np.array([4.0, 4.0, 4.0]), 5.0, grid
+        )
+        assert np.all(trace.values == 4.0)
+
+    def test_linear_between_windows(self, grid):
+        # Chunk at window 0 with 2 Mbps, chunk at window 4 with 4 Mbps:
+        # intermediate windows interpolate.
+        trace = interpolate_capacity_trace(
+            np.array([1.0, 21.0]), np.array([2.0, 4.0]), 5.0, grid
+        )
+        assert trace.value_at(2.5) == 2.0
+        assert trace.value_at(22.5) == 4.0
+        assert trace.value_at(12.5) == pytest.approx(3.0)
+
+    def test_values_quantized_to_grid(self, grid):
+        trace = interpolate_capacity_trace(
+            np.array([1.0, 26.0]), np.array([1.0, 4.0]), 5.0, grid
+        )
+        offsets = trace.values / grid.epsilon_mbps
+        assert np.allclose(offsets, np.round(offsets))
+
+    def test_duration_extension(self, grid):
+        trace = interpolate_capacity_trace(
+            np.array([1.0]), np.array([3.0]), 5.0, grid, duration_s=60.0
+        )
+        assert trace.end_time >= 60.0
+        assert trace.value_at(59.0) == 3.0
+
+    def test_chunks_in_same_window_averaged(self, grid):
+        trace = interpolate_capacity_trace(
+            np.array([1.0, 2.0]), np.array([2.0, 4.0]), 5.0, grid
+        )
+        assert trace.value_at(2.5) == pytest.approx(3.0)
+
+    def test_shape_validation(self, grid):
+        with pytest.raises(ValueError):
+            interpolate_capacity_trace(
+                np.array([1.0, 2.0]), np.array([1.0]), 5.0, grid
+            )
+        with pytest.raises(ValueError):
+            interpolate_capacity_trace(
+                np.array([2.0, 1.0]), np.array([1.0, 1.0]), 5.0, grid
+            )

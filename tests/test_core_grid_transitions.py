@@ -1,0 +1,182 @@
+"""Tests for the capacity grid and transition models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    CapacityGrid,
+    TransitionModel,
+    sticky_matrix,
+    tridiagonal_matrix,
+    uniform_matrix,
+)
+
+
+class TestCapacityGrid:
+    def test_paper_example(self):
+        grid = CapacityGrid(epsilon_mbps=0.5, max_mbps=10.0)
+        assert grid.n_states == 21
+        assert grid.value_of(0) == 0.0
+        assert grid.value_of(1) == 0.5
+        assert grid.max_mbps == 10.0
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ValueError):
+            CapacityGrid(epsilon_mbps=0.0)
+
+    def test_rejects_max_below_epsilon(self):
+        with pytest.raises(ValueError):
+            CapacityGrid(epsilon_mbps=1.0, max_mbps=0.5)
+
+    def test_non_multiple_max_rounds_up(self):
+        grid = CapacityGrid(epsilon_mbps=0.4, max_mbps=1.0)
+        assert grid.max_mbps == pytest.approx(1.2)
+
+    def test_index_of_nearest(self):
+        grid = CapacityGrid(0.5, 10.0)
+        assert grid.index_of(1.3) == 3  # 1.5
+        assert grid.index_of(1.2) == 2  # 1.0
+        assert grid.index_of(-5.0) == 0
+        assert grid.index_of(99.0) == grid.n_states - 1
+
+    def test_quantize_round_trip(self):
+        grid = CapacityGrid(0.5, 10.0)
+        assert grid.quantize(3.74) == 3.5
+        assert grid.quantize(3.76) == 4.0
+
+    def test_values_of_vectorised(self):
+        grid = CapacityGrid(0.5, 10.0)
+        assert list(grid.values_of(np.array([0, 2, 4]))) == [0.0, 1.0, 2.0]
+
+    def test_values_of_rejects_out_of_range(self):
+        grid = CapacityGrid(0.5, 10.0)
+        with pytest.raises(IndexError):
+            grid.values_of(np.array([99]))
+
+    def test_value_of_rejects_out_of_range(self):
+        with pytest.raises(IndexError):
+            CapacityGrid(0.5, 10.0).value_of(21)
+
+    @given(st.floats(min_value=0.0, max_value=10.0))
+    def test_quantization_error_bound(self, mbps):
+        grid = CapacityGrid(0.5, 10.0)
+        assert abs(grid.quantize(mbps) - mbps) <= 0.25 + 1e-12
+
+
+class TestMatrixBuilders:
+    @pytest.mark.parametrize("n", [1, 2, 5, 21])
+    def test_tridiagonal_rows_sum_to_one(self, n):
+        m = tridiagonal_matrix(n)
+        assert np.allclose(m.sum(axis=1), 1.0)
+
+    def test_tridiagonal_band_structure(self):
+        m = tridiagonal_matrix(6, stay_prob=0.8, jump_mass=0.0)
+        for i in range(6):
+            for j in range(6):
+                if abs(i - j) > 1:
+                    assert m[i, j] == 0.0
+
+    def test_tridiagonal_jump_mass_fills_matrix(self):
+        m = tridiagonal_matrix(6, jump_mass=0.02)
+        assert np.all(m > 0)
+        # The band still dominates.
+        assert m[2, 2] > 10 * m[2, 5]
+
+    def test_tridiagonal_rejects_bad_stay(self):
+        with pytest.raises(ValueError):
+            tridiagonal_matrix(5, stay_prob=0.0)
+
+    def test_tridiagonal_rejects_bad_jump(self):
+        with pytest.raises(ValueError):
+            tridiagonal_matrix(5, jump_mass=1.0)
+
+    def test_uniform_matrix(self):
+        m = uniform_matrix(4)
+        assert np.allclose(m, 0.25)
+
+    def test_sticky_matrix(self):
+        m = sticky_matrix(5, stay_prob=0.9)
+        assert np.allclose(np.diag(m), 0.9)
+        assert np.allclose(m.sum(axis=1), 1.0)
+
+    def test_sticky_single_state(self):
+        assert sticky_matrix(1)[0, 0] == 1.0
+
+
+class TestTransitionModel:
+    def test_rejects_non_stochastic(self):
+        with pytest.raises(ValueError):
+            TransitionModel(np.eye(3) * 0.5)
+
+    def test_rejects_negative_entries(self):
+        m = np.array([[1.5, -0.5], [0.5, 0.5]])
+        with pytest.raises(ValueError):
+            TransitionModel(m)
+
+    def test_default_initial_is_uniform(self):
+        model = TransitionModel(tridiagonal_matrix(4))
+        assert np.allclose(model.initial, 0.25)
+
+    def test_rejects_bad_initial(self):
+        with pytest.raises(ValueError):
+            TransitionModel(tridiagonal_matrix(3), initial=np.array([0.5, 0.5, 0.5]))
+
+    def test_power_zero_is_identity(self):
+        model = TransitionModel(tridiagonal_matrix(5))
+        assert np.allclose(model.power(0), np.eye(5))
+
+    def test_power_one_is_matrix(self):
+        m = tridiagonal_matrix(5)
+        model = TransitionModel(m)
+        assert np.allclose(model.power(1), m)
+
+    def test_power_composition(self):
+        m = tridiagonal_matrix(6, stay_prob=0.7)
+        model = TransitionModel(m)
+        assert np.allclose(model.power(3), m @ m @ m)
+
+    def test_power_rejects_negative(self):
+        with pytest.raises(ValueError):
+            TransitionModel(tridiagonal_matrix(3)).power(-1)
+
+    def test_powers_are_cached(self):
+        model = TransitionModel(tridiagonal_matrix(4))
+        assert model.power(7) is model.power(7)
+
+    def test_powers_remain_stochastic(self):
+        model = TransitionModel(tridiagonal_matrix(8, stay_prob=0.6))
+        for delta in [1, 2, 5, 20, 100]:
+            assert np.allclose(model.power(delta).sum(axis=1), 1.0)
+
+    def test_log_power_matches_log_of_power(self):
+        model = TransitionModel(tridiagonal_matrix(5))
+        lp = model.log_power(2)
+        assert np.allclose(np.exp(lp), model.power(2), atol=1e-12)
+
+    def test_expected_next_value(self):
+        # Deterministic chain: state i -> state i+1 (absorbing at end).
+        m = np.zeros((3, 3))
+        m[0, 1] = 1.0
+        m[1, 2] = 1.0
+        m[2, 2] = 1.0
+        model = TransitionModel(m)
+        values = np.array([0.0, 1.0, 2.0])
+        assert model.expected_next_value(0, 1, values) == pytest.approx(1.0)
+        assert model.expected_next_value(0, 2, values) == pytest.approx(2.0)
+        assert model.expected_next_value(0, 0, values) == pytest.approx(0.0)
+
+    def test_expected_next_rejects_bad_state(self):
+        model = TransitionModel(tridiagonal_matrix(3))
+        with pytest.raises(IndexError):
+            model.expected_next_value(5, 1, np.zeros(3))
+
+    def test_uniform_mixing_limit(self):
+        """A tridiagonal chain with jumps mixes toward its stationary law."""
+        model = TransitionModel(tridiagonal_matrix(5, stay_prob=0.5, jump_mass=0.1))
+        p_big = model.power(500)
+        # All rows converge to the same stationary distribution.
+        assert np.allclose(p_big[0], p_big[4], atol=1e-6)

@@ -1,0 +1,239 @@
+"""Tests for the HMM algorithms: Viterbi, forward-backward, sampler.
+
+Correctness is checked against brute-force enumeration on small chains —
+the gold standard for HMM code — plus structural invariants and recovery
+tests on synthetic data generated from the model itself.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    TransitionModel,
+    forward_backward,
+    sample_state_path,
+    sample_state_paths,
+    tridiagonal_matrix,
+    viterbi_path,
+)
+
+
+def brute_force(log_b: np.ndarray, model: TransitionModel, deltas: np.ndarray):
+    """Enumerate all state paths; return (best_path, log p(best), marginals, pairs)."""
+    n, k = log_b.shape
+    log_u = np.log(model.initial)
+    best_path, best_score = None, -np.inf
+    path_probs = {}
+    for path in itertools.product(range(k), repeat=n):
+        score = log_u[path[0]] + log_b[0, path[0]]
+        for i in range(1, n):
+            a = model.power(int(deltas[i]))[path[i - 1], path[i]]
+            score += np.log(a) if a > 0 else -np.inf
+            score += log_b[i, path[i]]
+        path_probs[path] = score
+        if score > best_score:
+            best_path, best_score = path, score
+    # Posterior marginals and pairwise posteriors by normalisation.
+    scores = np.array(list(path_probs.values()))
+    paths = list(path_probs.keys())
+    weights = np.exp(scores - scores.max())
+    weights /= weights.sum()
+    gamma = np.zeros((n, k))
+    xi = np.zeros((max(n - 1, 0), k, k))
+    for path, w in zip(paths, weights):
+        for i, s in enumerate(path):
+            gamma[i, s] += w
+        for i in range(n - 1):
+            xi[i, path[i], path[i + 1]] += w
+    return np.array(best_path), best_score, gamma, xi
+
+
+def random_problem(rng, n_chunks=5, n_states=3, max_delta=2):
+    matrix = tridiagonal_matrix(n_states, stay_prob=0.6, jump_mass=0.05)
+    model = TransitionModel(matrix)
+    log_b = rng.normal(0.0, 2.0, size=(n_chunks, n_states))
+    deltas = np.concatenate([[0], rng.integers(0, max_delta + 1, n_chunks - 1)])
+    return model, log_b, deltas
+
+
+class TestViterbiAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_enumeration(self, seed):
+        rng = np.random.default_rng(seed)
+        model, log_b, deltas = random_problem(rng)
+        result = viterbi_path(log_b, model, deltas)
+        expected_path, expected_score, _, _ = brute_force(log_b, model, deltas)
+        assert result.log_probability == pytest.approx(expected_score, rel=1e-9)
+        assert np.array_equal(result.states, expected_path)
+
+    def test_single_chunk(self):
+        model = TransitionModel(tridiagonal_matrix(4))
+        log_b = np.array([[0.0, 3.0, -1.0, 0.5]])
+        result = viterbi_path(log_b, model, np.array([0]))
+        assert result.states[0] == 1
+
+    def test_delta_zero_locks_states(self):
+        """Chunks in the same window must share a hidden state."""
+        model = TransitionModel(tridiagonal_matrix(3, jump_mass=0.0))
+        # Chunk 0 prefers state 0, chunk 1 prefers state 2, but delta = 0.
+        log_b = np.array([[5.0, 0.0, 4.9], [0.0, 0.0, 5.0]])
+        result = viterbi_path(log_b, model, np.array([0, 0]))
+        assert result.states[0] == result.states[1]
+
+    def test_shape_validation(self):
+        model = TransitionModel(tridiagonal_matrix(3))
+        with pytest.raises(ValueError):
+            viterbi_path(np.zeros((4, 5)), model, np.zeros(4, dtype=int))
+        with pytest.raises(ValueError):
+            viterbi_path(np.zeros((4, 3)), model, np.zeros(3, dtype=int))
+        with pytest.raises(ValueError):
+            viterbi_path(np.zeros(4), model, np.zeros(4, dtype=int))
+
+    def test_negative_delta_rejected(self):
+        model = TransitionModel(tridiagonal_matrix(3))
+        with pytest.raises(ValueError):
+            viterbi_path(np.zeros((2, 3)), model, np.array([0, -1]))
+
+
+class TestForwardBackwardAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_marginals_match_enumeration(self, seed):
+        rng = np.random.default_rng(seed + 100)
+        model, log_b, deltas = random_problem(rng)
+        result = forward_backward(log_b, model, deltas)
+        _, _, gamma, xi = brute_force(log_b, model, deltas)
+        assert np.allclose(result.gamma, gamma, atol=1e-9)
+        assert np.allclose(result.xi, xi, atol=1e-9)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_log_likelihood_matches_enumeration(self, seed):
+        rng = np.random.default_rng(seed + 200)
+        model, log_b, deltas = random_problem(rng, n_chunks=4)
+        result = forward_backward(log_b, model, deltas)
+        # Brute-force marginal likelihood.
+        n, k = log_b.shape
+        log_u = np.log(model.initial)
+        total = -np.inf
+        for path in itertools.product(range(k), repeat=n):
+            score = log_u[path[0]] + log_b[0, path[0]]
+            for i in range(1, n):
+                a = model.power(int(deltas[i]))[path[i - 1], path[i]]
+                score += (np.log(a) if a > 0 else -np.inf) + log_b[i, path[i]]
+            total = np.logaddexp(total, score)
+        assert result.log_likelihood == pytest.approx(total, rel=1e-9)
+
+    def test_gamma_rows_sum_to_one(self):
+        rng = np.random.default_rng(7)
+        model, log_b, deltas = random_problem(rng, n_chunks=20, n_states=5)
+        result = forward_backward(log_b, model, deltas)
+        assert np.allclose(result.gamma.sum(axis=1), 1.0)
+
+    def test_xi_slices_sum_to_one(self):
+        rng = np.random.default_rng(8)
+        model, log_b, deltas = random_problem(rng, n_chunks=10, n_states=4)
+        result = forward_backward(log_b, model, deltas)
+        assert np.allclose(result.xi.sum(axis=(1, 2)), 1.0)
+
+    def test_xi_marginalises_to_gamma(self):
+        rng = np.random.default_rng(9)
+        model, log_b, deltas = random_problem(rng, n_chunks=10, n_states=4)
+        result = forward_backward(log_b, model, deltas)
+        assert np.allclose(result.xi.sum(axis=2), result.gamma[:-1], atol=1e-9)
+        assert np.allclose(result.xi.sum(axis=1), result.gamma[1:], atol=1e-9)
+
+    def test_single_chunk_has_empty_xi(self):
+        model = TransitionModel(tridiagonal_matrix(3))
+        result = forward_backward(np.zeros((1, 3)), model, np.array([0]))
+        assert result.xi.shape == (0, 3, 3)
+        assert np.allclose(result.gamma, 1 / 3)
+
+    def test_extreme_emissions_no_underflow(self):
+        """Rows with all tiny probabilities must not become 0/0."""
+        model = TransitionModel(tridiagonal_matrix(4))
+        log_b = np.full((30, 4), -1e4)
+        log_b[:, 1] = -1e4 + 5.0  # state 1 relatively favoured
+        result = forward_backward(log_b, model, np.concatenate([[0], np.ones(29, int)]))
+        assert np.all(np.isfinite(result.gamma))
+        assert np.argmax(result.gamma[15]) == 1
+
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=25, deadline=None)
+    def test_viterbi_path_consistent_with_posterior(self, seed):
+        """The Viterbi path's per-step states must have nonzero posterior."""
+        rng = np.random.default_rng(seed)
+        model, log_b, deltas = random_problem(rng, n_chunks=8, n_states=4)
+        vit = viterbi_path(log_b, model, deltas)
+        fb = forward_backward(log_b, model, deltas)
+        for n, s in enumerate(vit.states):
+            assert fb.gamma[n, s] > 0
+
+
+class TestSampler:
+    def _solved(self, seed=0, n_chunks=12, n_states=4):
+        rng = np.random.default_rng(seed)
+        model, log_b, deltas = random_problem(rng, n_chunks=n_chunks, n_states=n_states)
+        vit = viterbi_path(log_b, model, deltas)
+        fb = forward_backward(log_b, model, deltas)
+        return vit, fb
+
+    def test_anchored_last_state(self):
+        vit, fb = self._solved()
+        path = sample_state_path(vit.states, fb.xi, seed=1)
+        assert path[-1] == vit.states[-1]
+        assert path.shape == vit.states.shape
+
+    def test_seeded_determinism(self):
+        vit, fb = self._solved()
+        a = sample_state_path(vit.states, fb.xi, seed=5)
+        b = sample_state_path(vit.states, fb.xi, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_samples_respect_pairwise_support(self):
+        vit, fb = self._solved(seed=3)
+        for s in sample_state_paths(vit.states, fb.xi, count=20, seed=2):
+            for n in range(len(s) - 1):
+                assert fb.xi[n, s[n], s[n + 1]] > 0
+
+    def test_unanchored_requires_gamma(self):
+        vit, fb = self._solved()
+        with pytest.raises(ValueError):
+            sample_state_path(vit.states, fb.xi, seed=0, anchor_last=False)
+
+    def test_unanchored_draws_from_marginal(self):
+        vit, fb = self._solved(seed=4)
+        paths = sample_state_paths(
+            vit.states, fb.xi, count=200, seed=0, anchor_last=False, gamma=fb.gamma
+        )
+        last = np.array([p[-1] for p in paths])
+        freq = np.bincount(last, minlength=fb.gamma.shape[1]) / len(paths)
+        assert np.allclose(freq, fb.gamma[-1], atol=0.12)
+
+    def test_sample_distribution_matches_posterior(self):
+        """Empirical marginals of many samples approximate gamma."""
+        vit, fb = self._solved(seed=6, n_chunks=6, n_states=3)
+        paths = sample_state_paths(
+            vit.states, fb.xi, count=600, seed=1, anchor_last=False, gamma=fb.gamma
+        )
+        stacked = np.stack(paths)
+        for n in range(stacked.shape[1]):
+            freq = np.bincount(stacked[:, n], minlength=3) / len(paths)
+            assert np.allclose(freq, fb.gamma[n], atol=0.1)
+
+    def test_count_validation(self):
+        vit, fb = self._solved()
+        with pytest.raises(ValueError):
+            sample_state_paths(vit.states, fb.xi, count=0)
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ValueError):
+            sample_state_path(np.array([], dtype=int), np.zeros((0, 3, 3)))
+
+    def test_mismatched_xi_rejected(self):
+        with pytest.raises(ValueError):
+            sample_state_path(np.array([0, 1]), np.zeros((5, 3, 3)))

@@ -1,0 +1,45 @@
+"""Smoke tests for the example scripts.
+
+Each example is importable (catches bit-rot in their imports), and the
+fastest one runs end to end.  The heavyweight examples are exercised by the
+benchmark suite's equivalent experiments, so running them here would only
+duplicate minutes of work.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def _load(path: Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_directory_is_populated():
+    assert len(EXAMPLES) >= 5
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_imports_cleanly(path):
+    module = _load(path)
+    assert hasattr(module, "main"), f"{path.name} must expose main()"
+    assert callable(module.main)
+
+
+def test_quickstart_runs_end_to_end(capsys):
+    module = _load(EXAMPLES_DIR / "quickstart.py")
+    module.main()
+    out = capsys.readouterr().out
+    assert "mean absolute error vs hidden GTBW" in out
+    assert "Veritas" in out

@@ -1,0 +1,133 @@
+"""Tests for the extension features: model selection and the Veritas ABR."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    MPCAlgorithm,
+    SessionConfig,
+    StreamingSession,
+    VeritasConfig,
+    compute_metrics,
+    constant_trace,
+    make_abr,
+    random_walk_trace,
+)
+from repro.abr import VeritasABRAlgorithm
+from repro.core import score_config, select_config, sigma_grid_search
+from repro.video import short_video
+
+
+@pytest.fixture(scope="module")
+def training_logs():
+    video = short_video(duration_s=120.0, seed=2)
+    logs = []
+    for seed, mean in [(1, 4.0), (2, 6.0)]:
+        trace = random_walk_trace(mean, 600.0, seed=seed, low=2.0, high=9.0)
+        logs.append(
+            StreamingSession(video, MPCAlgorithm(), trace, SessionConfig()).run()
+        )
+    return logs
+
+
+class TestModelSelection:
+    def test_score_config_finite(self, training_logs):
+        score = score_config(VeritasConfig(), training_logs)
+        assert np.isfinite(score)
+
+    def test_score_rejects_empty_logs(self):
+        with pytest.raises(ValueError):
+            score_config(VeritasConfig(), [])
+
+    def test_select_orders_best_first(self, training_logs):
+        candidates = [
+            VeritasConfig(sigma_mbps=0.5),
+            VeritasConfig(sigma_mbps=25.0),
+        ]
+        scored = select_config(candidates, training_logs)
+        assert scored[0].log_likelihood >= scored[1].log_likelihood
+        # The absurd sigma must not win.
+        assert scored[0].config.sigma_mbps == 0.5
+
+    def test_select_rejects_mixed_grids(self, training_logs):
+        candidates = [VeritasConfig(), VeritasConfig(delta_s=10.0)]
+        with pytest.raises(ValueError):
+            select_config(candidates, training_logs)
+
+    def test_select_rejects_empty_candidates(self, training_logs):
+        with pytest.raises(ValueError):
+            select_config([], training_logs)
+
+    def test_sigma_grid_search_returns_sane_choice(self, training_logs):
+        best = sigma_grid_search(
+            VeritasConfig(),
+            training_logs,
+            sigmas=(0.5, 10.0),
+            stay_probs=(0.8,),
+        )
+        assert best.config.sigma_mbps == 0.5
+        assert "sigma" in best.describe()
+
+    def test_sigma_grid_search_rejects_empty_grid(self, training_logs):
+        with pytest.raises(ValueError):
+            sigma_grid_search(VeritasConfig(), training_logs, sigmas=())
+
+
+class TestVeritasABR:
+    def test_registered_in_factory(self):
+        assert make_abr("veritas-abr").name == "veritas-abr"
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            VeritasABRAlgorithm(reabduct_every=0)
+        with pytest.raises(ValueError):
+            VeritasABRAlgorithm(safety=0.0)
+
+    def test_runs_a_full_session(self):
+        video = short_video(duration_s=60.0, seed=3)
+        trace = constant_trace(5.0, 600.0)
+        abr = VeritasABRAlgorithm(reabduct_every=5)
+        log = StreamingSession(video, abr, trace, SessionConfig()).run()
+        assert log.n_chunks == video.n_chunks
+        metrics = compute_metrics(log)
+        assert metrics.mean_ssim > 0.9
+
+    def test_adapts_to_bandwidth(self):
+        """Higher capacity must yield at least as high average quality."""
+        video = short_video(duration_s=120.0, seed=3)
+        results = {}
+        for mbps in [0.8, 6.0]:
+            abr = VeritasABRAlgorithm(reabduct_every=5)
+            log = StreamingSession(
+                video, abr, constant_trace(mbps, 2000.0), SessionConfig()
+            ).run()
+            results[mbps] = compute_metrics(log)
+        assert (
+            results[6.0].avg_bitrate_mbps > results[0.8].avg_bitrate_mbps
+        )
+        assert results[0.8].rebuffer_percent < 5.0
+
+    def test_competitive_with_mpc_on_stable_link(self):
+        video = short_video(duration_s=120.0, seed=3)
+        trace = constant_trace(4.0, 2000.0)
+        v_log = StreamingSession(
+            video, VeritasABRAlgorithm(reabduct_every=5), trace, SessionConfig()
+        ).run()
+        m_log = StreamingSession(
+            video, MPCAlgorithm(), trace, SessionConfig()
+        ).run()
+        v_m = compute_metrics(v_log)
+        m_m = compute_metrics(m_log)
+        # Same ballpark quality, no rebuffering catastrophe.
+        assert v_m.mean_ssim > m_m.mean_ssim - 0.01
+        assert v_m.rebuffer_percent <= m_m.rebuffer_percent + 2.0
+
+    def test_reset_clears_state(self):
+        video = short_video(duration_s=60.0, seed=3)
+        abr = VeritasABRAlgorithm(reabduct_every=3)
+        StreamingSession(video, abr, constant_trace(5.0, 600.0), SessionConfig()).run()
+        assert abr._records  # populated by the feedback hook
+        abr.reset()
+        assert not abr._records

@@ -1,0 +1,152 @@
+"""Tests for interventional download-time prediction (§4.4 / Fig. 12)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    FuguPredictor,
+    MPCAlgorithm,
+    RandomABRAlgorithm,
+    SessionConfig,
+    StreamingSession,
+    VeritasDownloadPredictor,
+    constant_trace,
+    paper_veritas_config,
+)
+from repro.video import short_video
+
+
+@pytest.fixture(scope="module")
+def predictor():
+    return VeritasDownloadPredictor(paper_veritas_config())
+
+
+@pytest.fixture(scope="module")
+def session_log():
+    video = short_video(duration_s=120.0, seed=6)
+    trace = constant_trace(5.0, 2000.0)
+    return StreamingSession(video, MPCAlgorithm(), trace, SessionConfig()).run()
+
+
+class TestVeritasPredictor:
+    def test_rejects_empty_history(self, predictor, session_log):
+        record = session_log.records[10]
+        with pytest.raises(ValueError):
+            predictor.predict(
+                session_log.truncated(0), 500_000,
+                record.start_time_s, record.tcp_state,
+            )
+
+    def test_rejects_bad_size(self, predictor, session_log):
+        record = session_log.records[10]
+        with pytest.raises(ValueError):
+            predictor.predict(
+                session_log.truncated(10), -1,
+                record.start_time_s, record.tcp_state,
+            )
+
+    def test_rejects_backwards_time(self, predictor, session_log):
+        record = session_log.records[10]
+        with pytest.raises(ValueError):
+            predictor.predict(
+                session_log.truncated(10), 500_000,
+                0.0, record.tcp_state,
+            )
+
+    def test_prediction_close_to_actual(self, predictor, session_log):
+        """Predict each held-out chunk's actual download time."""
+        errors = []
+        for n in range(20, session_log.n_chunks, 17):
+            record = session_log.records[n]
+            prefix = session_log.truncated(n)
+            pred = predictor.predict(
+                prefix, record.size_bytes, record.start_time_s, record.tcp_state
+            )
+            errors.append(abs(pred.download_time_s - record.download_time_s))
+        assert np.median(errors) < 0.5
+
+    def test_expected_capacity_reasonable(self, predictor, session_log):
+        record = session_log.records[30]
+        pred = predictor.predict(
+            session_log.truncated(30), record.size_bytes,
+            record.start_time_s, record.tcp_state,
+        )
+        assert pred.expected_capacity_mbps == pytest.approx(5.0, abs=1.5)
+        assert pred.window_gap >= 0
+
+    def test_interventional_sizes_supported(self, predictor, session_log):
+        """The whole point: sizes the ABR never chose still get sane answers."""
+        record = session_log.records[30]
+        prefix = session_log.truncated(30)
+        d_small = predictor.predict(
+            prefix, 10_000, record.start_time_s, record.tcp_state
+        ).download_time_s
+        d_huge = predictor.predict(
+            prefix, 8_000_000, record.start_time_s, record.tcp_state
+        ).download_time_s
+        assert d_small < d_huge
+        # An 8 MB chunk on a 5 Mbps link takes at least 12.8 s.
+        assert d_huge > 10.0
+
+
+class TestFuguBias:
+    """The Fig. 2(b) / Fig. 12 phenomenon, in miniature."""
+
+    @pytest.fixture(scope="class")
+    def biased_fugu(self):
+        """Fugu trained on MPC logs over bimodal (poor/good) conditions."""
+        logs = []
+        for i, mbps in enumerate([0.25, 0.25, 9.5, 9.5]):
+            video = short_video(duration_s=120.0, seed=i)
+            trace = constant_trace(mbps, 5000.0)
+            logs.append(
+                StreamingSession(video, MPCAlgorithm(), trace, SessionConfig()).run()
+            )
+        fugu = FuguPredictor(seed=0)
+        fugu.train(logs, epochs=30, seed=1)
+        return fugu, logs
+
+    def test_fugu_underestimates_forced_large_chunk(self, biased_fugu):
+        """On a poor-network session, forcing a large (high-quality) chunk:
+        the associational model predicts far less than physics allows."""
+        fugu, logs = biased_fugu
+        poor_log = logs[0]  # 0.25 Mbps conditions
+        sizes = list(poor_log.sizes_bytes()[:20])
+        times = list(poor_log.download_times_s()[:20])
+        forced_size = 1_000_000  # a high-quality chunk
+        predicted = fugu.predict_download_time(forced_size, sizes, times)
+        physical_floor = forced_size * 8 / 1e6 / 0.25  # 32 s at 0.25 Mbps
+        assert predicted < 0.7 * physical_floor
+
+    def test_fugu_ok_for_small_chunk(self, biased_fugu):
+        """For the chunk size the deployed ABR would pick, Fugu is decent."""
+        fugu, logs = biased_fugu
+        poor_log = logs[0]
+        n = 25
+        record = poor_log.records[n]
+        sizes = list(poor_log.sizes_bytes()[:n])
+        times = list(poor_log.download_times_s()[:n])
+        predicted = fugu.predict_download_time(record.size_bytes, sizes, times)
+        assert predicted == pytest.approx(record.download_time_s, rel=0.6, abs=0.4)
+
+    def test_veritas_beats_fugu_on_forced_chunk(self, biased_fugu):
+        """Veritas's causal prediction respects the physical floor."""
+        fugu, logs = biased_fugu
+        poor_log = logs[0]
+        n = 25
+        record = poor_log.records[n]
+        prefix = poor_log.truncated(n)
+        forced_size = 1_000_000
+        veritas = VeritasDownloadPredictor(paper_veritas_config())
+        v_pred = veritas.predict(
+            prefix, forced_size, record.start_time_s, record.tcp_state
+        ).download_time_s
+        f_pred = fugu.predict_download_time(
+            forced_size,
+            list(poor_log.sizes_bytes()[:n]),
+            list(poor_log.download_times_s()[:n]),
+        )
+        physical = forced_size * 8 / 1e6 / 0.25
+        assert abs(v_pred - physical) < abs(f_pred - physical)

@@ -1,0 +1,156 @@
+"""Tests for the bitrate-cap query and distributional interventions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    CounterfactualEngine,
+    MPCAlgorithm,
+    SessionConfig,
+    StreamingSession,
+    VeritasDownloadPredictor,
+    cap_bitrate,
+    constant_trace,
+    fast_setting_a,
+    paper_veritas_config,
+    random_walk_trace,
+    run_setting,
+)
+from repro.video import short_video
+
+
+class TestRestrictedVideo:
+    def test_restricted_slices_columns(self):
+        video = short_video(duration_s=60.0, seed=1)
+        sub = video.restricted([0, 2, 4])
+        assert sub.n_qualities == 3
+        assert sub.bitrate_mbps(1) == video.bitrate_mbps(2)
+        assert sub.chunk_size_bytes(5, 1) == video.chunk_size_bytes(5, 2)
+        assert sub.chunk_ssim(5, 2) == video.chunk_ssim(5, 4)
+
+    def test_restricted_validations(self):
+        video = short_video(duration_s=60.0, seed=1)
+        with pytest.raises(ValueError):
+            video.restricted([])
+        with pytest.raises(ValueError):
+            video.restricted([2, 1])
+        with pytest.raises(ValueError):
+            video.restricted([0, 99])
+
+    def test_original_untouched(self):
+        video = short_video(duration_s=60.0, seed=1)
+        video.restricted([0, 1])
+        assert video.n_qualities == 7
+
+
+class TestCapBitrate:
+    def test_cap_removes_high_rungs(self):
+        setting = fast_setting_a(duration_s=60.0)
+        capped = cap_bitrate(setting, 1.5)
+        assert capped.video.ladder.highest.bitrate_mbps <= 1.5
+        assert capped.video.ladder.lowest.bitrate_mbps == 0.1
+        assert "cap" in capped.name
+
+    def test_cap_rejects_empty_ladder(self):
+        setting = fast_setting_a(duration_s=60.0)
+        with pytest.raises(ValueError):
+            cap_bitrate(setting, 0.01)
+
+    def test_capped_session_never_exceeds_cap(self):
+        setting = fast_setting_a(duration_s=60.0)
+        capped = cap_bitrate(setting, 1.2)
+        log = run_setting(capped, constant_trace(8.0, 600.0))
+        assert max(r.bitrate_mbps for r in log.records) <= 1.2
+
+    def test_covid_counterfactual_reduces_bitrate(self):
+        """Capping the ladder must lower predicted average bitrate."""
+        setting = fast_setting_a(duration_s=120.0)
+        traces = [
+            random_walk_trace(5.0, 600.0, seed=s, low=2.0, high=9.0)
+            for s in (1, 2)
+        ]
+        engine = CounterfactualEngine(paper_veritas_config(), n_samples=3, seed=0)
+        result = engine.evaluate_corpus(traces, setting, cap_bitrate(setting, 1.2))
+        table = result.metric_table("avg_bitrate_mbps")
+        assert np.all(table["truth"] <= 1.35)
+        assert np.all(table["veritas_median"] <= 1.35)
+        assert np.all(table["setting_a"] > 1.35)
+
+
+class TestDownloadTimeDistribution:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        video = short_video(duration_s=120.0, seed=6)
+        trace = constant_trace(5.0, 2000.0)
+        log = StreamingSession(video, MPCAlgorithm(), trace, SessionConfig()).run()
+        predictor = VeritasDownloadPredictor(paper_veritas_config())
+        return log, predictor
+
+    def test_distribution_basics(self, setup):
+        log, predictor = setup
+        record = log.records[30]
+        dist = predictor.predict_distribution(
+            log.truncated(30), record.size_bytes,
+            record.start_time_s, record.tcp_state, n_samples=20, seed=1,
+        )
+        assert len(dist.samples_s) == 20
+        assert dist.quantile(0.1) <= dist.median_s <= dist.quantile(0.9)
+        assert dist.mean_s > 0
+
+    def test_distribution_covers_actual(self, setup):
+        log, predictor = setup
+        record = log.records[40]
+        dist = predictor.predict_distribution(
+            log.truncated(40), record.size_bytes,
+            record.start_time_s, record.tcp_state, n_samples=30, seed=2,
+        )
+        assert dist.quantile(0.02) - 0.3 <= record.download_time_s
+        assert record.download_time_s <= dist.quantile(0.98) + 0.5
+
+    def test_distribution_seeded(self, setup):
+        log, predictor = setup
+        record = log.records[30]
+        args = (log.truncated(30), record.size_bytes,
+                record.start_time_s, record.tcp_state)
+        a = predictor.predict_distribution(*args, n_samples=10, seed=5)
+        b = predictor.predict_distribution(*args, n_samples=10, seed=5)
+        assert a.samples_s == b.samples_s
+
+    def test_distribution_validations(self, setup):
+        log, predictor = setup
+        record = log.records[30]
+        with pytest.raises(ValueError):
+            predictor.predict_distribution(
+                log.truncated(0), 1000, record.start_time_s, record.tcp_state
+            )
+        with pytest.raises(ValueError):
+            predictor.predict_distribution(
+                log.truncated(30), -1, record.start_time_s, record.tcp_state
+            )
+        with pytest.raises(ValueError):
+            predictor.predict_distribution(
+                log.truncated(30), 1000, record.start_time_s,
+                record.tcp_state, n_samples=0,
+            )
+        dist = predictor.predict_distribution(
+            log.truncated(30), 1000, record.start_time_s, record.tcp_state,
+            n_samples=5, seed=0,
+        )
+        with pytest.raises(ValueError):
+            dist.quantile(1.5)
+
+    def test_bigger_chunks_shift_distribution_up(self, setup):
+        log, predictor = setup
+        record = log.records[30]
+        prefix = log.truncated(30)
+        small = predictor.predict_distribution(
+            prefix, 50_000, record.start_time_s, record.tcp_state,
+            n_samples=15, seed=3,
+        )
+        big = predictor.predict_distribution(
+            prefix, 2_000_000, record.start_time_s, record.tcp_state,
+            n_samples=15, seed=3,
+        )
+        assert big.median_s > small.median_s

@@ -1,0 +1,125 @@
+"""Tests that encode the paper's structural claims directly.
+
+These are not generic software tests: each one pins an assertion the paper
+makes about the *method* — what information abduction may use, what it must
+not depend on, and which §4.1 defaults define the reference configuration.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro import (
+    SessionLog,
+    VeritasAbduction,
+    VeritasConfig,
+    paper_veritas_config,
+)
+from repro.player.logs import ChunkRecord
+
+
+class TestNoGroundTruthLeakage:
+    """README/§3.3 claim: Veritas only ever sees what a deployment logs."""
+
+    def test_session_log_has_no_bandwidth_field(self, mpc_log):
+        payload = json.dumps(mpc_log.to_dict()).lower()
+        # buffer_capacity_s is a *player* parameter; network-side truth
+        # identifiers must be absent.
+        for forbidden in ("gtbw", "ground_truth", "groundtruth", "bandwidth",
+                          "trace"):
+            assert forbidden not in payload
+
+    def test_chunk_record_fields_are_observables_only(self):
+        names = {f.name for f in dataclasses.fields(ChunkRecord)}
+        assert names == {
+            "index",
+            "quality",
+            "size_bytes",
+            "start_time_s",
+            "end_time_s",
+            "tcp_state",
+            "buffer_before_s",
+            "buffer_after_s",
+            "rebuffer_s",
+            "ssim",
+            "bitrate_mbps",
+        }
+
+
+class TestBufferNotNeeded:
+    """Appendix A.2: "we do not actually need to log B_{s_{1:N}} since
+    s_{1:N} is necessary and sufficient" — the abduction must be invariant
+    to the logged buffer values."""
+
+    def _with_zeroed_buffers(self, log: SessionLog) -> SessionLog:
+        records = [
+            dataclasses.replace(r, buffer_before_s=0.0, buffer_after_s=0.0)
+            for r in log.records
+        ]
+        return dataclasses.replace(log, records=records)
+
+    def test_posterior_invariant_to_buffer_values(self, mpc_log):
+        veritas = VeritasAbduction(paper_veritas_config())
+        original = veritas.solve(mpc_log)
+        zeroed = veritas.solve(self._with_zeroed_buffers(mpc_log))
+        assert np.array_equal(original.viterbi.states, zeroed.viterbi.states)
+        assert np.allclose(original.smoothing.gamma, zeroed.smoothing.gamma)
+        assert original.log_likelihood == pytest.approx(zeroed.log_likelihood)
+
+    def test_posterior_invariant_to_ssim_and_quality(self, mpc_log):
+        """Quality labels are outcomes, not inputs, of the inversion."""
+        records = [
+            dataclasses.replace(r, ssim=0.5, quality=0, bitrate_mbps=0.1)
+            for r in mpc_log.records
+        ]
+        scrubbed = dataclasses.replace(mpc_log, records=records)
+        veritas = VeritasAbduction(paper_veritas_config())
+        original = veritas.solve(mpc_log)
+        altered = veritas.solve(scrubbed)
+        assert np.array_equal(original.viterbi.states, altered.viterbi.states)
+
+
+class TestPaperDefaults:
+    """§4.1: δ=5 s, ε=0.5 Mbps, σ=0.5, tridiagonal A, uniform u, K=5."""
+
+    def test_reference_configuration(self):
+        config = paper_veritas_config()
+        assert config.delta_s == 5.0
+        assert config.epsilon_mbps == 0.5
+        assert config.sigma_mbps == 0.5
+        assert config.transition_kind == "tridiagonal"
+
+    def test_initial_distribution_is_uniform(self):
+        veritas = VeritasAbduction(paper_veritas_config())
+        initial = veritas.transitions.initial
+        assert np.allclose(initial, initial[0])
+
+    def test_grid_matches_epsilon_example(self):
+        """§3.2: "ε = 0.5 implies hidden states {0.0, 0.5, 1.0, ...}"."""
+        veritas = VeritasAbduction(VeritasConfig())
+        values = veritas.grid.values_mbps
+        assert values[0] == 0.0
+        assert values[1] == 0.5
+        assert np.allclose(np.diff(values), 0.5)
+
+
+class TestAlgorithmOneAnchor:
+    """Algorithm 1 anchors the final chunk at the Viterbi state."""
+
+    def test_every_sample_shares_the_viterbi_last_state(self, solved_posterior):
+        last = solved_posterior.viterbi.states[-1]
+        problem = solved_posterior.problem
+        last_value = problem.grid.value_of(int(last))
+        for seed in range(5):
+            trace = solved_posterior.sample_trace(seed=seed)
+            # The sampled capacity at the final chunk's start time must be
+            # the Viterbi state's value (up to interpolation within the
+            # shared window).
+            t_last = float(problem.start_times_s[-1])
+            assert trace.value_at(t_last) == pytest.approx(
+                last_value, abs=problem.grid.epsilon_mbps
+            )

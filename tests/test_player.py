@@ -1,0 +1,249 @@
+"""Tests for the player substrate: buffer, session simulator, logs, metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    BBAAlgorithm,
+    MPCAlgorithm,
+    SessionConfig,
+    SessionLog,
+    StreamingSession,
+    compute_metrics,
+    constant_trace,
+    random_walk_trace,
+)
+from repro.player import PlayerBuffer
+from repro.video import short_video
+
+
+@pytest.fixture(scope="module")
+def video():
+    return short_video(duration_s=120.0, seed=4)
+
+
+class TestPlayerBuffer:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            PlayerBuffer(0.0)
+
+    def test_no_drain_before_playback(self):
+        buf = PlayerBuffer(5.0)
+        assert buf.drain(10.0) == 0.0
+        assert buf.total_rebuffer_s == 0.0
+
+    def test_drain_counts_stall(self):
+        buf = PlayerBuffer(5.0)
+        buf.append_chunk(2.0)
+        buf.start_playback()
+        stall = buf.drain(3.0)
+        assert stall == pytest.approx(1.0)
+        assert buf.level_s == 0.0
+        assert buf.total_rebuffer_s == pytest.approx(1.0)
+
+    def test_drain_no_stall(self):
+        buf = PlayerBuffer(5.0)
+        buf.append_chunk(4.0)
+        buf.start_playback()
+        assert buf.drain(2.0) == 0.0
+        assert buf.level_s == pytest.approx(2.0)
+
+    def test_drain_rejects_negative(self):
+        buf = PlayerBuffer(5.0)
+        with pytest.raises(ValueError):
+            buf.drain(-1.0)
+
+    def test_append_rejects_nonpositive(self):
+        buf = PlayerBuffer(5.0)
+        with pytest.raises(ValueError):
+            buf.append_chunk(0.0)
+
+    def test_overflow_wait(self):
+        buf = PlayerBuffer(5.0)
+        for _ in range(4):
+            buf.append_chunk(2.0)
+        assert buf.overflow_wait_s() == pytest.approx(3.0)
+
+
+class TestSessionConfig:
+    def test_rejects_bad_buffer(self):
+        with pytest.raises(ValueError):
+            SessionConfig(buffer_capacity_s=0.0)
+
+    def test_rejects_bad_rtt(self):
+        with pytest.raises(ValueError):
+            SessionConfig(rtt_s=-1.0)
+
+
+class TestStreamingSession:
+    def test_produces_one_record_per_chunk(self, video):
+        trace = constant_trace(6.0, 1000.0)
+        log = StreamingSession(video, BBAAlgorithm(), trace, SessionConfig()).run()
+        assert log.n_chunks == video.n_chunks
+        assert [r.index for r in log.records] == list(range(video.n_chunks))
+
+    def test_chunks_are_time_ordered(self, video):
+        trace = constant_trace(6.0, 1000.0)
+        log = StreamingSession(video, MPCAlgorithm(), trace, SessionConfig()).run()
+        starts = log.start_times_s()
+        ends = log.end_times_s()
+        assert np.all(ends > starts)
+        assert np.all(starts[1:] >= ends[:-1] - 1e-9)
+
+    def test_no_rebuffering_on_fast_link(self, video):
+        trace = constant_trace(50.0, 1000.0)
+        log = StreamingSession(video, BBAAlgorithm(), trace, SessionConfig()).run()
+        assert log.total_rebuffer_s == 0.0
+
+    def test_rebuffering_on_slow_link(self, video):
+        # Lowest rung is 0.1 Mbps; a 0.12 Mbps link with request overheads
+        # cannot sustain even that in real time.
+        trace = constant_trace(0.12, 10_000.0)
+        log = StreamingSession(video, BBAAlgorithm(), trace, SessionConfig()).run()
+        assert log.total_rebuffer_s > 0.0
+
+    def test_buffer_capacity_respected_at_request_time(self, video):
+        trace = constant_trace(10.0, 1000.0)
+        config = SessionConfig(buffer_capacity_s=5.0)
+        log = StreamingSession(video, BBAAlgorithm(), trace, config).run()
+        for record in log.records:
+            assert record.buffer_before_s <= config.buffer_capacity_s + 1e-6
+
+    def test_buffer_never_negative(self, video):
+        trace = random_walk_trace(2.0, 1000.0, seed=8, low=0.3, high=6.0)
+        log = StreamingSession(video, MPCAlgorithm(), trace, SessionConfig()).run()
+        for record in log.records:
+            assert record.buffer_before_s >= 0.0
+            assert record.buffer_after_s >= 0.0
+
+    def test_rebuffer_accounting_consistent(self, video):
+        trace = random_walk_trace(1.0, 2000.0, seed=9, low=0.2, high=3.0)
+        log = StreamingSession(video, MPCAlgorithm(), trace, SessionConfig()).run()
+        per_chunk = sum(r.rebuffer_s for r in log.records)
+        assert per_chunk == pytest.approx(log.total_rebuffer_s, abs=1e-6)
+
+    def test_bigger_buffer_reduces_rebuffering(self, video):
+        trace = random_walk_trace(
+            1.5, 2000.0, seed=10, low=0.3, high=4.0,
+            dip_prob=0.1, dip_range_mbps=(0.2, 0.5),
+        )
+        small = StreamingSession(
+            video, MPCAlgorithm(), trace, SessionConfig(buffer_capacity_s=5.0)
+        ).run()
+        large = StreamingSession(
+            video, MPCAlgorithm(), trace, SessionConfig(buffer_capacity_s=30.0)
+        ).run()
+        assert large.total_rebuffer_s <= small.total_rebuffer_s + 1e-6
+
+    def test_tcp_state_logged_with_idle_gaps(self, video):
+        trace = constant_trace(20.0, 1000.0)
+        log = StreamingSession(video, BBAAlgorithm(), trace, SessionConfig()).run()
+        # On a fast link the buffer fills and the player sleeps between
+        # requests, so most chunks should observe an idle gap.
+        gaps = [r.tcp_state.time_since_last_send_s for r in log.records[10:]]
+        assert np.median(gaps) > 0.5
+
+    def test_startup_time_is_first_chunk_end(self, video):
+        trace = constant_trace(6.0, 1000.0)
+        log = StreamingSession(video, MPCAlgorithm(), trace, SessionConfig()).run()
+        assert log.startup_time_s == pytest.approx(log.records[0].end_time_s)
+
+    def test_invalid_quality_from_abr_raises(self, video):
+        class BadABR(BBAAlgorithm):
+            def choose_quality(self, context):
+                return 99
+
+        trace = constant_trace(6.0, 1000.0)
+        with pytest.raises(ValueError):
+            StreamingSession(video, BadABR(), trace, SessionConfig()).run()
+
+
+class TestSessionLog:
+    def test_serialisation_round_trip(self, video):
+        trace = constant_trace(6.0, 1000.0)
+        log = StreamingSession(video, MPCAlgorithm(), trace, SessionConfig()).run()
+        restored = SessionLog.from_dict(log.to_dict())
+        assert restored.n_chunks == log.n_chunks
+        assert restored.records[5] == log.records[5]
+        assert restored.total_rebuffer_s == log.total_rebuffer_s
+
+    def test_truncated_prefix(self, video):
+        trace = constant_trace(6.0, 1000.0)
+        log = StreamingSession(video, MPCAlgorithm(), trace, SessionConfig()).run()
+        prefix = log.truncated(10)
+        assert prefix.n_chunks == 10
+        assert prefix.records[-1] == log.records[9]
+
+    def test_truncated_rejects_too_long(self, video):
+        trace = constant_trace(6.0, 1000.0)
+        log = StreamingSession(video, MPCAlgorithm(), trace, SessionConfig()).run()
+        with pytest.raises(ValueError):
+            log.truncated(log.n_chunks + 1)
+
+    def test_out_of_order_records_rejected(self, video):
+        trace = constant_trace(6.0, 1000.0)
+        log = StreamingSession(video, MPCAlgorithm(), trace, SessionConfig()).run()
+        data = log.to_dict()
+        data["records"] = [data["records"][1], data["records"][0]]
+        with pytest.raises(ValueError):
+            SessionLog.from_dict(data)
+
+    def test_throughput_matches_size_over_time(self, video):
+        trace = constant_trace(6.0, 1000.0)
+        log = StreamingSession(video, MPCAlgorithm(), trace, SessionConfig()).run()
+        r = log.records[3]
+        assert r.throughput_mbps == pytest.approx(
+            r.size_bytes * 8 / 1e6 / r.download_time_s
+        )
+
+
+class TestMetrics:
+    def test_no_stalls_zero_ratio(self, video):
+        trace = constant_trace(50.0, 1000.0)
+        log = StreamingSession(video, BBAAlgorithm(), trace, SessionConfig()).run()
+        metrics = compute_metrics(log)
+        assert metrics.rebuffer_ratio == 0.0
+        assert metrics.rebuffer_percent == 0.0
+
+    def test_ssim_within_ladder_range(self, video):
+        trace = constant_trace(6.0, 1000.0)
+        log = StreamingSession(video, MPCAlgorithm(), trace, SessionConfig()).run()
+        metrics = compute_metrics(log)
+        assert 0.87 < metrics.mean_ssim < 1.0
+
+    def test_avg_bitrate_sane(self, video):
+        trace = constant_trace(6.0, 1000.0)
+        log = StreamingSession(video, MPCAlgorithm(), trace, SessionConfig()).run()
+        metrics = compute_metrics(log)
+        assert 0.1 <= metrics.avg_bitrate_mbps <= 6.0
+
+    def test_faster_link_higher_ssim(self, video):
+        slow = StreamingSession(
+            video, MPCAlgorithm(), constant_trace(0.8, 2000.0), SessionConfig()
+        ).run()
+        fast = StreamingSession(
+            video, MPCAlgorithm(), constant_trace(8.0, 2000.0), SessionConfig()
+        ).run()
+        assert compute_metrics(fast).mean_ssim > compute_metrics(slow).mean_ssim
+
+    def test_rejects_empty_log(self):
+        log = SessionLog(
+            abr_name="x",
+            buffer_capacity_s=5.0,
+            chunk_duration_s=2.0,
+            rtt_s=0.08,
+            startup_time_s=0.0,
+            total_rebuffer_s=0.0,
+            records=[],
+        )
+        with pytest.raises(ValueError):
+            compute_metrics(log)
+
+    def test_quality_switch_count(self, video):
+        trace = constant_trace(6.0, 1000.0)
+        log = StreamingSession(video, MPCAlgorithm(), trace, SessionConfig()).run()
+        metrics = compute_metrics(log)
+        manual = int(np.count_nonzero(np.diff(log.qualities())))
+        assert metrics.quality_switches == manual

@@ -1,0 +1,80 @@
+"""Tests for the ASCII plotting helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.util import ascii_line_plot, ascii_scatter
+
+
+class TestLinePlot:
+    def test_renders_title_and_legend(self):
+        out = ascii_line_plot(
+            [0, 1, 2], {"gt": [1, 2, 3], "est": [1, 1, 2]}, title="T"
+        )
+        assert out.startswith("T")
+        assert "* gt" in out
+        assert "o est" in out
+
+    def test_marks_present(self):
+        out = ascii_line_plot([0, 1, 2, 3], {"s": [0, 1, 2, 3]})
+        assert "*" in out
+
+    def test_extremes_on_axis(self):
+        out = ascii_line_plot([0, 10], {"s": [2.0, 8.0]})
+        assert "8.00" in out
+        assert "2.00" in out
+
+    def test_constant_series_does_not_crash(self):
+        out = ascii_line_plot([0, 1], {"s": [5.0, 5.0]})
+        assert "*" in out
+
+    def test_validates_lengths(self):
+        with pytest.raises(ValueError):
+            ascii_line_plot([0, 1], {"s": [1.0]})
+
+    def test_validates_empty(self):
+        with pytest.raises(ValueError):
+            ascii_line_plot([], {"s": []})
+        with pytest.raises(ValueError):
+            ascii_line_plot([0], {})
+
+    def test_validates_size(self):
+        with pytest.raises(ValueError):
+            ascii_line_plot([0, 1], {"s": [1, 2]}, width=4)
+
+    def test_line_count_matches_height(self):
+        out = ascii_line_plot([0, 1], {"s": [1, 2]}, height=10, title="T")
+        # title + legend + 10 canvas rows + axis + labels
+        assert len(out.splitlines()) == 14
+
+
+class TestScatter:
+    def test_diagonal_reference(self):
+        out = ascii_scatter([0, 5, 10], [0, 5, 10], diagonal=True)
+        assert "." in out
+        assert "*" in out
+
+    def test_points_on_diagonal_overwrite_reference(self):
+        out = ascii_scatter([0, 10], [0, 10], diagonal=True)
+        # Corner cells are points, not reference dots.
+        rows = out.splitlines()
+        assert "*" in rows[1] or "*" in rows[-3]
+
+    def test_validates_mismatched(self):
+        with pytest.raises(ValueError):
+            ascii_scatter([1, 2], [1])
+
+    def test_validates_empty(self):
+        with pytest.raises(ValueError):
+            ascii_scatter([], [])
+
+    def test_handles_identical_points(self):
+        out = ascii_scatter([3.0, 3.0], [3.0, 3.0])
+        assert "*" in out
+
+    def test_deterministic(self):
+        a = ascii_scatter(np.arange(10), np.arange(10) ** 1.5)
+        b = ascii_scatter(np.arange(10), np.arange(10) ** 1.5)
+        assert a == b

@@ -1,0 +1,113 @@
+"""End-to-end property-based tests on the streaming session simulator.
+
+Hypothesis drives random (bandwidth, ABR, buffer) combinations through a
+full session and asserts the physical invariants that must hold for *any*
+configuration — the strongest guard against simulator accounting bugs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    SessionConfig,
+    StreamingSession,
+    constant_trace,
+    make_abr,
+    random_walk_trace,
+)
+from repro.util import transfer_bytes
+from repro.video import short_video
+
+_VIDEO = short_video(duration_s=60.0, seed=9)
+
+abr_names = st.sampled_from(["mpc", "bba", "bola", "rate"])
+bandwidths = st.floats(min_value=0.3, max_value=20.0)
+buffers = st.floats(min_value=2.5, max_value=40.0)
+
+
+@given(abr=abr_names, mbps=bandwidths, cap=buffers)
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_session_invariants_hold_for_any_configuration(abr, mbps, cap):
+    trace = constant_trace(mbps, 100_000.0)
+    config = SessionConfig(buffer_capacity_s=cap)
+    log = StreamingSession(_VIDEO, make_abr(abr), trace, config).run()
+
+    # One record per chunk, monotone in time, positive durations.
+    assert log.n_chunks == _VIDEO.n_chunks
+    starts = log.start_times_s()
+    ends = log.end_times_s()
+    assert np.all(ends > starts)
+    assert np.all(starts[1:] >= ends[:-1] - 1e-9)
+
+    # No download can beat the link: duration >= bytes / link rate.
+    for record in log.records:
+        floor = record.size_bytes / transfer_bytes(mbps, 1.0)
+        assert record.download_time_s >= floor - 1e-9
+        assert record.throughput_mbps <= mbps + 1e-9
+
+    # Buffer accounting: never negative, capped at request time; total
+    # rebuffering equals the per-chunk sum.
+    for record in log.records:
+        assert -1e-9 <= record.buffer_before_s <= cap + 1e-6
+        assert record.buffer_after_s >= 0.0
+    assert sum(r.rebuffer_s for r in log.records) == pytest.approx(
+        log.total_rebuffer_s, abs=1e-6
+    )
+
+    # Wall-clock identity: the last chunk cannot arrive after playback of
+    # everything before it plus stalls plus the startup delay.
+    playback = log.n_chunks * log.chunk_duration_s
+    assert ends[-1] <= log.startup_time_s + playback + log.total_rebuffer_s + 1e-6
+
+    # Qualities within the ladder.
+    qualities = log.qualities()
+    assert qualities.min() >= 0
+    assert qualities.max() < _VIDEO.n_qualities
+
+
+@given(
+    mbps=st.floats(min_value=0.5, max_value=10.0),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=20, deadline=None)
+def test_random_abr_sessions_well_formed(mbps, seed):
+    trace = constant_trace(mbps, 100_000.0)
+    abr = make_abr("random", seed=seed)
+    log = StreamingSession(_VIDEO, abr, trace, SessionConfig()).run()
+    assert log.n_chunks == _VIDEO.n_chunks
+    assert np.all(log.download_times_s() > 0)
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=15, deadline=None)
+def test_sessions_deterministic_given_inputs(seed):
+    """The simulator itself is deterministic: same inputs, same log."""
+    trace = random_walk_trace(5.0, 600.0, seed=seed, low=1.0, high=9.0)
+    log_a = StreamingSession(_VIDEO, make_abr("mpc"), trace, SessionConfig()).run()
+    log_b = StreamingSession(_VIDEO, make_abr("mpc"), trace, SessionConfig()).run()
+    assert np.array_equal(log_a.qualities(), log_b.qualities())
+    assert np.allclose(log_a.end_times_s(), log_b.end_times_s())
+
+
+@given(
+    mbps=st.floats(min_value=0.5, max_value=15.0),
+    abr=abr_names,
+)
+@settings(max_examples=25, deadline=None)
+def test_abduction_never_sees_impossible_states(mbps, abr):
+    """Abduction on any session yields finite, in-grid results."""
+    from repro import VeritasAbduction, paper_veritas_config
+
+    trace = constant_trace(mbps, 100_000.0)
+    log = StreamingSession(_VIDEO, make_abr(abr), trace, SessionConfig()).run()
+    post = VeritasAbduction(paper_veritas_config(max_capacity_mbps=16.0)).solve(log)
+    caps = post.map_capacities_mbps()
+    assert np.all(caps >= 0.0)
+    assert np.all(caps <= 16.0)
+    assert np.isfinite(post.log_likelihood)
+    gamma = post.smoothing.gamma
+    assert np.allclose(gamma.sum(axis=1), 1.0)

@@ -1,0 +1,91 @@
+"""Tests for trace file interoperability (Mahimahi and CSV formats)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.net import (
+    PiecewiseConstantTrace,
+    constant_trace,
+    from_mahimahi,
+    load_csv,
+    load_mahimahi,
+    random_walk_trace,
+    save_csv,
+    save_mahimahi,
+    to_mahimahi,
+)
+
+
+class TestMahimahi:
+    def test_constant_trace_rate_preserved(self):
+        # 12 Mbps = 1000 MTU packets per second.
+        trace = constant_trace(12.0, 5.0)
+        stamps = to_mahimahi(trace)
+        assert len(stamps) == pytest.approx(5 * 1000, abs=5)
+        assert stamps == sorted(stamps)
+
+    def test_round_trip_recovers_bandwidth(self):
+        trace = PiecewiseConstantTrace.from_uniform([2.0, 8.0, 4.0], 5.0)
+        recovered = from_mahimahi(to_mahimahi(trace), window_s=5.0)
+        assert np.allclose(recovered.values, trace.values, atol=0.3)
+
+    def test_random_walk_round_trip_mean(self):
+        trace = random_walk_trace(5.0, 60.0, seed=3, low=2.0, high=8.0)
+        recovered = from_mahimahi(to_mahimahi(trace), window_s=5.0)
+        assert recovered.mean() == pytest.approx(trace.mean(), rel=0.05)
+
+    def test_zero_bandwidth_interval_emits_nothing(self):
+        trace = PiecewiseConstantTrace.from_uniform([6.0, 0.0, 6.0], 1.0)
+        stamps = to_mahimahi(trace)
+        # No deliveries inside the silent second (1000-2000 ms).
+        silent = [t for t in stamps if 1005 < t <= 1995]
+        assert not silent
+
+    def test_file_round_trip(self, tmp_path):
+        trace = PiecewiseConstantTrace.from_uniform([3.0, 6.0], 5.0)
+        path = tmp_path / "trace.mm"
+        save_mahimahi(trace, path)
+        recovered = load_mahimahi(path, window_s=5.0)
+        assert np.allclose(recovered.values, trace.values, atol=0.3)
+
+    def test_from_mahimahi_validations(self):
+        with pytest.raises(ValueError):
+            from_mahimahi([])
+        with pytest.raises(ValueError):
+            from_mahimahi([10], window_s=0.0)
+        with pytest.raises(ValueError):
+            from_mahimahi([-5, 10])
+
+    def test_to_mahimahi_validates_mtu(self):
+        with pytest.raises(ValueError):
+            to_mahimahi(constant_trace(5.0, 1.0), mtu_bytes=0)
+
+
+class TestCSV:
+    def test_round_trip_exact(self, tmp_path):
+        trace = PiecewiseConstantTrace.from_uniform([1.5, 7.25, 3.0], 2.5)
+        path = tmp_path / "trace.csv"
+        save_csv(trace, path)
+        recovered = load_csv(path)
+        assert np.allclose(recovered.boundaries, trace.boundaries)
+        assert np.allclose(recovered.values, trace.values)
+
+    def test_header_written(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        save_csv(constant_trace(4.0, 10.0), path)
+        first = path.read_text().splitlines()[0]
+        assert first == "time_s,bandwidth_mbps"
+
+    def test_load_rejects_empty(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            load_csv(path)
+
+    def test_load_rejects_single_row(self, tmp_path):
+        path = tmp_path / "one.csv"
+        path.write_text("time_s,bandwidth_mbps\n0.0,5.0\n")
+        with pytest.raises(ValueError):
+            load_csv(path)

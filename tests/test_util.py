@@ -1,0 +1,151 @@
+"""Unit tests for repro.util: units, RNG helpers, statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util import (
+    Summary,
+    bytes_per_sec_to_mbps,
+    cdf_at,
+    child_rng,
+    empirical_cdf,
+    ensure_rng,
+    mbps_to_bytes_per_sec,
+    render_table,
+    spawn_seeds,
+    summarize,
+    throughput_mbps,
+    transfer_bytes,
+)
+
+
+class TestUnits:
+    def test_mbps_round_trip(self):
+        assert bytes_per_sec_to_mbps(mbps_to_bytes_per_sec(7.25)) == pytest.approx(7.25)
+
+    def test_one_mbps_is_125_kilobytes_per_second(self):
+        assert mbps_to_bytes_per_sec(1.0) == pytest.approx(125_000)
+
+    def test_throughput_simple(self):
+        # 1 MB in 1 second = 8 Mb/s
+        assert throughput_mbps(1_000_000, 1.0) == pytest.approx(8.0)
+
+    def test_throughput_rejects_zero_duration(self):
+        with pytest.raises(ValueError):
+            throughput_mbps(1000, 0.0)
+
+    def test_throughput_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            throughput_mbps(1000, -1.0)
+
+    def test_transfer_bytes(self):
+        assert transfer_bytes(8.0, 1.0) == pytest.approx(1_000_000)
+
+    @given(st.floats(min_value=1e-3, max_value=1e4))
+    def test_round_trip_property(self, mbps):
+        assert bytes_per_sec_to_mbps(mbps_to_bytes_per_sec(mbps)) == pytest.approx(mbps)
+
+    @given(
+        st.floats(min_value=1.0, max_value=1e9),
+        st.floats(min_value=1e-3, max_value=1e4),
+    )
+    def test_throughput_transfer_inverse(self, size, duration):
+        mbps = throughput_mbps(size, duration)
+        assert transfer_bytes(mbps, duration) == pytest.approx(size, rel=1e-9)
+
+
+class TestRng:
+    def test_ensure_rng_from_int_is_deterministic(self):
+        a = ensure_rng(42).integers(0, 1000, 10)
+        b = ensure_rng(42).integers(0, 1000, 10)
+        assert np.array_equal(a, b)
+
+    def test_ensure_rng_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert ensure_rng(rng) is rng
+
+    def test_spawn_seeds_deterministic(self):
+        assert spawn_seeds(7, 5) == spawn_seeds(7, 5)
+
+    def test_spawn_seeds_distinct(self):
+        seeds = spawn_seeds(7, 20)
+        assert len(set(seeds)) == 20
+
+    def test_spawn_seeds_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(1, -1)
+
+    def test_child_rng_labels_differ(self):
+        base = ensure_rng(3)
+        a = child_rng(base, "alpha").integers(0, 10**6)
+        base2 = ensure_rng(3)
+        b = child_rng(base2, "beta").integers(0, 10**6)
+        assert a != b
+
+
+class TestStats:
+    def test_summarize_basic(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert s.count == 5
+        assert s.mean == pytest.approx(3.0)
+        assert s.median == pytest.approx(3.0)
+        assert s.minimum == 1.0
+        assert s.maximum == 5.0
+
+    def test_summarize_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_summary_row_length(self):
+        s = summarize([1.0, 2.0])
+        assert len(s.row()) == 8
+
+    def test_empirical_cdf_monotone(self):
+        xs, ps = empirical_cdf([3.0, 1.0, 2.0])
+        assert list(xs) == [1.0, 2.0, 3.0]
+        assert list(ps) == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_empirical_cdf_empty_raises(self):
+        with pytest.raises(ValueError):
+            empirical_cdf([])
+
+    def test_cdf_at(self):
+        assert cdf_at([1, 2, 3, 4], 2.5) == pytest.approx(0.5)
+
+    def test_cdf_at_empty_raises(self):
+        with pytest.raises(ValueError):
+            cdf_at([], 1.0)
+
+    def test_render_table_contains_cells(self):
+        out = render_table(["a", "bb"], [[1.23456, "x"]], title="T")
+        assert "T" in out
+        assert "1.235" in out
+        assert "x" in out
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50))
+    def test_summary_bounds_property(self, values):
+        s = summarize(values)
+        assert s.minimum <= s.p10 <= s.median <= s.p90 <= s.maximum
+        # The mean accumulates rounding error; allow one part in 1e12.
+        span = max(abs(s.minimum), abs(s.maximum), 1e-300)
+        tol = 1e-12 * span
+        assert s.minimum - tol <= s.mean <= s.maximum + tol
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50))
+    def test_cdf_range_property(self, values):
+        xs, ps = empirical_cdf(values)
+        assert ps[0] > 0
+        assert ps[-1] == pytest.approx(1.0)
+        assert np.all(np.diff(xs) >= 0)
+
+    def test_summary_is_frozen(self):
+        s = summarize([1.0])
+        with pytest.raises(AttributeError):
+            s.mean = 2.0  # type: ignore[misc]
+
+    def test_summary_dataclass_fields(self):
+        assert isinstance(summarize([1.0, 2.0]), Summary)

@@ -1,0 +1,179 @@
+"""Tests for the video substrate: ladders, SSIM model, VBR chunks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.video import (
+    QualityLadder,
+    Video,
+    default_ladder,
+    higher_ladder,
+    paper_video,
+    short_video,
+    ssim_from_bitrate,
+    ssim_from_db,
+    ssim_to_db,
+)
+
+
+class TestSSIMModel:
+    def test_anchors_match_paper(self):
+        assert ssim_from_bitrate(0.1) == pytest.approx(0.908, abs=1e-6)
+        assert ssim_from_bitrate(4.0) == pytest.approx(0.986, abs=1e-6)
+
+    def test_monotone_in_bitrate(self):
+        rates = [0.1, 0.3, 1.0, 4.0, 8.0, 16.0]
+        vals = [ssim_from_bitrate(r) for r in rates]
+        assert all(a < b for a, b in zip(vals, vals[1:]))
+
+    def test_saturates_below_one(self):
+        assert ssim_from_bitrate(100.0) < 1.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ssim_from_bitrate(0.0)
+
+    def test_db_round_trip(self):
+        for s in [0.5, 0.9, 0.99]:
+            assert ssim_from_db(ssim_to_db(s)) == pytest.approx(s)
+
+    def test_db_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            ssim_to_db(1.0)
+
+    @given(st.floats(min_value=0.01, max_value=50.0))
+    def test_ssim_in_unit_interval(self, rate):
+        assert 0.0 < ssim_from_bitrate(rate) < 1.0
+
+
+class TestQualityLadder:
+    def test_default_ladder_span(self):
+        ladder = default_ladder()
+        assert ladder.lowest.bitrate_mbps == 0.1
+        assert ladder.highest.bitrate_mbps == 4.0
+        assert len(ladder) == 7
+
+    def test_higher_ladder_is_higher(self):
+        assert higher_ladder().highest.bitrate_mbps > default_ladder().highest.bitrate_mbps
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            QualityLadder([1.0, 0.5])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            QualityLadder([1.0, 1.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            QualityLadder([])
+
+    def test_rejects_bad_names(self):
+        with pytest.raises(ValueError):
+            QualityLadder([1.0, 2.0], names=["only-one"])
+
+    def test_indexing_and_iteration(self):
+        ladder = default_ladder()
+        assert ladder[0].index == 0
+        assert [lv.index for lv in ladder] == list(range(7))
+
+    def test_nearest_level(self):
+        ladder = default_ladder()
+        assert ladder.nearest_level(1.1).bitrate_mbps == 1.2
+        assert ladder.nearest_level(100.0).bitrate_mbps == 4.0
+
+    def test_highest_below(self):
+        ladder = default_ladder()
+        assert ladder.highest_below(1.0).bitrate_mbps == 0.75
+        assert ladder.highest_below(0.01).bitrate_mbps == 0.1
+        assert ladder.highest_below(99).bitrate_mbps == 4.0
+
+
+class TestVideo:
+    def test_paper_video_shape(self):
+        video = paper_video(seed=1)
+        assert video.n_qualities == 7
+        assert video.n_chunks == pytest.approx(600 / 2.002, abs=1)
+        assert video.duration_s == pytest.approx(600, abs=3)
+
+    def test_mean_ssim_matches_anchors(self):
+        video = paper_video(seed=1)
+        means = video.mean_ssim_per_quality()
+        assert means[0] == pytest.approx(0.908, abs=0.01)
+        assert means[-1] == pytest.approx(0.986, abs=0.004)
+
+    def test_sizes_scale_with_bitrate(self):
+        video = short_video(seed=2)
+        mean_sizes = [
+            np.mean([video.chunk_size_bytes(n, q) for n in range(video.n_chunks)])
+            for q in range(video.n_qualities)
+        ]
+        assert all(a < b for a, b in zip(mean_sizes, mean_sizes[1:]))
+
+    def test_nominal_size_roughly_bitrate_times_duration(self):
+        video = short_video(seed=2)
+        q = video.n_qualities - 1
+        nominal = video.bitrate_mbps(q) * 1e6 / 8 * video.chunk_duration_s
+        mean = np.mean([video.chunk_size_bytes(n, q) for n in range(video.n_chunks)])
+        assert mean == pytest.approx(nominal, rel=0.25)
+
+    def test_generate_deterministic(self):
+        a = short_video(seed=5)
+        b = short_video(seed=5)
+        assert a.chunk_size_bytes(3, 2) == b.chunk_size_bytes(3, 2)
+
+    def test_sizes_for_chunk_is_copy(self):
+        video = short_video(seed=2)
+        row = video.sizes_for_chunk(0)
+        row[0] = -1
+        assert video.chunk_size_bytes(0, 0) > 0
+
+    def test_rejects_bad_duration(self):
+        with pytest.raises(ValueError):
+            Video.generate(default_ladder(), duration_s=0.0)
+
+    def test_validation_rejects_bad_ssim(self):
+        with pytest.raises(ValueError):
+            Video(
+                default_ladder(),
+                2.0,
+                np.ones((5, 7)),
+                np.full((5, 7), 1.5),
+            )
+
+    def test_validation_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            Video(default_ladder(), 2.0, np.ones((5, 6)), np.full((5, 6), 0.9))
+
+
+class TestReencoding:
+    def test_reencode_changes_ladder(self):
+        video = short_video(seed=3)
+        re = video.reencoded(higher_ladder(), seed=0)
+        assert re.ladder.highest.bitrate_mbps == 8.0
+        assert re.n_chunks == video.n_chunks
+        assert re.chunk_duration_s == video.chunk_duration_s
+
+    def test_reencode_preserves_difficulty_ordering(self):
+        """Hard scenes remain relatively large in the new encode."""
+        video = short_video(seed=3)
+        re = video.reencoded(higher_ladder(), seed=0)
+        q_old = video.n_qualities - 1
+        q_new = re.n_qualities - 1
+        old_sizes = np.array(
+            [video.chunk_size_bytes(n, q_old) for n in range(video.n_chunks)]
+        )
+        new_sizes = np.array(
+            [re.chunk_size_bytes(n, q_new) for n in range(re.n_chunks)]
+        )
+        corr = np.corrcoef(old_sizes, new_sizes)[0, 1]
+        assert corr > 0.5
+
+    def test_reencode_raises_mean_quality(self):
+        video = short_video(seed=3)
+        re = video.reencoded(higher_ladder(), seed=0)
+        assert re.mean_ssim_per_quality()[0] > video.mean_ssim_per_quality()[0]

@@ -1,0 +1,77 @@
+"""Tests for the workloads package: corpora and named scenarios."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    fast_setting_a,
+    paper_setting_a,
+    paper_veritas_config,
+)
+from repro.workloads import paper_session_config
+
+
+class TestScenarios:
+    def test_paper_session_config_defaults(self):
+        config = paper_session_config()
+        assert config.buffer_capacity_s == 5.0
+        assert config.rtt_s == 0.08
+
+    def test_paper_session_config_override(self):
+        assert paper_session_config(30.0).buffer_capacity_s == 30.0
+
+    def test_paper_setting_a_shape(self):
+        setting = paper_setting_a(seed=7)
+        assert setting.make_abr().name == "mpc"
+        assert setting.video.ladder.highest.bitrate_mbps == 4.0
+        assert setting.video.duration_s == pytest.approx(600, abs=3)
+
+    def test_paper_setting_a_seeded(self):
+        a = paper_setting_a(seed=7)
+        b = paper_setting_a(seed=7)
+        assert a.video.chunk_size_bytes(5, 3) == b.video.chunk_size_bytes(5, 3)
+
+    def test_fast_setting_a_is_shorter(self):
+        setting = fast_setting_a(duration_s=120.0)
+        assert setting.video.duration_s < 150.0
+
+    def test_paper_veritas_config_defaults(self):
+        config = paper_veritas_config()
+        assert config.delta_s == 5.0
+        assert config.epsilon_mbps == 0.5
+        assert config.sigma_mbps == 0.5
+        assert config.max_capacity_mbps == 10.0
+
+    def test_paper_veritas_config_max_capacity(self):
+        assert paper_veritas_config(20.0).max_capacity_mbps == 20.0
+
+
+class TestSettingComposability:
+    def test_chained_counterfactuals(self):
+        """Buffer + ABR + ladder changes compose into one Setting B."""
+        from repro import change_abr, change_buffer, change_ladder, higher_ladder
+
+        setting = paper_setting_a(seed=7)
+        combined = change_ladder(
+            change_buffer(change_abr(setting, "bba"), 30.0),
+            higher_ladder(),
+            seed=0,
+        )
+        assert combined.make_abr().name == "bba"
+        assert combined.config.buffer_capacity_s == 30.0
+        assert combined.video.ladder.highest.bitrate_mbps == 8.0
+        # The original setting is untouched (frozen dataclass semantics).
+        assert setting.make_abr().name == "mpc"
+        assert setting.config.buffer_capacity_s == 5.0
+
+    def test_combined_setting_runs(self):
+        from repro import change_abr, change_buffer, constant_trace, run_setting
+
+        setting = fast_setting_a(duration_s=60.0)
+        combined = change_buffer(change_abr(setting, "bola"), 15.0)
+        log = run_setting(combined, constant_trace(5.0, 600.0))
+        assert log.abr_name == "bola"
+        assert log.buffer_capacity_s == 15.0
+        assert log.n_chunks == setting.video.n_chunks
