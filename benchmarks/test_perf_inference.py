@@ -1,0 +1,183 @@
+"""Inference-engine microbenchmarks (not a paper figure).
+
+Times the hot path of every other benchmark: ``VeritasAbduction.solve`` and
+posterior sampling on a synthetic 200-chunk session at the paper's default
+configuration (K = 21 capacity states), plus ``evaluate_corpus`` at bench
+scale.  Throughputs (chunks/sec, traces/sec) land in
+``benchmark.extra_info`` so the ``BENCH_*.json`` trajectories accumulate a
+performance history across PRs.
+
+Scale knobs: ``REPRO_BENCH_TRACES`` / ``REPRO_BENCH_VIDEO_S`` as elsewhere,
+plus ``REPRO_BENCH_WORKERS`` for the corpus-evaluation process pool (the
+pool is bit-identical to serial; it only changes wall time).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from common import (
+    CORPUS_SEED,
+    ENGINE_SEED,
+    N_SAMPLES,
+    N_TRACES,
+    TRACE_DURATION_S,
+    bench_setting_a,
+    print_header,
+    run_once,
+    shape_check,
+)
+from repro import (
+    CounterfactualEngine,
+    change_abr,
+    paper_corpus,
+    paper_veritas_config,
+)
+from repro.core import VeritasAbduction
+from repro.player.logs import ChunkRecord, SessionLog
+from repro.tcp import TCPStateSnapshot
+
+N_CHUNKS = 200
+N_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+
+
+def synthetic_session(n_chunks: int = N_CHUNKS, seed: int = 0) -> SessionLog:
+    """A deterministic DASH-like session log with ``n_chunks`` chunks."""
+    rng = np.random.default_rng(seed)
+    records = []
+    now = 0.0
+    for index in range(n_chunks):
+        size = float(rng.uniform(50_000, 1_200_000))
+        download_s = float(rng.uniform(0.2, 1.5))
+        state = TCPStateSnapshot(
+            cwnd_segments=int(rng.integers(10, 200)),
+            ssthresh_segments=int(rng.integers(10, 300)),
+            srtt_s=0.08,
+            min_rtt_s=0.08,
+            rto_s=0.25,
+            time_since_last_send_s=float(rng.uniform(0.0, 2.0)),
+        )
+        records.append(
+            ChunkRecord(
+                index=index,
+                quality=0,
+                size_bytes=size,
+                start_time_s=now,
+                end_time_s=now + download_s,
+                tcp_state=state,
+                buffer_before_s=5.0,
+                buffer_after_s=5.0,
+                rebuffer_s=0.0,
+                ssim=0.9,
+                bitrate_mbps=1.0,
+            )
+        )
+        now += download_s + float(rng.uniform(0.1, 1.0))
+    return SessionLog(
+        abr_name="synthetic",
+        buffer_capacity_s=5.0,
+        chunk_duration_s=2.0,
+        rtt_s=0.08,
+        startup_time_s=0.0,
+        total_rebuffer_s=0.0,
+        records=records,
+    )
+
+
+def test_perf_abduction_solve(benchmark):
+    """solve() on a 200-chunk session at the paper's default config."""
+    log = synthetic_session()
+    solver = VeritasAbduction(paper_veritas_config())
+
+    posterior = benchmark(solver.solve, log)
+
+    mean_s = benchmark.stats.stats.mean
+    chunks_per_sec = log.n_chunks / mean_s
+    print_header(
+        "Perf — VeritasAbduction.solve",
+        "vectorized engine; acceptance: >= 5x over the seed's scalar loops",
+    )
+    print(
+        f"  solve: {mean_s * 1e3:.2f} ms/session "
+        f"({chunks_per_sec:,.0f} chunks/sec, K={solver.grid.n_states})"
+    )
+    benchmark.extra_info.update(
+        n_chunks=log.n_chunks,
+        n_states=solver.grid.n_states,
+        solve_ms=mean_s * 1e3,
+        chunks_per_sec=chunks_per_sec,
+    )
+    assert shape_check(
+        "posterior covers every chunk",
+        posterior.smoothing.gamma.shape == (log.n_chunks, solver.grid.n_states),
+    )
+
+
+def test_perf_posterior_sampling(benchmark):
+    """Batched FFBS sampling + trace interpolation for K = 5 samples."""
+    log = synthetic_session()
+    solver = VeritasAbduction(paper_veritas_config())
+    posterior = solver.solve(log)
+
+    traces = benchmark(posterior.sample_traces, N_SAMPLES, seed=1)
+
+    mean_s = benchmark.stats.stats.mean
+    samples_per_sec = N_SAMPLES / mean_s
+    print_header(
+        "Perf — posterior trace sampling",
+        "one uniform draw per chunk instead of count x N rng.choice calls",
+    )
+    print(
+        f"  sample_traces({N_SAMPLES}): {mean_s * 1e3:.2f} ms "
+        f"({samples_per_sec:,.1f} traces/sec)"
+    )
+    benchmark.extra_info.update(
+        n_chunks=log.n_chunks,
+        n_samples=N_SAMPLES,
+        sampling_ms=mean_s * 1e3,
+        samples_per_sec=samples_per_sec,
+    )
+    assert shape_check("drew every requested sample", len(traces) == N_SAMPLES)
+
+
+def test_perf_corpus_evaluation(benchmark):
+    """Full counterfactual corpus evaluation at bench scale."""
+    setting_a = bench_setting_a()
+    setting_b = change_abr(setting_a, "bba")
+    corpus = paper_corpus(
+        count=N_TRACES, duration_s=TRACE_DURATION_S, seed=CORPUS_SEED
+    )
+    engine = CounterfactualEngine(
+        paper_veritas_config(),
+        n_samples=N_SAMPLES,
+        seed=ENGINE_SEED,
+        n_workers=N_WORKERS,
+    )
+
+    start = time.perf_counter()
+    result = run_once(
+        benchmark, lambda: engine.evaluate_corpus(corpus, setting_a, setting_b)
+    )
+    elapsed_s = time.perf_counter() - start
+
+    traces_per_sec = len(corpus) / elapsed_s
+    print_header(
+        "Perf — evaluate_corpus",
+        "process-pool fan-out via n_workers (bit-identical to serial)",
+    )
+    print(
+        f"  {len(corpus)} traces with n_workers={N_WORKERS}: {elapsed_s:.2f} s "
+        f"({traces_per_sec:.2f} traces/sec)"
+    )
+    benchmark.extra_info.update(
+        n_traces=len(corpus),
+        n_workers=N_WORKERS,
+        corpus_s=elapsed_s,
+        traces_per_sec=traces_per_sec,
+    )
+    assert shape_check(
+        "every trace answered", len(result.per_trace) == len(corpus)
+    )

@@ -16,6 +16,9 @@ paper's per-trace series (Figs. 9-11, 13-14) and summary numbers.
 
 from __future__ import annotations
 
+import multiprocessing
+import threading
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -135,19 +138,46 @@ class CounterfactualResult:
         }
 
 
+# Corpus shared with forked pool workers.  Settings carry ABR factory
+# closures that cannot cross a pickle boundary, so the parallel path relies
+# on fork inheritance: the state is installed before the pool spawns and
+# workers receive only trace indices.  The lock serialises concurrent
+# evaluate_corpus calls for the span where workers may still fork, so one
+# call's state cannot leak into another's workers.
+_FORK_STATE: tuple | None = None
+_FORK_LOCK = threading.Lock()
+
+
+def _evaluate_trace_by_index(index: int) -> TraceCounterfactual:
+    engine, traces, setting_a, setting_b, seeds = _FORK_STATE
+    return engine.evaluate_trace(
+        index, traces[index], setting_a, setting_b, seed=seeds[index]
+    )
+
+
 class CounterfactualEngine:
-    """Runs the full Fig.-6 pipeline over a corpus of ground-truth traces."""
+    """Runs the full Fig.-6 pipeline over a corpus of ground-truth traces.
+
+    ``n_workers`` > 1 fans :meth:`evaluate_corpus` out over a process pool.
+    Every trace gets its seed from the same ``spawn_seeds`` schedule and
+    :meth:`evaluate_trace` is deterministic given its seed, so parallel
+    results are bit-identical to serial ones.
+    """
 
     def __init__(
         self,
         veritas_config: VeritasConfig | None = None,
         n_samples: int = 5,
         seed: SeedLike = 0,
+        n_workers: int | None = None,
     ):
         if n_samples < 1:
             raise ValueError(f"n_samples must be >= 1, got {n_samples}")
+        if n_workers is not None and n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
         self.abduction = VeritasAbduction(veritas_config)
         self.n_samples = n_samples
+        self.n_workers = n_workers
         self._seed = seed
 
     # ------------------------------------------------------------------
@@ -199,16 +229,61 @@ class CounterfactualEngine:
         traces: list[PiecewiseConstantTrace],
         setting_a: Setting,
         setting_b: Setting,
+        n_workers: int | None = None,
     ) -> CounterfactualResult:
-        """Answer the counterfactual across a whole corpus."""
+        """Answer the counterfactual across a whole corpus.
+
+        ``n_workers`` overrides the engine-level setting for this call;
+        values > 1 evaluate traces on a process pool with the same
+        deterministic per-trace seeding as the serial path (the results are
+        bit-identical, only wall time changes).
+        """
         if not traces:
             raise ValueError("need at least one ground-truth trace")
+        workers = self.n_workers if n_workers is None else n_workers
+        if workers is not None and workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {workers}")
         seeds = spawn_seeds(self._seed, len(traces))
         result = CounterfactualResult(
             setting_a=setting_a.describe(), setting_b=setting_b.describe()
         )
-        for i, (trace, seed) in enumerate(zip(traces, seeds)):
-            result.per_trace.append(
-                self.evaluate_trace(i, trace, setting_a, setting_b, seed=seed)
+        if (
+            workers is not None
+            and workers > 1
+            and len(traces) > 1
+            and "fork" in multiprocessing.get_all_start_methods()
+        ):
+            result.per_trace.extend(
+                self._evaluate_parallel(
+                    traces, setting_a, setting_b, seeds, min(workers, len(traces))
+                )
             )
+        else:
+            for i, (trace, seed) in enumerate(zip(traces, seeds)):
+                result.per_trace.append(
+                    self.evaluate_trace(i, trace, setting_a, setting_b, seed=seed)
+                )
         return result
+
+    def _evaluate_parallel(
+        self,
+        traces: list[PiecewiseConstantTrace],
+        setting_a: Setting,
+        setting_b: Setting,
+        seeds: list[int],
+        workers: int,
+    ) -> list[TraceCounterfactual]:
+        """Fan the per-trace evaluations out over forked worker processes."""
+        global _FORK_STATE
+        context = multiprocessing.get_context("fork")
+        with _FORK_LOCK:
+            _FORK_STATE = (self, list(traces), setting_a, setting_b, seeds)
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=workers, mp_context=context
+                ) as pool:
+                    return list(
+                        pool.map(_evaluate_trace_by_index, range(len(traces)))
+                    )
+            finally:
+                _FORK_STATE = None

@@ -72,6 +72,11 @@ def build_parser() -> argparse.ArgumentParser:
     cf.add_argument("--duration-s", type=float, default=900.0)
     cf.add_argument("--samples", type=int, default=5)
     cf.add_argument("--seed", type=int, default=2023)
+    cf.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool size for corpus evaluation (1 = serial; results "
+             "are bit-identical either way)",
+    )
     return parser
 
 
@@ -128,7 +133,10 @@ def _cmd_counterfactual(args: argparse.Namespace) -> int:
         count=args.traces, duration_s=args.duration_s, seed=args.seed
     )
     engine = CounterfactualEngine(
-        paper_veritas_config(), n_samples=args.samples, seed=args.seed
+        paper_veritas_config(),
+        n_samples=args.samples,
+        seed=args.seed,
+        n_workers=args.workers,
     )
     result = engine.evaluate_corpus(traces, setting_a, setting_b)
     print(format_counterfactual_report(result))

@@ -31,7 +31,7 @@ from .emission import EmissionModel, naive_emission, tcp_estimator_emission
 from .forward_backward import ForwardBackwardResult, forward_backward
 from .grid import CapacityGrid
 from .interpolation import interpolate_capacity_trace
-from .sampler import sample_state_path
+from .sampler import sample_state_path, sample_state_paths
 from .transitions import (
     TransitionModel,
     sticky_matrix,
@@ -135,11 +135,18 @@ class VeritasPosterior:
     def sample_traces(
         self, count: int = 5, seed: SeedLike = None
     ) -> list[PiecewiseConstantTrace]:
-        """K posterior GTBW traces (the paper samples 5 by default)."""
+        """K posterior GTBW traces (the paper samples 5 by default).
+
+        All ``count`` hidden paths are drawn in one batched FFBS pass (one
+        uniform draw per chunk) before being interpolated into traces.
+        """
         if count < 1:
             raise ValueError(f"count must be >= 1, got {count}")
         rng = ensure_rng(seed)
-        return [self.sample_trace(seed=rng) for _ in range(count)]
+        paths = sample_state_paths(
+            self.viterbi.states, self.smoothing.xi, count, seed=rng
+        )
+        return [self._path_to_trace(states) for states in paths]
 
     def expected_capacity_after(self, extra_windows: int) -> float:
         """``E[C]`` ``extra_windows`` δ-windows past the last chunk start.

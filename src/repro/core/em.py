@@ -94,10 +94,15 @@ def learn_transition_matrix(
     prior = solver.transitions.matrix
     history: list[float] = []
 
+    converged = False
     for _ in range(iterations):
         counts, loglik = _expected_counts(solver, logs)
         history.append(loglik)
         if len(history) >= 2 and history[-1] - history[-2] < tolerance:
+            # The matrix has not changed since it was scored, so the
+            # forward-backward pass that produced history[-1] already
+            # scored the final matrix; no extra pass needed.
+            converged = True
             break
         new_matrix = counts + smoothing * prior
         row_sums = new_matrix.sum(axis=1, keepdims=True)
@@ -108,9 +113,11 @@ def learn_transition_matrix(
         new_matrix /= row_sums
         solver.transitions = TransitionModel(new_matrix)
 
-    # Score the final matrix so callers can compare before/after.
-    _, final_ll = _expected_counts(solver, logs)
-    history.append(final_ll)
+    if not converged:
+        # The loop exhausted its iterations with one last M-step update, so
+        # that final matrix still needs a score for before/after comparison.
+        _, final_ll = _expected_counts(solver, logs)
+        history.append(final_ll)
     return EMResult(
         matrix=solver.transitions.matrix,
         log_likelihoods=tuple(history),

@@ -20,7 +20,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from ..tcp.estimator import estimate_throughput_grid
+from ..tcp.estimator import estimate_throughput_grid, estimate_throughput_grid_batch
 from ..tcp.state import TCPStateSnapshot
 from .grid import CapacityGrid
 
@@ -41,6 +41,19 @@ def naive_emission(
 ) -> np.ndarray:
     """Ablation: assume the chunk would observe the full capacity."""
     return np.asarray(grid_values, dtype=float).copy()
+
+
+def _naive_emission_batch(grid_values, tcp_states, sizes_bytes):
+    grid = np.asarray(grid_values, dtype=float)
+    return np.tile(grid, (len(tcp_states), 1))
+
+
+# Whole-session batch implementations of the per-chunk estimators; row n of
+# the batch result must be bit-identical to estimator(grid, state_n, size_n).
+_BATCH_ESTIMATORS: dict = {
+    tcp_estimator_emission: estimate_throughput_grid_batch,
+    naive_emission: _naive_emission_batch,
+}
 
 
 class EmissionModel:
@@ -102,24 +115,120 @@ class EmissionModel:
         )
         return log_uniform + peak
 
+    def predicted_throughput_matrix(
+        self,
+        tcp_states: Sequence[TCPStateSnapshot],
+        sizes_bytes: Sequence[float],
+        memo: dict | None = None,
+    ) -> np.ndarray:
+        """``f(c, W_n, S_n)`` for every chunk and state (``(n_chunks, n_states)``).
+
+        ``memo`` caches predictions keyed on ``(tcp_state, size)``: DASH
+        ladders reuse a handful of encoded chunk sizes, so repeated
+        ``(state, size)`` pairs are common within a session.  Pass a dict to
+        share the memo across calls (e.g. per session); ``None`` memoises
+        within this call only.
+        """
+        states = list(tcp_states)
+        sizes = list(sizes_bytes)
+        if len(states) != len(sizes):
+            raise ValueError("TCP states and sizes must have equal length")
+        values = self.grid.values_mbps
+        batch = _BATCH_ESTIMATORS.get(self.estimator)
+        if memo is None and batch is not None:
+            # No memo requested: hashing 200 snapshots costs more than the
+            # batched evaluation itself, so go straight through.
+            return batch(values, states, np.asarray(sizes, dtype=float))
+
+        cache: dict = {} if memo is None else memo
+        predicted = np.empty((len(states), values.size))
+
+        # Deduplicate (tcp_state, size) pairs, serve repeats and memo hits
+        # from cache, and evaluate the remainder in one batched call when
+        # the estimator has a whole-session implementation.
+        unique_index: dict = {}
+        missing_states: list[TCPStateSnapshot] = []
+        missing_sizes: list[float] = []
+        rows_by_chunk: list = [None] * len(states)
+        scatter: list[list[int]] = []
+        for n, (state, size) in enumerate(zip(states, sizes)):
+            key = (state, float(size))
+            row = cache.get(key)
+            if row is not None:
+                rows_by_chunk[n] = row
+                continue
+            slot = unique_index.get(key)
+            if slot is None:
+                slot = len(missing_states)
+                unique_index[key] = slot
+                missing_states.append(state)
+                missing_sizes.append(float(size))
+                scatter.append([n])
+            else:
+                scatter[slot].append(n)
+
+        if missing_states:
+            if batch is not None:
+                computed = batch(values, missing_states, np.asarray(missing_sizes))
+            else:
+                computed = [
+                    self.estimator(values, state, size)
+                    for state, size in zip(missing_states, missing_sizes)
+                ]
+            for key, slot in unique_index.items():
+                row = computed[slot]
+                cache[key] = row
+                for n in scatter[slot]:
+                    rows_by_chunk[n] = row
+
+        for n, row in enumerate(rows_by_chunk):
+            predicted[n] = row
+        return predicted
+
     def log_prob_matrix(
         self,
         observed_mbps: Sequence[float],
         tcp_states: Sequence[TCPStateSnapshot],
         sizes_bytes: Sequence[float],
+        memo: dict | None = None,
     ) -> np.ndarray:
-        """Log emissions for a whole session (shape ``(n_chunks, n_states)``)."""
-        observed = list(observed_mbps)
+        """Log emissions for a whole session (shape ``(n_chunks, n_states)``).
+
+        Batch fast path: the per-state predictions are assembled into one
+        ``(n_chunks, n_states)`` matrix (memoised on ``(tcp_state, size)``)
+        and the Gaussian/outlier mixture is evaluated with array ops.
+        Produces exactly what stacking :meth:`log_prob_row` (the scalar
+        reference) row by row would.
+        """
+        observed = np.asarray(list(observed_mbps), dtype=float)
         states = list(tcp_states)
         sizes = list(sizes_bytes)
-        if not len(observed) == len(states) == len(sizes):
+        if not observed.size == len(states) == len(sizes):
             raise ValueError(
                 "observations, TCP states, and sizes must have equal length"
             )
-        if not observed:
+        if observed.size == 0:
             raise ValueError("need at least one observation")
-        rows = [
-            self.log_prob_row(y, w, s)
-            for y, w, s in zip(observed, states, sizes)
-        ]
-        return np.vstack(rows)
+        if np.any(observed < 0):
+            bad = float(observed[observed < 0][0])
+            raise ValueError(f"observed throughput must be >= 0, got {bad}")
+
+        predicted = self.predicted_throughput_matrix(states, sizes, memo=memo)
+        # In-place evaluation of the same expression log_prob_row computes:
+        # the (n_chunks, n_states) buffer is transformed step by step.
+        out = observed[:, None] - predicted
+        out /= self.sigma_mbps
+        np.multiply(out, out, out=out)
+        out *= -0.5
+        out -= math.log(self.sigma_mbps * math.sqrt(2 * math.pi))
+        if self.outlier_mass == 0:
+            return out
+        uniform_density = 1.0 / max(self.grid.max_mbps, 1.0)
+        log_uniform = math.log(self.outlier_mass * uniform_density)
+        out -= log_uniform
+        np.minimum(out, 700.0, out=out)
+        np.exp(out, out=out)
+        out *= 1.0 - self.outlier_mass
+        np.log1p(out, out=out)
+        out += log_uniform
+        return out

@@ -22,7 +22,11 @@ import numpy as np
 
 from .transitions import TransitionModel
 
-__all__ = ["ForwardBackwardResult", "forward_backward"]
+__all__ = [
+    "ForwardBackwardResult",
+    "forward_backward",
+    "forward_backward_reference",
+]
 
 _TINY = 1e-300
 
@@ -61,6 +65,102 @@ def forward_backward(
 
     # Per-row max shift keeps the scaled recursion away from 0/0 even when
     # an observation is improbable under every state.
+    shifts = log_b.max(axis=1)
+    b = np.exp(log_b - shifts[:, None])
+
+    alpha = np.zeros((n_chunks, n_states))
+    scale = np.zeros(n_chunks)
+
+    alpha[0] = transitions.initial * b[0]
+    scale[0] = alpha[0].sum()
+    if scale[0] <= 0:
+        raise FloatingPointError("forward pass underflowed at chunk 0")
+    alpha[0] /= scale[0]
+
+    # gaps[0] is never used (the first chunk draws from the initial
+    # distribution), so its power is not computed.  Row views are hoisted
+    # into lists once so the recursions do no per-step indexing of the 2-D
+    # arrays.
+    powers = [None] + [transitions.power(int(gaps[n])) for n in range(1, n_chunks)]
+    alpha_rows = list(alpha)
+    b_rows = list(b)
+    previous = alpha_rows[0]
+    for n in range(1, n_chunks):
+        row = alpha_rows[n]
+        np.dot(previous, powers[n], out=row)
+        row *= b_rows[n]
+        total = row.sum()
+        if total <= 0:
+            raise FloatingPointError(f"forward pass underflowed at chunk {n}")
+        row /= total
+        scale[n] = total
+        previous = row
+
+    # weighted[n] = b[n] * beta[n] is shared by the beta recursion and the
+    # pairwise-posterior step, so it is computed once per chunk.
+    beta = np.zeros((n_chunks, n_states))
+    weighted = np.empty((n_chunks, n_states))
+    beta[-1] = 1.0
+    weighted[-1] = b[-1]
+    beta_rows = list(beta)
+    weighted_rows = list(weighted)
+    scale_list = scale.tolist()
+    for n in range(n_chunks - 2, -1, -1):
+        row = beta_rows[n]
+        np.dot(powers[n + 1], weighted_rows[n + 1], out=row)
+        row /= scale_list[n + 1]
+        np.multiply(b_rows[n], row, out=weighted_rows[n])
+
+    gamma = alpha * beta
+    gamma /= np.maximum(gamma.sum(axis=1, keepdims=True), _TINY)
+
+    if n_chunks > 1:
+        # joint[n, i, j] = alpha[n, i] * A^Δ[n+1][i, j] * b[n+1, j] * beta[n+1, j]
+        # for every chunk pair at once, then each slice is normalised.
+        joint = np.stack(powers[1:])
+        joint *= alpha[:-1, :, None]
+        joint *= weighted[1:, None, :]
+        totals = np.einsum("nij->n", joint)
+        bad = np.flatnonzero(totals <= 0)
+        if bad.size:
+            n = int(bad[0])
+            raise FloatingPointError(
+                f"pairwise posterior underflowed between chunks {n} and {n + 1}"
+            )
+        joint /= totals[:, None, None]
+        xi = joint
+    else:
+        xi = np.zeros((0, n_states, n_states))
+
+    log_likelihood = float(np.sum(np.log(scale)) + np.sum(shifts))
+    return ForwardBackwardResult(gamma=gamma, xi=xi, log_likelihood=log_likelihood)
+
+
+def forward_backward_reference(
+    log_emissions: np.ndarray,
+    transitions: TransitionModel,
+    deltas: np.ndarray,
+) -> ForwardBackwardResult:
+    """Loop formulation of :func:`forward_backward` (golden reference).
+
+    Identical recursions with the pairwise posteriors accumulated one chunk
+    pair at a time; parity tests pin the vectorised ``xi`` path against it.
+    """
+    log_b = np.asarray(log_emissions, dtype=float)
+    if log_b.ndim != 2:
+        raise ValueError("log_emissions must be 2-D (chunks x states)")
+    n_chunks, n_states = log_b.shape
+    if n_states != transitions.n_states:
+        raise ValueError(
+            f"emissions have {n_states} states but transition model has "
+            f"{transitions.n_states}"
+        )
+    gaps = np.asarray(deltas, dtype=int)
+    if gaps.shape != (n_chunks,):
+        raise ValueError(f"deltas must have shape ({n_chunks},), got {gaps.shape}")
+    if np.any(gaps[1:] < 0):
+        raise ValueError("window gaps must be non-negative")
+
     shifts = log_b.max(axis=1)
     b = np.exp(log_b - shifts[:, None])
 

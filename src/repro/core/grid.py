@@ -78,6 +78,15 @@ class CapacityGrid:
         index = int(round(mbps / self.epsilon_mbps))
         return min(max(index, 0), self.n_states - 1)
 
+    def indices_of(self, mbps: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`index_of` (same round-half-even semantics)."""
+        raw = np.rint(np.asarray(mbps, dtype=float) / self.epsilon_mbps)
+        return np.clip(raw.astype(int), 0, self.n_states - 1)
+
     def quantize(self, mbps: float) -> float:
         """Snap a bandwidth value onto the grid."""
         return self.value_of(self.index_of(mbps))
+
+    def quantize_many(self, mbps: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`quantize`."""
+        return self._values[self.indices_of(mbps)]

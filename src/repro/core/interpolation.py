@@ -38,7 +38,11 @@ def window_gaps(start_times_s: np.ndarray, delta_s: float) -> np.ndarray:
         raise ValueError("start times must be a non-empty 1-D array")
     if np.any(np.diff(starts) < 0):
         raise ValueError("start times must be non-decreasing")
-    windows = np.asarray([window_index(t, delta_s) for t in starts])
+    if delta_s <= 0:
+        raise ValueError(f"delta must be positive, got {delta_s}")
+    if starts[0] < 0:
+        raise ValueError(f"time must be non-negative, got {starts[0]}")
+    windows = (starts // delta_s).astype(int)
     gaps = np.zeros(starts.size, dtype=int)
     gaps[1:] = np.diff(windows)
     return gaps
@@ -63,13 +67,15 @@ def interpolate_capacity_trace(
         raise ValueError("start times and capacities must be matching 1-D arrays")
     if np.any(np.diff(starts) < 0):
         raise ValueError("start times must be non-decreasing")
+    if starts[0] < 0:
+        raise ValueError(f"time must be non-negative, got {starts[0]}")
 
     last_window = window_index(float(starts[-1]), delta_s)
     if duration_s is not None:
         last_window = max(last_window, window_index(max(duration_s - 1e-9, 0.0), delta_s))
     n_windows = last_window + 1
 
-    chunk_windows = np.asarray([window_index(t, delta_s) for t in starts])
+    chunk_windows = (starts // delta_s).astype(int)
     window_centers = np.arange(n_windows) + 0.5
 
     # np.interp wants strictly increasing sample points; chunks sharing a
@@ -84,5 +90,5 @@ def interpolate_capacity_trace(
     values = np.interp(
         window_centers, unique_windows + 0.5, window_caps
     )
-    quantized = np.asarray([grid.quantize(v) for v in values])
+    quantized = grid.quantize_many(values)
     return PiecewiseConstantTrace.from_uniform(quantized, delta_s)

@@ -16,7 +16,11 @@ import numpy as np
 
 from ..util.rng import SeedLike, ensure_rng
 
-__all__ = ["sample_state_path", "sample_state_paths"]
+__all__ = [
+    "sample_state_path",
+    "sample_state_paths",
+    "sample_state_paths_reference",
+]
 
 
 def sample_state_path(
@@ -74,6 +78,16 @@ def sample_state_path(
     return path
 
 
+def _inverse_cdf_draw(cdf: np.ndarray, u: np.ndarray) -> np.ndarray:
+    """First index per column of ``cdf`` whose value exceeds ``u``.
+
+    ``cdf`` is ``(K, M)`` with each column a non-decreasing CDF ending at 1;
+    ``u`` is ``(M,)`` uniforms.  Strict ``>`` skips zero-mass states whose
+    CDF entry ties the draw (including ``u == 0`` on a leading zero).
+    """
+    return np.minimum((cdf <= u[None, :]).sum(axis=0), cdf.shape[0] - 1)
+
+
 def sample_state_paths(
     viterbi_states: np.ndarray,
     xi: np.ndarray,
@@ -82,7 +96,78 @@ def sample_state_paths(
     anchor_last: bool = True,
     gamma: np.ndarray | None = None,
 ) -> list[np.ndarray]:
-    """Draw ``count`` independent posterior paths (§4.1 uses K = 5)."""
+    """Draw ``count`` independent posterior paths (§4.1 uses K = 5).
+
+    Vectorised FFBS: all ``count`` paths advance through the backward pass
+    together.  Each chunk normalises the pairwise posterior's columns into
+    per-column CDFs once, then resolves every sample with a single
+    ``rng.random((count,))`` draw by inverse-CDF lookup — instead of the
+    ``count × N`` ``rng.choice`` calls of the one-path-at-a-time reference
+    (:func:`sample_state_paths_reference`, which remains the behavioural
+    yardstick).  Degenerate columns fall back to the Viterbi state exactly
+    as the scalar sampler does.
+    """
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    states = np.asarray(viterbi_states, dtype=int)
+    n_chunks = states.shape[0]
+    if n_chunks == 0:
+        raise ValueError("cannot sample an empty path")
+    if xi.shape[0] != max(n_chunks - 1, 0):
+        raise ValueError(
+            f"xi has {xi.shape[0]} pair entries for {n_chunks} chunks"
+        )
+    rng = ensure_rng(seed)
+
+    paths = np.empty((count, n_chunks), dtype=int)
+    if anchor_last:
+        paths[:, -1] = states[-1]
+    else:
+        if gamma is None:
+            raise ValueError("gamma is required when anchor_last=False")
+        marginal = np.maximum(gamma[-1], 0)
+        cdf = np.cumsum(marginal / marginal.sum())
+        cdf[-1] = 1.0
+        paths[:, -1] = _inverse_cdf_draw(cdf[:, None], rng.random(count))
+
+    n_pairs = n_chunks - 1
+    if n_pairs:
+        # All per-column CDFs and all uniforms are precomputed in bulk; the
+        # backward loop itself is a handful of O(K * count) gathers per chunk.
+        weights = np.maximum(xi, 0.0)
+        totals = weights.sum(axis=1)
+        reachable = totals > 0
+        cdfs = np.cumsum(weights, axis=1)
+        cdfs /= np.where(reachable, totals, 1.0)[:, None, :]
+        # Exact 1.0 tops: draws lie in [0, 1), so the strict-> lookup can
+        # never overrun the support of a reachable column.
+        tops = cdfs[:, -1, :]
+        tops[reachable] = 1.0
+        all_reachable = reachable.all(axis=1)
+        uniforms = rng.random((n_pairs, count))
+
+    for n in range(n_pairs - 1, -1, -1):
+        successors = paths[:, n + 1]
+        columns = cdfs[n].take(successors, axis=1)
+        drawn = (columns <= uniforms[n]).sum(axis=0)
+        if all_reachable[n]:
+            paths[:, n] = drawn
+        else:
+            # Degenerate columns (next state unreachable in the pairwise
+            # posterior) fall back to the always-consistent Viterbi state.
+            paths[:, n] = np.where(reachable[n][successors], drawn, states[n])
+    return list(paths)
+
+
+def sample_state_paths_reference(
+    viterbi_states: np.ndarray,
+    xi: np.ndarray,
+    count: int,
+    seed: SeedLike = None,
+    anchor_last: bool = True,
+    gamma: np.ndarray | None = None,
+) -> list[np.ndarray]:
+    """One-path-at-a-time FFBS (golden reference for the batched sampler)."""
     if count < 1:
         raise ValueError(f"count must be >= 1, got {count}")
     rng = ensure_rng(seed)

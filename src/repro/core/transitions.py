@@ -114,9 +114,16 @@ class TransitionModel:
             raise ValueError("initial distribution shape mismatch")
         if np.any(initial < 0) or not np.isclose(initial.sum(), 1.0, atol=1e-9):
             raise ValueError("initial distribution must be a probability vector")
-        self._matrix = matrix
-        self._initial = initial
-        self._power_cache: dict[int, np.ndarray] = {0: np.eye(n), 1: matrix.copy()}
+        # Own private, frozen copies: the matrix/initial properties hand out
+        # these arrays directly (EM and the interventional code read them in
+        # loops), so they must be immutable to callers.
+        self._matrix = np.array(matrix, dtype=float)
+        self._matrix.setflags(write=False)
+        self._initial = np.array(initial, dtype=float)
+        self._initial.setflags(write=False)
+        identity = np.eye(n)
+        identity.setflags(write=False)
+        self._power_cache: dict[int, np.ndarray] = {0: identity, 1: self._matrix}
         self._log_power_cache: dict[int, np.ndarray] = {}
 
     # ------------------------------------------------------------------
@@ -126,11 +133,13 @@ class TransitionModel:
 
     @property
     def matrix(self) -> np.ndarray:
-        return self._matrix.copy()
+        """The transition matrix ``A`` as a read-only view (no copy)."""
+        return self._matrix
 
     @property
     def initial(self) -> np.ndarray:
-        return self._initial.copy()
+        """The initial distribution as a read-only view (no copy)."""
+        return self._initial
 
     @property
     def log_initial(self) -> np.ndarray:
@@ -144,6 +153,7 @@ class TransitionModel:
         cached = self._power_cache.get(delta)
         if cached is None:
             cached = np.linalg.matrix_power(self._matrix, delta)
+            cached.setflags(write=False)
             self._power_cache[delta] = cached
         return cached
 
@@ -152,6 +162,7 @@ class TransitionModel:
         cached = self._log_power_cache.get(delta)
         if cached is None:
             cached = np.log(np.maximum(self.power(delta), _LOG_FLOOR))
+            cached.setflags(write=False)
             self._log_power_cache[delta] = cached
         return cached
 

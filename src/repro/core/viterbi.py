@@ -59,14 +59,20 @@ def viterbi_path(
         raise ValueError("window gaps must be non-negative")
 
     score = transitions.log_initial + log_b[0]
-    backpointers = np.zeros((n_chunks, n_states), dtype=int)
+    # np.intp: argmax(out=...) requires the platform index type exactly.
+    backpointers = np.zeros((n_chunks, n_states), dtype=np.intp)
+    columns = np.arange(n_states)
+    candidate = np.empty((n_states, n_states))
 
     for n in range(1, n_chunks):
         log_a = transitions.log_power(int(gaps[n]))
-        # candidate[i, j] = score[i] + log A^Δn[i, j]
-        candidate = score[:, None] + log_a
-        backpointers[n] = np.argmax(candidate, axis=0)
-        score = candidate[backpointers[n], np.arange(n_states)] + log_b[n]
+        # candidate[i, j] = score[i] + log A^Δn[i, j]; the best row per
+        # column is the backpointer and its entry the new score.
+        np.add(score[:, None], log_a, out=candidate)
+        best = backpointers[n]
+        candidate.argmax(axis=0, out=best)
+        score = candidate[best, columns]
+        score += log_b[n]
 
     path = np.empty(n_chunks, dtype=int)
     path[-1] = int(np.argmax(score))

@@ -132,10 +132,17 @@ class SessionLog:
         return np.asarray([r.end_time_s for r in self.records])
 
     def download_times_s(self) -> np.ndarray:
-        return np.asarray([r.download_time_s for r in self.records])
+        return np.asarray(
+            [r.end_time_s - r.start_time_s for r in self.records]
+        )
 
     def throughputs_mbps(self) -> np.ndarray:
-        return np.asarray([r.throughput_mbps for r in self.records])
+        # Vectorised equivalent of stacking each record's throughput_mbps
+        # property (same operation order, so identical floats).  Durations
+        # are validated positive at ChunkRecord construction.
+        sizes = self.sizes_bytes()
+        durations = self.download_times_s()
+        return sizes / durations * 8 / 1_000_000
 
     def qualities(self) -> np.ndarray:
         return np.asarray([r.quality for r in self.records], dtype=int)

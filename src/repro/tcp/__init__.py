@@ -12,6 +12,8 @@ from .estimator import (
     estimate_download_time,
     estimate_throughput,
     estimate_throughput_grid,
+    estimate_throughput_grid_batch,
+    estimate_throughput_grid_reference,
 )
 from .state import MutableTCPState, TCPStateSnapshot, apply_slow_start_restart
 
@@ -29,4 +31,6 @@ __all__ = [
     "estimate_download_time",
     "estimate_throughput",
     "estimate_throughput_grid",
+    "estimate_throughput_grid_batch",
+    "estimate_throughput_grid_reference",
 ]

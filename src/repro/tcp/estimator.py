@@ -34,6 +34,8 @@ __all__ = [
     "estimate_download_time",
     "estimate_throughput",
     "estimate_throughput_grid",
+    "estimate_throughput_grid_batch",
+    "estimate_throughput_grid_reference",
 ]
 
 REQUEST_RTTS = 1.0
@@ -137,6 +139,51 @@ def estimate_throughput(
     return size_bytes * 8 / 1e6 / download_s
 
 
+_SCHEDULE_CACHE: dict[tuple[int, int, int], tuple[np.ndarray, np.ndarray]] = {}
+_SCHEDULE_CACHE_MAX = 4096
+
+
+def _round_schedule(
+    cwnd0: int, ssthresh0: int, data_segments: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-round window schedule shared by every BDP bucket of a grid.
+
+    ``cwnds[r]`` is the congestion window at the *start* of round ``r`` and
+    ``cum_sent[r]`` the segments sent over rounds ``0..r-1`` (so
+    ``cum_sent[0] == 0``).  The schedule is generated once, up to the first
+    round where ``cum_sent >= data_segments``; the window-phase outcome for
+    any BDP ``B`` then reduces to
+    ``rounds = min(first r with cum_sent[r] >= data, first r with cwnds[r] >= B)``,
+    which :func:`estimate_throughput_grid` resolves for the whole grid with
+    one ``searchsorted``.  The schedule depends only on
+    ``(cwnd0, ssthresh0, data_segments)``, so it is memoised — DASH chunk
+    sizes repeat heavily across a session.
+    """
+    key = (cwnd0, ssthresh0, data_segments)
+    cached = _SCHEDULE_CACHE.get(key)
+    if cached is None:
+        cwnds = [cwnd0]
+        cum = [0]
+        cwnd = cwnd0
+        sent = 0
+        while sent < data_segments:
+            sent += cwnd
+            if cwnd < ssthresh0:
+                cwnd = max(cwnd + 1, int(cwnd * SLOW_START_GROWTH))
+            else:
+                cwnd += 1
+            cum.append(sent)
+            cwnds.append(cwnd)
+        if len(_SCHEDULE_CACHE) >= _SCHEDULE_CACHE_MAX:
+            _SCHEDULE_CACHE.clear()
+        cached = (
+            np.asarray(cwnds, dtype=np.int64),
+            np.asarray(cum, dtype=np.int64),
+        )
+        _SCHEDULE_CACHE[key] = cached
+    return cached
+
+
 def estimate_throughput_grid(
     gtbw_grid_mbps: np.ndarray,
     tcp_state: TCPStateSnapshot,
@@ -145,9 +192,152 @@ def estimate_throughput_grid(
 ) -> np.ndarray:
     """Vectorised Algorithm 4 over a grid of candidate GTBW values.
 
-    The EHMM needs ``f`` evaluated at every capacity state for every chunk;
-    this helper shares the slow-start-restart work across the grid and
-    caches the round counts by BDP bucket.
+    The EHMM needs ``f`` evaluated at every capacity state for every chunk.
+    Rather than replaying the paper's ``while`` loop per state, the
+    slow-start/congestion-avoidance round schedule is precomputed once per
+    ``(cwnd0, ssthresh0, data_segments)`` and every state's round count is
+    resolved with a single ``searchsorted`` over it, so the whole grid is
+    O(rounds + K) NumPy work.  Agrees with per-state
+    :func:`estimate_throughput` to the last bit (the arithmetic is
+    identical); :func:`estimate_throughput_grid_reference` keeps the loop
+    formulation alive as the golden reference.
+    """
+    grid = np.asarray(gtbw_grid_mbps, dtype=float)
+    if np.any(grid < 0):
+        raise ValueError("GTBW grid values must be non-negative")
+    if size_bytes <= 0:
+        raise ValueError(f"size must be positive, got {size_bytes}")
+
+    cwnd0, ssthresh0, _ = apply_slow_start_restart(
+        tcp_state.cwnd_segments,
+        tcp_state.ssthresh_segments,
+        tcp_state.time_since_last_send_s,
+        tcp_state.rto_s,
+    )
+    min_rtt = tcp_state.min_rtt_s
+    request_s = request_rtts * min_rtt
+    data_segments = _segments(size_bytes)
+    chunk_mbits = size_bytes * 8 / 1e6
+
+    # Same operation order as mbps_to_bytes_per_sec / _segments so grid and
+    # scalar paths produce bit-identical floats.
+    rates = grid * 1e6 / 8
+    bdp_segments = np.maximum(
+        1, np.ceil(rates * min_rtt / MSS_BYTES)
+    ).astype(np.int64)
+    safe_rates = np.where(grid > 0, rates, 1.0)
+
+    cwnds, cum_sent = _round_schedule(cwnd0, ssthresh0, data_segments)
+    max_rounds = cum_sent.size - 1
+    rounds = np.minimum(
+        np.searchsorted(cwnds, bdp_segments, side="left"), max_rounds
+    )
+    sent = cum_sent[rounds]
+    tail_bytes = np.maximum(0.0, size_bytes - sent * MSS_BYTES)
+    window_limited = request_s + rounds * min_rtt + tail_bytes / safe_rates
+
+    pipe_full = cwnd0 > bdp_segments
+    saturated = request_s + size_bytes / safe_rates
+    download_s = np.where(
+        pipe_full,
+        np.where(data_segments > bdp_segments, saturated, request_s + min_rtt),
+        window_limited,
+    )
+    return np.where(grid > 0, chunk_mbits / download_s, 0.0)
+
+
+def estimate_throughput_grid_batch(
+    gtbw_grid_mbps: np.ndarray,
+    tcp_states: "list[TCPStateSnapshot]",
+    sizes_bytes: np.ndarray,
+    request_rtts: float = REQUEST_RTTS,
+) -> np.ndarray:
+    """Algorithm 4 for *every* chunk of a session over the whole grid.
+
+    Returns the ``(n_chunks, n_states)`` predicted-throughput matrix the
+    EHMM emission model needs, resolving all chunks' window phases in one
+    padded comparison instead of per-chunk ``searchsorted`` calls.  Row
+    ``n`` is bit-identical to
+    ``estimate_throughput_grid(grid, tcp_states[n], sizes_bytes[n])``.
+    """
+    grid = np.asarray(gtbw_grid_mbps, dtype=float)
+    if np.any(grid < 0):
+        raise ValueError("GTBW grid values must be non-negative")
+    sizes = np.asarray(sizes_bytes, dtype=float)
+    if sizes.shape != (len(tcp_states),):
+        raise ValueError("need one size per TCP state")
+    if np.any(sizes <= 0):
+        raise ValueError("sizes must be positive")
+    n_chunks = len(tcp_states)
+
+    rates = grid * 1e6 / 8
+    safe_rates = np.where(grid > 0, rates, 1.0)
+
+    data_segments = np.maximum(1, np.ceil(sizes / MSS_BYTES)).astype(np.int64)
+    segment_list = data_segments.tolist()
+    cwnd_list = []
+    schedules = []
+    for state, segments in zip(tcp_states, segment_list):
+        cw, ss, _ = apply_slow_start_restart(
+            state.cwnd_segments,
+            state.ssthresh_segments,
+            state.time_since_last_send_s,
+            state.rto_s,
+        )
+        cwnd_list.append(cw)
+        schedules.append(_round_schedule(cw, ss, segments))
+    cwnd0 = np.asarray(cwnd_list, dtype=np.int64)
+    min_rtt = np.fromiter(
+        (state.min_rtt_s for state in tcp_states), dtype=float, count=n_chunks
+    )
+
+    # bdp[n, k] and the padded per-chunk round schedules: the window-phase
+    # round count is "first round whose window reaches the BDP", clamped to
+    # the data-limited round count, exactly as in the per-chunk fast path.
+    bdp_segments = np.maximum(
+        1, np.ceil(rates[None, :] * min_rtt[:, None] / MSS_BYTES)
+    ).astype(np.int64)
+    max_len = max(c.size for c, _ in schedules)
+    cwnd_pad = np.full((n_chunks, max_len), np.iinfo(np.int64).max)
+    cum_pad = np.zeros((n_chunks, max_len), dtype=np.int64)
+    max_rounds = np.empty(n_chunks, dtype=np.int64)
+    for n, (cwnds, cum_sent) in enumerate(schedules):
+        cwnd_pad[n, : cwnds.size] = cwnds
+        cum_pad[n, : cum_sent.size] = cum_sent
+        max_rounds[n] = cum_sent.size - 1
+
+    first_full = (cwnd_pad[:, :, None] < bdp_segments[:, None, :]).sum(axis=1)
+    rounds = np.minimum(first_full, max_rounds[:, None])
+    sent = np.take_along_axis(cum_pad, rounds, axis=1)
+    tail_bytes = np.maximum(0.0, sizes[:, None] - sent * MSS_BYTES)
+    request_s = request_rtts * min_rtt
+    window_limited = (
+        request_s[:, None] + rounds * min_rtt[:, None] + tail_bytes / safe_rates
+    )
+
+    pipe_full = cwnd0[:, None] > bdp_segments
+    saturated = request_s[:, None] + sizes[:, None] / safe_rates
+    one_round = (request_s + min_rtt)[:, None]
+    download_s = np.where(
+        pipe_full,
+        np.where(data_segments[:, None] > bdp_segments, saturated, one_round),
+        window_limited,
+    )
+    chunk_mbits = sizes * 8 / 1e6
+    return np.where(grid[None, :] > 0, chunk_mbits[:, None] / download_s, 0.0)
+
+
+def estimate_throughput_grid_reference(
+    gtbw_grid_mbps: np.ndarray,
+    tcp_state: TCPStateSnapshot,
+    size_bytes: float,
+    request_rtts: float = REQUEST_RTTS,
+) -> np.ndarray:
+    """Scalar-loop formulation of :func:`estimate_throughput_grid`.
+
+    Kept as the golden reference for the vectorised fast path: it walks the
+    paper's ``while`` loop state by state, caching round counts per BDP
+    bucket, exactly as the original implementation did.
     """
     grid = np.asarray(gtbw_grid_mbps, dtype=float)
     if np.any(grid < 0):

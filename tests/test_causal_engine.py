@@ -146,6 +146,40 @@ class TestEngine:
         for key in t1:
             assert np.allclose(t1[key], t2[key])
 
+    def test_parallel_corpus_bit_identical_to_serial(self, corpus, setting_a):
+        """evaluate_corpus(n_workers=4) must reproduce serial results exactly."""
+        b = change_abr(setting_a, "bba")
+        engine = CounterfactualEngine(paper_veritas_config(), n_samples=2, seed=3)
+        serial = engine.evaluate_corpus(corpus, setting_a, b)
+        parallel = engine.evaluate_corpus(corpus, setting_a, b, n_workers=4)
+        assert len(parallel.per_trace) == len(serial.per_trace)
+        for metric in ("mean_ssim", "rebuffer_percent", "avg_bitrate_mbps"):
+            serial_table = serial.metric_table(metric)
+            parallel_table = parallel.metric_table(metric)
+            for key in serial_table:
+                assert np.array_equal(serial_table[key], parallel_table[key])
+
+    def test_engine_level_worker_setting(self, corpus, setting_a):
+        """n_workers can also be fixed at engine construction."""
+        b = change_abr(setting_a, "bba")
+        serial = CounterfactualEngine(
+            paper_veritas_config(), n_samples=2, seed=3
+        ).evaluate_corpus(corpus, setting_a, b)
+        pooled = CounterfactualEngine(
+            paper_veritas_config(), n_samples=2, seed=3, n_workers=2
+        ).evaluate_corpus(corpus, setting_a, b)
+        table_a = serial.metric_table("mean_ssim")
+        table_b = pooled.metric_table("mean_ssim")
+        for key in table_a:
+            assert np.array_equal(table_a[key], table_b[key])
+
+    def test_rejects_bad_worker_count(self, corpus, setting_a):
+        with pytest.raises(ValueError):
+            CounterfactualEngine(n_workers=0)
+        engine = CounterfactualEngine(paper_veritas_config(), n_samples=2)
+        with pytest.raises(ValueError):
+            engine.evaluate_corpus(corpus, setting_a, setting_a, n_workers=0)
+
     def test_prediction_errors_nonnegative(self, abr_result):
         errors = abr_result.prediction_errors("mean_ssim")
         assert np.all(errors["baseline"] >= 0)

@@ -1,0 +1,280 @@
+"""Parity tests: vectorised inference paths vs their scalar references.
+
+The vectorised engine (batched Algorithm-4 grids, batch emission matrix,
+einsum pairwise posteriors, inverse-CDF FFBS) must agree with the scalar
+reference implementations to <= 1e-9 across randomized sessions, including
+the awkward cases: Δ = 0 gaps, single-chunk sessions, and zero-capacity
+grid points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CapacityGrid,
+    EmissionModel,
+    TransitionModel,
+    forward_backward,
+    naive_emission,
+    sample_state_path,
+    sample_state_paths,
+    tridiagonal_matrix,
+    viterbi_path,
+)
+from repro.core.forward_backward import forward_backward_reference
+from repro.core.sampler import sample_state_paths_reference
+from repro.tcp import (
+    TCPStateSnapshot,
+    estimate_throughput,
+    estimate_throughput_grid,
+    estimate_throughput_grid_batch,
+    estimate_throughput_grid_reference,
+)
+
+TOL = 1e-9
+
+
+def random_tcp_state(rng) -> TCPStateSnapshot:
+    return TCPStateSnapshot(
+        cwnd_segments=int(rng.integers(1, 500)),
+        ssthresh_segments=int(rng.integers(1, 500)),
+        srtt_s=float(rng.uniform(0.01, 0.3)),
+        min_rtt_s=float(rng.uniform(0.01, 0.3)),
+        rto_s=float(rng.uniform(0.2, 1.0)),
+        time_since_last_send_s=float(rng.uniform(0.0, 10.0)),
+    )
+
+
+def random_session(rng, n_chunks):
+    states = [random_tcp_state(rng) for _ in range(n_chunks)]
+    sizes = [float(rng.uniform(2_000, 4_000_000)) for _ in range(n_chunks)]
+    observed = [float(rng.uniform(0.0, 12.0)) for _ in range(n_chunks)]
+    return states, sizes, observed
+
+
+class TestEstimatorParity:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_grid_matches_reference_and_scalar(self, seed):
+        rng = np.random.default_rng(seed)
+        state = random_tcp_state(rng)
+        size = float(rng.uniform(2_000, 4_000_000))
+        # Zero-capacity grid point included on purpose.
+        grid = np.concatenate([[0.0], np.sort(rng.uniform(0.01, 50.0, 40))])
+        fast = estimate_throughput_grid(grid, state, size)
+        reference = estimate_throughput_grid_reference(grid, state, size)
+        scalar = np.array([estimate_throughput(c, state, size) for c in grid])
+        assert np.allclose(fast, reference, atol=TOL, rtol=0)
+        assert np.allclose(fast, scalar, atol=TOL, rtol=0)
+        assert fast[0] == 0.0
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_batch_matches_per_chunk(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        states, sizes, _ = random_session(rng, n_chunks=30)
+        grid = np.concatenate([[0.0], np.sort(rng.uniform(0.01, 20.0, 25))])
+        batch = estimate_throughput_grid_batch(grid, states, np.asarray(sizes))
+        rows = np.vstack(
+            [estimate_throughput_grid(grid, w, s) for w, s in zip(states, sizes)]
+        )
+        assert np.allclose(batch, rows, atol=TOL, rtol=0)
+
+    def test_batch_single_chunk(self):
+        rng = np.random.default_rng(7)
+        states, sizes, _ = random_session(rng, n_chunks=1)
+        grid = np.array([0.0, 0.5, 5.0, 10.0])
+        batch = estimate_throughput_grid_batch(grid, states, np.asarray(sizes))
+        assert batch.shape == (1, 4)
+        assert np.allclose(
+            batch[0], estimate_throughput_grid(grid, states[0], sizes[0]),
+            atol=TOL, rtol=0,
+        )
+
+
+class TestEmissionParity:
+    @pytest.mark.parametrize("outlier_mass", [0.0, 0.05])
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matrix_matches_row_stack(self, outlier_mass, seed):
+        rng = np.random.default_rng(200 + seed)
+        grid = CapacityGrid(0.5, 10.0)
+        model = EmissionModel(grid, outlier_mass=outlier_mass)
+        states, sizes, observed = random_session(rng, n_chunks=40)
+        # Repeated (state, size) pairs exercise the memoised path too.
+        states[7], sizes[7] = states[2], sizes[2]
+        matrix = model.log_prob_matrix(observed, states, sizes)
+        rows = np.vstack(
+            [
+                model.log_prob_row(y, w, s)
+                for y, w, s in zip(observed, states, sizes)
+            ]
+        )
+        assert np.allclose(matrix, rows, atol=TOL, rtol=0)
+
+    def test_memoised_path_matches_batch_path(self):
+        rng = np.random.default_rng(300)
+        grid = CapacityGrid(0.5, 10.0)
+        model = EmissionModel(grid)
+        states, sizes, observed = random_session(rng, n_chunks=20)
+        memo: dict = {}
+        with_memo = model.log_prob_matrix(observed, states, sizes, memo=memo)
+        without = model.log_prob_matrix(observed, states, sizes)
+        assert np.allclose(with_memo, without, atol=TOL, rtol=0)
+        assert len(memo) == 20  # all pairs distinct -> all cached
+
+    def test_single_chunk_session(self):
+        grid = CapacityGrid(0.5, 10.0)
+        model = EmissionModel(grid)
+        rng = np.random.default_rng(8)
+        states, sizes, observed = random_session(rng, n_chunks=1)
+        matrix = model.log_prob_matrix(observed, states, sizes)
+        assert matrix.shape == (1, grid.n_states)
+        assert np.allclose(
+            matrix[0],
+            model.log_prob_row(observed[0], states[0], sizes[0]),
+            atol=TOL,
+            rtol=0,
+        )
+
+    def test_naive_emission_batch(self):
+        grid = CapacityGrid(0.5, 10.0)
+        model = EmissionModel(grid, estimator=naive_emission)
+        rng = np.random.default_rng(9)
+        states, sizes, observed = random_session(rng, n_chunks=5)
+        matrix = model.log_prob_matrix(observed, states, sizes)
+        rows = np.vstack(
+            [
+                model.log_prob_row(y, w, s)
+                for y, w, s in zip(observed, states, sizes)
+            ]
+        )
+        assert np.allclose(matrix, rows, atol=TOL, rtol=0)
+
+    def test_rejects_negative_observation(self):
+        grid = CapacityGrid(0.5, 10.0)
+        model = EmissionModel(grid)
+        rng = np.random.default_rng(10)
+        states, sizes, observed = random_session(rng, n_chunks=3)
+        observed[1] = -0.5
+        with pytest.raises(ValueError):
+            model.log_prob_matrix(observed, states, sizes)
+
+
+def random_problem(rng, n_chunks, n_states=5, max_delta=3):
+    model = TransitionModel(
+        tridiagonal_matrix(n_states, stay_prob=0.6, jump_mass=0.05)
+    )
+    log_b = rng.normal(0.0, 3.0, size=(n_chunks, n_states))
+    # Δ = 0 gaps occur whenever max_delta sampling hits zero.
+    deltas = np.concatenate([[0], rng.integers(0, max_delta + 1, n_chunks - 1)])
+    return model, log_b, deltas
+
+
+class TestForwardBackwardParity:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_reference(self, seed):
+        rng = np.random.default_rng(400 + seed)
+        model, log_b, deltas = random_problem(rng, n_chunks=int(rng.integers(2, 50)))
+        fast = forward_backward(log_b, model, deltas)
+        reference = forward_backward_reference(log_b, model, deltas)
+        assert np.allclose(fast.gamma, reference.gamma, atol=TOL, rtol=0)
+        assert np.allclose(fast.xi, reference.xi, atol=TOL, rtol=0)
+        assert fast.log_likelihood == pytest.approx(
+            reference.log_likelihood, abs=TOL
+        )
+
+    def test_single_chunk(self):
+        rng = np.random.default_rng(11)
+        model, log_b, deltas = random_problem(rng, n_chunks=1)
+        fast = forward_backward(log_b, model, deltas)
+        reference = forward_backward_reference(log_b, model, deltas)
+        assert fast.xi.shape == reference.xi.shape == (0, 5, 5)
+        assert np.allclose(fast.gamma, reference.gamma, atol=TOL, rtol=0)
+
+    def test_all_zero_gaps(self):
+        """Chunks crammed into one δ-window (every Δ = 0)."""
+        rng = np.random.default_rng(12)
+        model = TransitionModel(tridiagonal_matrix(4, jump_mass=0.01))
+        log_b = rng.normal(0.0, 2.0, size=(8, 4))
+        deltas = np.zeros(8, dtype=int)
+        fast = forward_backward(log_b, model, deltas)
+        reference = forward_backward_reference(log_b, model, deltas)
+        assert np.allclose(fast.gamma, reference.gamma, atol=TOL, rtol=0)
+        assert np.allclose(fast.xi, reference.xi, atol=TOL, rtol=0)
+
+
+class TestSamplerParity:
+    def _solved(self, seed=0, n_chunks=12, n_states=4):
+        rng = np.random.default_rng(seed)
+        model, log_b, deltas = random_problem(rng, n_chunks, n_states)
+        vit = viterbi_path(log_b, model, deltas)
+        fb = forward_backward(log_b, model, deltas)
+        return vit, fb
+
+    def test_batched_respects_anchor_and_support(self):
+        vit, fb = self._solved(seed=1)
+        for path in sample_state_paths(vit.states, fb.xi, count=50, seed=3):
+            assert path[-1] == vit.states[-1]
+            for n in range(len(path) - 1):
+                assert fb.xi[n, path[n], path[n + 1]] > 0
+
+    def test_batched_determinism(self):
+        vit, fb = self._solved(seed=2)
+        a = sample_state_paths(vit.states, fb.xi, count=8, seed=9)
+        b = sample_state_paths(vit.states, fb.xi, count=8, seed=9)
+        assert all(np.array_equal(x, y) for x, y in zip(a, b))
+
+    def test_batched_matches_reference_distribution(self):
+        """Pairwise transition frequencies agree with the scalar sampler."""
+        vit, fb = self._solved(seed=3, n_chunks=6, n_states=3)
+        n_samples = 4000
+        batched = np.stack(
+            sample_state_paths(vit.states, fb.xi, count=n_samples, seed=0)
+        )
+        scalar = np.stack(
+            sample_state_paths_reference(
+                vit.states, fb.xi, count=n_samples, seed=0
+            )
+        )
+        for n in range(batched.shape[1]):
+            freq_batched = np.bincount(batched[:, n], minlength=3) / n_samples
+            freq_scalar = np.bincount(scalar[:, n], minlength=3) / n_samples
+            assert np.allclose(freq_batched, freq_scalar, atol=0.05)
+
+    def test_degenerate_column_falls_back_to_viterbi(self):
+        """A zero column in xi must select the Viterbi state, as the scalar
+        sampler does."""
+        vit, fb = self._solved(seed=4, n_chunks=3, n_states=3)
+        xi = fb.xi.copy()
+        xi[0, :, :] = 0.0  # every predecessor column degenerate
+        batched = sample_state_paths(vit.states, xi, count=10, seed=5)
+        for path in batched:
+            assert path[0] == vit.states[0]
+        scalar = sample_state_path(vit.states, xi, seed=5)
+        assert scalar[0] == vit.states[0]
+
+    def test_single_chunk_paths(self):
+        vit, fb = self._solved(seed=5, n_chunks=1)
+        paths = sample_state_paths(vit.states, fb.xi, count=4, seed=0)
+        assert len(paths) == 4
+        assert all(p.shape == (1,) and p[0] == vit.states[-1] for p in paths)
+
+    def test_unanchored_matches_gamma(self):
+        vit, fb = self._solved(seed=6, n_chunks=5, n_states=3)
+        paths = sample_state_paths(
+            vit.states, fb.xi, count=3000, seed=1, anchor_last=False,
+            gamma=fb.gamma,
+        )
+        last = np.array([p[-1] for p in paths])
+        freq = np.bincount(last, minlength=3) / len(paths)
+        assert np.allclose(freq, fb.gamma[-1], atol=0.05)
+
+    def test_count_validation(self):
+        vit, fb = self._solved()
+        with pytest.raises(ValueError):
+            sample_state_paths(vit.states, fb.xi, count=0)
+
+    def test_unanchored_requires_gamma(self):
+        vit, fb = self._solved()
+        with pytest.raises(ValueError):
+            sample_state_paths(vit.states, fb.xi, count=2, anchor_last=False)
