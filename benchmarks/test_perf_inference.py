@@ -35,6 +35,7 @@ from repro import (
     change_abr,
     paper_corpus,
     paper_veritas_config,
+    run_setting,
 )
 from repro.core import VeritasAbduction
 from repro.player.logs import ChunkRecord, SessionLog
@@ -141,6 +142,191 @@ def test_perf_posterior_sampling(benchmark):
         samples_per_sec=samples_per_sec,
     )
     assert shape_check("drew every requested sample", len(traces) == N_SAMPLES)
+
+
+def test_perf_replay_kernel(benchmark):
+    """Analytic vs reference TCP kernel (bit-identical; see the parity suite).
+
+    Two regimes, measured in one process so container CPU noise cancels
+    out of the ratios:
+
+    * full replay sessions at bench scale, where slow start is geometric
+      and downloads take only a handful of rounds — the kernels are
+      expected to be comparable here;
+    * a window-limited (congestion-avoidance-dominated) stress shape,
+      where the per-RTT loop pays O(rounds) and the analytic kernel
+      resolves each interval in closed form.
+    """
+    import numpy as np
+
+    import repro.tcp.connection as connection_module
+    from repro import change_abr, paper_corpus
+    from repro.net.trace import PiecewiseConstantTrace
+    from repro.tcp.connection import TCPConnection
+
+    setting_b = change_abr(bench_setting_a(), "bba")
+    trace = paper_corpus(count=1, duration_s=TRACE_DURATION_S, seed=CORPUS_SEED)[0]
+
+    def run_sessions(kernel: str, repeats: int = 5) -> float:
+        previous = connection_module.DEFAULT_KERNEL
+        connection_module.DEFAULT_KERNEL = kernel
+        try:
+            run_setting(setting_b, trace)  # warm caches
+            start = time.perf_counter()
+            for _ in range(repeats):
+                run_setting(setting_b, trace)
+            return (time.perf_counter() - start) / repeats
+        finally:
+            connection_module.DEFAULT_KERNEL = previous
+
+    rng = np.random.default_rng(3)
+    stress_trace = PiecewiseConstantTrace.from_uniform(rng.uniform(35, 50, 600), 5.0)
+
+    def run_stress(kernel: str, repeats: int = 150) -> float:
+        # Congestion avoidance toward a large BDP: the reference walks one
+        # Python iteration per RTT, the analytic kernel one per interval.
+        conn = TCPConnection(stress_trace, rtt_s=0.25, kernel=kernel)
+        conn.download(1e6, 0.0)  # warm state/schedule caches
+        start = time.perf_counter()
+        t = conn.state.last_send_time_s
+        for _ in range(repeats):
+            conn.state.cwnd_segments = 10
+            conn.state.ssthresh_segments = 12
+            result = conn.download(10_000_000.0, t)
+            t = result.end_time_s
+        return (time.perf_counter() - start) / repeats
+
+    analytic_s = run_once(benchmark, lambda: run_sessions("analytic"))
+    reference_s = run_sessions("reference")
+    stress_analytic_s = run_stress("analytic")
+    stress_reference_s = run_stress("reference")
+
+    replays_per_sec = 1.0 / analytic_s
+    session_speedup = reference_s / analytic_s
+    stress_speedup = stress_reference_s / stress_analytic_s
+
+    print_header(
+        "Perf — replay kernel (analytic vs per-RTT reference)",
+        "bit-identical kernels; analytic wins grow with rounds per download",
+    )
+    print(
+        f"  bench-scale replay session: analytic {analytic_s * 1e3:.2f} ms vs "
+        f"reference {reference_s * 1e3:.2f} ms "
+        f"({replays_per_sec:.1f} replays/sec, {session_speedup:.2f}x)"
+    )
+    print(
+        f"  window-limited stress download: analytic "
+        f"{stress_analytic_s * 1e6:.1f} us vs reference "
+        f"{stress_reference_s * 1e6:.1f} us ({stress_speedup:.2f}x)"
+    )
+    benchmark.extra_info.update(
+        analytic_ms=analytic_s * 1e3,
+        reference_ms=reference_s * 1e3,
+        replays_per_sec=replays_per_sec,
+        session_speedup=session_speedup,
+        stress_speedup=stress_speedup,
+    )
+    ok = shape_check(
+        "analytic kernel comparable at bench scale (>= 0.8x)",
+        session_speedup >= 0.8,
+    )
+    ok &= shape_check(
+        "analytic kernel wins the window-limited regime (>= 1.5x)",
+        stress_speedup >= 1.5,
+    )
+    assert ok
+
+
+def test_perf_evaluate_trace(benchmark):
+    """Single-trace end-to-end counterfactual (deploy + abduct + replays)."""
+    from repro import change_abr, paper_corpus
+
+    setting_a = bench_setting_a()
+    setting_b = change_abr(setting_a, "bba")
+    trace = paper_corpus(count=1, duration_s=TRACE_DURATION_S, seed=CORPUS_SEED)[0]
+    engine = CounterfactualEngine(
+        paper_veritas_config(), n_samples=N_SAMPLES, seed=ENGINE_SEED
+    )
+    engine.evaluate_trace(0, trace, setting_a, setting_b, seed=1)  # warm
+
+    start = time.perf_counter()
+    outcome = run_once(
+        benchmark,
+        lambda: engine.evaluate_trace(0, trace, setting_a, setting_b, seed=1),
+    )
+    elapsed_ms = (time.perf_counter() - start) * 1e3
+
+    print_header(
+        "Perf — evaluate_trace (single trace, 2 + K replays + abduction)",
+        "seed measured ~108 ms at this scale (interleaved A/B, see ROADMAP)",
+    )
+    print(f"  evaluate_trace: {elapsed_ms:.1f} ms")
+    benchmark.extra_info.update(evaluate_trace_ms=elapsed_ms)
+    assert shape_check(
+        "all replay schemes answered",
+        len(outcome.veritas_metrics) == N_SAMPLES,
+    )
+
+
+def test_perf_query_sweep(benchmark):
+    """Five fig9-style queries against one PreparedCorpus.
+
+    Measures the amortisation win in-process: a prepared sweep answers
+    every extra query with replays only, while the single-query path pays
+    deployment + abduction each time.
+    """
+    from repro import change_abr, paper_corpus
+
+    setting_a = bench_setting_a()
+    queries = ["bba", "bola", "bba", "bola", "bba"]
+    settings_b = [change_abr(setting_a, q) for q in queries]
+    corpus = paper_corpus(
+        count=min(N_TRACES, 4), duration_s=TRACE_DURATION_S, seed=CORPUS_SEED
+    )
+    engine = CounterfactualEngine(
+        paper_veritas_config(), n_samples=N_SAMPLES, seed=ENGINE_SEED
+    )
+
+    def sweep():
+        prepared = engine.prepare_corpus(corpus, setting_a)
+        return engine.evaluate_many(prepared, settings_b)
+
+    sweep()  # warm caches
+    start = time.perf_counter()
+    results = run_once(benchmark, sweep)
+    sweep_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    single = engine.evaluate_corpus(corpus, setting_a, settings_b[0])
+    single_query_s = time.perf_counter() - start
+
+    queries_per_sec = len(queries) / sweep_s
+    amortized_speedup = len(queries) * single_query_s / sweep_s
+    print_header(
+        "Perf — 5-query sweep via PreparedCorpus",
+        "abduction amortised across queries; replays are the whole marginal cost",
+    )
+    print(
+        f"  sweep of {len(queries)} queries x {len(corpus)} traces: {sweep_s:.2f} s "
+        f"({queries_per_sec:.2f} queries/sec); single query: {single_query_s:.2f} s; "
+        f"amortised speedup {amortized_speedup:.2f}x vs per-query pipelines"
+    )
+    benchmark.extra_info.update(
+        n_queries=len(queries),
+        n_traces=len(corpus),
+        sweep_s=sweep_s,
+        single_query_s=single_query_s,
+        queries_per_sec=queries_per_sec,
+        amortized_speedup=amortized_speedup,
+    )
+    ok = shape_check(
+        "every query answered for every trace",
+        all(len(r.per_trace) == len(corpus) for r in results),
+    )
+    ok &= shape_check(
+        "prepared sweep beats per-query pipelines", amortized_speedup > 1.0
+    )
+    assert ok
 
 
 def test_perf_corpus_evaluation(benchmark):

@@ -32,7 +32,10 @@ def main() -> None:
     engine = CounterfactualEngine(
         paper_veritas_config(), n_samples=5, seed=3
     )
-    result = engine.evaluate_corpus(traces, setting_a, setting_b)
+    # prepare_corpus deploys Setting A and solves abduction once; further
+    # what-ifs (see buffer_sizing.py) reuse the same prepared corpus.
+    prepared = engine.prepare_corpus(traces, setting_a)
+    result = engine.evaluate_many(prepared, [setting_b])[0]
     print(format_counterfactual_report(result))
 
     print(

@@ -45,6 +45,8 @@ from .baselines import FuguPredictor, MLPRegressor, baseline_trace, oracle_trace
 from .causal import (
     CounterfactualEngine,
     CounterfactualResult,
+    PreparedCorpus,
+    PreparedTrace,
     Setting,
     cap_bitrate,
     change_abr,
@@ -116,6 +118,8 @@ __all__ = [
     "ChunkRecord",
     "CounterfactualEngine",
     "CounterfactualResult",
+    "PreparedCorpus",
+    "PreparedTrace",
     "EmissionModel",
     "FuguPredictor",
     "MLPRegressor",

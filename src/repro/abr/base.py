@@ -127,11 +127,14 @@ class HarmonicMeanPredictor:
             # upward (Puffer's MPC-HM behaves the same way).
             prediction = self.cold_start_mbps
         else:
-            recent = np.asarray(history_mbps[-self.window:], dtype=float)
-            if np.any(recent <= 0):
-                raise ValueError("throughput history must be positive")
-            harmonic = len(recent) / np.sum(1.0 / recent)
+            recent = history_mbps[-self.window:]
+            inv_sum = 0.0
+            for v in recent:
+                if v <= 0:
+                    raise ValueError("throughput history must be positive")
+                inv_sum += 1.0 / v
+            harmonic = len(recent) / inv_sum
             max_error = max(self._errors) if self._errors else 0.0
-            prediction = float(harmonic / (1.0 + max_error))
+            prediction = harmonic / (1.0 + max_error)
         self._last_prediction = prediction
         return prediction

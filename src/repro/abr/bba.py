@@ -37,27 +37,45 @@ class BBAAlgorithm(ABRAlgorithm):
             )
         self.reservoir_fraction = reservoir_fraction
         self.upper_fraction = upper_fraction
+        self._plan: tuple | None = None
+
+    def reset(self) -> None:
+        self._plan = None
 
     def choose_quality(self, context: ABRContext) -> int:
-        ladder = context.video.ladder
+        video = context.video
         capacity = context.buffer_capacity_s
-        reservoir = max(
-            context.video.chunk_duration_s, self.reservoir_fraction * capacity
-        )
-        upper = self.upper_fraction * capacity
-        if upper <= reservoir:
-            # Degenerate tiny buffers: fall back to a two-point map.
-            upper = reservoir + 1e-6
+        plan = self._plan
+        if plan is None or plan[0] is not video.ladder or plan[1] != capacity:
+            # Thresholds and ladder endpoints are fixed for a session;
+            # compute them once and reuse (this runs every chunk).
+            ladder = video.ladder
+            reservoir = max(
+                video.chunk_duration_s, self.reservoir_fraction * capacity
+            )
+            upper = self.upper_fraction * capacity
+            if upper <= reservoir:
+                # Degenerate tiny buffers: fall back to a two-point map.
+                upper = reservoir + 1e-6
+            plan = self._plan = (
+                ladder,
+                capacity,
+                reservoir,
+                upper,
+                ladder.lowest.index,
+                ladder.highest.index,
+                ladder.lowest.bitrate_mbps,
+                ladder.highest.bitrate_mbps,
+            )
+        _, _, reservoir, upper, lowest, highest, r_min, r_max = plan
 
         buffer_s = context.buffer_s
         if buffer_s <= reservoir:
-            return ladder.lowest.index
+            return lowest
         if buffer_s >= upper:
-            return ladder.highest.index
+            return highest
 
         # Linear interpolation on the bitrate axis between the ladder ends.
         fraction = (buffer_s - reservoir) / (upper - reservoir)
-        r_min = ladder.lowest.bitrate_mbps
-        r_max = ladder.highest.bitrate_mbps
         target_rate = r_min + fraction * (r_max - r_min)
-        return ladder.highest_below(target_rate).index
+        return video.ladder.highest_below(target_rate).index

@@ -49,10 +49,12 @@ class BOLAAlgorithm(ABRAlgorithm):
         self.upper_fraction = upper_fraction
         self._calibration: tuple[float, float] | None = None
         self._calibrated_for: tuple[int, float] | None = None
+        self._weights: list[float] | None = None
 
     def reset(self) -> None:
         self._calibration = None
         self._calibrated_for = None
+        self._weights = None
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -96,12 +98,25 @@ class BOLAAlgorithm(ABRAlgorithm):
 
         self._calibration = calibration
         self._calibrated_for = key
+        # Per-quality objective weights v * (utility + gp): fixed for the
+        # whole session, so the per-chunk decision is a tiny scalar loop.
+        v, gp = calibration
+        self._weights = [
+            v * (u + gp) for u in self._utilities(video).tolist()
+        ]
         return calibration
 
     def choose_quality(self, context: ABRContext) -> int:
         video = context.video
-        v, gp = self._calibrate(video, context.buffer_capacity_s)
-        utilities = self._utilities(video)
-        sizes = context.next_chunk_sizes_bytes
-        scores = (v * (utilities + gp) - context.buffer_s) / sizes
-        return int(np.argmax(scores))
+        self._calibrate(video, context.buffer_capacity_s)
+        weights = self._weights
+        buffer_s = context.buffer_s
+        n = context.chunk_index
+        best_q = 0
+        best_score = None
+        for q, w in enumerate(weights):
+            score = (w - buffer_s) / video.chunk_size_bytes(n, q)
+            if best_score is None or score > best_score:
+                best_score = score
+                best_q = q
+        return best_q

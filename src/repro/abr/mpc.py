@@ -18,12 +18,64 @@ Candidate evaluation is vectorised across sequences.
 
 from __future__ import annotations
 
+from weakref import WeakKeyDictionary
+
 import numpy as np
 
 from ..video.ladder import ssim_to_db
 from .base import ABRAlgorithm, ABRContext, HarmonicMeanPredictor
 
 __all__ = ["MPCAlgorithm"]
+
+# Per-video precomputed QoE tables, keyed by the Video object itself (the
+# entry dies with the video).  The SSIM-sum and switch-penalty terms of the
+# MPC objective do not depend on the throughput prediction or the buffer,
+# so they are computed for every chunk index at once and shared by all MPC
+# instances streaming that video — only the stall recursion remains
+# per-decision work.
+_VIDEO_TABLES: "WeakKeyDictionary" = WeakKeyDictionary()
+
+_TABLE_BUDGET_ELEMENTS = 8_000_000
+"""Skip precomputation for (chunks x sequences) products above this."""
+
+
+def _video_tables(video, sequences: np.ndarray, n_qualities: int, horizon: int):
+    """``(db_sum, switch_sum)`` tables of shape ``(n_valid, n_seq)``.
+
+    ``db_sum[n, s]`` is the horizon SSIM-dB total of sequence ``s`` started
+    at chunk ``n``; ``switch_sum[n, s]`` the within-horizon ``|Δ ssim_db|``
+    total.  Returns ``None`` when the video is too large to justify the
+    table memory.
+    """
+    per_video = _VIDEO_TABLES.get(video)
+    if per_video is None:
+        per_video = {}
+        _VIDEO_TABLES[video] = per_video
+    key = (n_qualities, horizon)
+    tables = per_video.get(key)
+    if tables is None:
+        n_valid = video.n_chunks - horizon + 1
+        n_seq = sequences.shape[0]
+        if n_valid < 1 or n_valid * n_seq * (horizon + 2) > _TABLE_BUDGET_ELEMENTS:
+            tables = (None,)
+        else:
+            db = video.ssim_db_matrix
+            seq_t = sequences.T  # (horizon, n_seq)
+            gathered = [
+                db[h : h + n_valid][:, seq_t[h]] for h in range(horizon)
+            ]
+            db_sum = gathered[0].copy()
+            for h in range(1, horizon):
+                db_sum += gathered[h]
+            switch_sum = None
+            for h in range(1, horizon):
+                step = np.abs(gathered[h] - gathered[h - 1])
+                switch_sum = step if switch_sum is None else switch_sum + step
+            if switch_sum is None:
+                switch_sum = np.zeros_like(db_sum)
+            tables = (db_sum, switch_sum)
+        per_video[key] = tables
+    return None if tables[0] is None else tables
 
 
 def _enumerate_sequences(n_qualities: int, horizon: int) -> np.ndarray:
@@ -76,6 +128,7 @@ class MPCAlgorithm(ABRAlgorithm):
         self.robust = robust
         self._predictor = HarmonicMeanPredictor()
         self._sequence_cache: dict[tuple[int, int], np.ndarray] = {}
+        self._plan_cache: dict[tuple[int, int], tuple] = {}
 
     def reset(self) -> None:
         self._predictor.reset()
@@ -86,6 +139,29 @@ class MPCAlgorithm(ABRAlgorithm):
         if key not in self._sequence_cache:
             self._sequence_cache[key] = _enumerate_sequences(n_qualities, horizon)
         return self._sequence_cache[key]
+
+    def _plan(self, n_qualities: int, horizon: int) -> tuple:
+        """Cached per-(Q, horizon) decision workspace.
+
+        ``flat`` maps (horizon step, sequence) onto the flattened
+        ``(horizon, Q)`` size/SSIM slices so every decision needs exactly
+        one gather per matrix; the scratch arrays are reused across
+        decisions to keep the hot loop allocation-free.
+        """
+        key = (n_qualities, horizon)
+        plan = self._plan_cache.get(key)
+        if plan is None:
+            sequences = self._sequences(n_qualities, horizon)
+            flat = (
+                np.arange(horizon)[:, None] * n_qualities + sequences.T
+            )  # (horizon, n_seq)
+            n_seq = sequences.shape[0]
+            scratch = np.empty((horizon, n_seq))
+            buf = np.empty(n_seq)
+            row = np.empty(n_seq)
+            plan = (sequences, flat, scratch, buf, row)
+            self._plan_cache[key] = plan
+        return plan
 
     def choose_quality(self, context: ABRContext) -> int:
         video = context.video
@@ -106,43 +182,76 @@ class MPCAlgorithm(ABRAlgorithm):
                 predicted = float(len(recent) / np.sum(1.0 / recent))
         predicted = max(predicted, 1e-3)
 
-        sequences = self._sequences(video.n_qualities, horizon)
-        n_seq = sequences.shape[0]
+        sequences, flat, scratch, buf, row = self._plan(video.n_qualities, horizon)
 
-        # Per-(horizon step, quality) chunk sizes and SSIM-dB utilities.
-        sizes = np.stack(
-            [video.sizes_for_chunk(n + h) for h in range(horizon)]
-        )  # (horizon, Q)
-        ssim_db = np.stack(
-            [
-                [ssim_to_db(video.chunk_ssim(n + h, q)) for q in range(video.n_qualities)]
-                for h in range(horizon)
-            ]
-        )  # (horizon, Q)
-
-        download_s = sizes * 8 / 1e6 / predicted  # (horizon, Q) seconds
+        # Per-(horizon step, sequence) download seconds: one gather from the
+        # video's cached size matrix (the per-decision Python rebuild of
+        # these tables used to dominate session wall time).
+        d_steps = video.size_matrix[n : n + horizon].ravel()[flat]
+        d_steps *= 8 / 1e6 / predicted  # (horizon, n_seq)
 
         chunk_dur = video.chunk_duration_s
         capacity = context.buffer_capacity_s
-        buffer = np.full(n_seq, context.buffer_s)
-        qoe = np.zeros(n_seq)
+
+        # Buffer recursion (the only sequential part of the QoE):
+        # scratch[h] = buffer_h - d_h, from which both the stall term
+        # (max(d - b, 0) == -min(scratch, 0)) and the next buffer level
+        # (min(max(scratch, 0) + dur, cap)) follow.
+        buffer = context.buffer_s  # scalar: broadcasts on the first step
+        for h in range(horizon):
+            level = scratch[h]
+            np.subtract(buffer, d_steps[h], out=level)
+            if h + 1 < horizon:
+                np.maximum(level, 0.0, out=buf)
+                buf += chunk_dur
+                np.minimum(buf, capacity, out=buf)
+                buffer = buf
+        np.minimum(scratch, 0.0, out=scratch)
+        neg_stall = scratch.sum(axis=0)  # == -sum of stalls
+        neg_stall *= self.rebuffer_penalty
+
         if context.last_quality is not None:
-            prev_db = np.full(
-                n_seq, ssim_to_db(video.chunk_ssim(max(n - 1, 0), context.last_quality))
+            prev_db = ssim_to_db(
+                video.chunk_ssim(max(n - 1, 0), context.last_quality)
             )
         else:
             prev_db = None
 
-        for h in range(horizon):
-            q_h = sequences[:, h]
-            d_h = download_s[h, q_h]
-            db_h = ssim_db[h, q_h]
-            stall = np.maximum(d_h - buffer, 0.0)
-            buffer = np.minimum(np.maximum(buffer - d_h, 0.0) + chunk_dur, capacity)
-            qoe += db_h - self.rebuffer_penalty * stall
+        tables = _video_tables(video, sequences, video.n_qualities, horizon)
+        if tables is not None:
+            db_sum, switch_sum = tables
+            qoe = db_sum[n] + neg_stall
             if prev_db is not None:
-                qoe -= self.switch_penalty * np.abs(db_h - prev_db)
-            prev_db = db_h
+                # |first-step ssim_db - previous chunk's|: computed on the
+                # Q ladder levels then gathered per sequence (flat[0] is
+                # each sequence's first-step quality).
+                level_jump = np.abs(video.ssim_db_matrix[n] - prev_db)
+                np.add(switch_sum[n], level_jump[flat[0]], out=row)
+                row *= self.switch_penalty
+                qoe -= row
+            elif self.switch_penalty:
+                qoe -= self.switch_penalty * switch_sum[n]
+        else:
+            # Large-video fallback: gather the SSIM terms per decision.
+            db_steps = video.ssim_db_matrix[n : n + horizon].ravel()[flat]
+            qoe = db_steps.sum(axis=0)
+            qoe += neg_stall
+            if horizon > 1:
+                sw = np.subtract(db_steps[1:], db_steps[:-1])
+                np.abs(sw, out=sw)
+                switches = sw.sum(axis=0)
+            else:
+                switches = None
+            if prev_db is not None:
+                np.subtract(db_steps[0], prev_db, out=row)
+                np.abs(row, out=row)
+                if switches is None:
+                    switches = row
+                else:
+                    switches += row
+            if switches is not None:
+                switches *= self.switch_penalty
+                qoe -= switches
 
         best = int(np.argmax(qoe))
         return int(sequences[best, 0])

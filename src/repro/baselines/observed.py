@@ -54,24 +54,29 @@ def baseline_trace(
     n_cells = max(1, int(np.ceil(span / grid_s)))
     centers = grid_s * (np.arange(n_cells) + 0.5)
 
+    # One vectorised pass over all grid cells (elementwise-identical to the
+    # original per-cell scalar walk).
+    n = log.n_chunks
+    idx = np.searchsorted(starts, centers, side="right") - 1
+    inside = (idx >= 0) & (idx < n) & (centers <= ends[np.clip(idx, 0, n - 1)])
+    before = ~inside & (centers < starts[0])
+    tail = ~inside & ~before & (idx >= n - 1)
+    off = ~(inside | before | tail)
+
     values = np.empty(n_cells)
-    for i, t in enumerate(centers):
-        # Inside a download window the observed throughput holds.
-        idx = np.searchsorted(starts, t, side="right") - 1
-        if 0 <= idx < log.n_chunks and t <= ends[idx]:
-            values[i] = throughputs[idx]
-        elif t < starts[0]:
-            values[i] = throughputs[0]
-        elif idx >= log.n_chunks - 1:
-            values[i] = throughputs[-1]
-        else:
-            # Off period between chunk idx and idx+1: linear interpolation
-            # between the two neighbouring observations.
-            t0, t1 = ends[idx], starts[idx + 1]
-            if t1 <= t0:
-                values[i] = throughputs[idx + 1]
-            else:
-                w = (t - t0) / (t1 - t0)
-                values[i] = (1 - w) * throughputs[idx] + w * throughputs[idx + 1]
+    values[inside] = throughputs[idx[inside]]
+    values[before] = throughputs[0]
+    values[tail] = throughputs[-1]
+    if np.any(off):
+        # Off period between chunk idx and idx+1: linear interpolation
+        # between the two neighbouring observations.
+        i0 = idx[off]
+        t0, t1 = ends[i0], starts[i0 + 1]
+        t = centers[off]
+        w = np.where(t1 > t0, (t - t0) / np.where(t1 > t0, t1 - t0, 1.0), 1.0)
+        values[off] = np.where(
+            t1 > t0, (1 - w) * throughputs[i0] + w * throughputs[i0 + 1],
+            throughputs[i0 + 1],
+        )
 
     return PiecewiseConstantTrace.from_uniform(values, grid_s)

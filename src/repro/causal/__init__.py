@@ -3,6 +3,8 @@
 from .engine import (
     CounterfactualEngine,
     CounterfactualResult,
+    PreparedCorpus,
+    PreparedTrace,
     TraceCounterfactual,
     VeritasRange,
     run_setting,
@@ -17,6 +19,8 @@ from .queries import Setting, cap_bitrate, change_abr, change_buffer, change_lad
 __all__ = [
     "CounterfactualEngine",
     "CounterfactualResult",
+    "PreparedCorpus",
+    "PreparedTrace",
     "Setting",
     "TraceCounterfactual",
     "VeritasRange",

@@ -12,6 +12,14 @@ For each ground-truth trace:
 
 The result object keeps everything per-trace so benchmarks can print the
 paper's per-trace series (Figs. 9-11, 13-14) and summary numbers.
+
+Steps 1-2 depend only on Setting A, so a corpus can be **prepared** once
+(:meth:`CounterfactualEngine.prepare_corpus`) and then replayed against any
+number of Setting-B queries (:meth:`CounterfactualEngine.evaluate_many`) —
+the deployment, abduction and posterior sampling are amortised across
+queries, which is what makes sweeping many what-ifs over a large corpus
+cheap.  ``evaluate_corpus`` is the single-query convenience wrapper over
+the same path and stays bit-identical to evaluating each trace end to end.
 """
 
 from __future__ import annotations
@@ -36,6 +44,8 @@ __all__ = [
     "VeritasRange",
     "TraceCounterfactual",
     "CounterfactualResult",
+    "PreparedTrace",
+    "PreparedCorpus",
     "CounterfactualEngine",
     "run_setting",
 ]
@@ -65,13 +75,21 @@ class VeritasRange:
     values: tuple[float, ...]
 
     @property
+    def _sorted(self) -> tuple[float, ...]:
+        ordered = self.__dict__.get("_sorted_cache")
+        if ordered is None:
+            ordered = tuple(sorted(self.values))
+            object.__setattr__(self, "_sorted_cache", ordered)
+        return ordered
+
+    @property
     def low(self) -> float:
-        ordered = sorted(self.values)
+        ordered = self._sorted
         return ordered[1] if len(ordered) >= 3 else ordered[0]
 
     @property
     def high(self) -> float:
-        ordered = sorted(self.values)
+        ordered = self._sorted
         return ordered[-2] if len(ordered) >= 3 else ordered[-1]
 
     @property
@@ -114,9 +132,19 @@ class CounterfactualResult:
         base = np.asarray(
             [getattr(t.baseline_metrics, metric) for t in self.per_trace]
         )
-        low = np.asarray([t.veritas_range(metric).low for t in self.per_trace])
-        high = np.asarray([t.veritas_range(metric).high for t in self.per_trace])
-        med = np.asarray([t.veritas_range(metric).median for t in self.per_trace])
+        # One (traces, K) sort yields low/high/median for every trace at
+        # once instead of re-sorting the K samples per accessor per trace.
+        samples = np.asarray(
+            [
+                [getattr(m, metric) for m in t.veritas_metrics]
+                for t in self.per_trace
+            ]
+        )
+        samples.sort(axis=1)
+        k = samples.shape[1]
+        low = samples[:, 1] if k >= 3 else samples[:, 0]
+        high = samples[:, -2] if k >= 3 else samples[:, -1]
+        med = np.median(samples, axis=1)
         orig = np.asarray(
             [getattr(t.setting_a_metrics, metric) for t in self.per_trace]
         )
@@ -138,29 +166,70 @@ class CounterfactualResult:
         }
 
 
-# Corpus shared with forked pool workers.  Settings carry ABR factory
-# closures that cannot cross a pickle boundary, so the parallel path relies
+@dataclass(frozen=True)
+class PreparedTrace:
+    """Everything Setting-A-dependent for one ground-truth trace.
+
+    Holds the deployed log, its metrics, and the reconstructions (baseline
+    trace + K posterior samples) so any Setting-B query can be answered
+    with replays alone.
+    """
+
+    trace_index: int
+    ground_truth: PiecewiseConstantTrace
+    log_a: SessionLog
+    setting_a_metrics: QoEMetrics
+    replay_horizon_s: float
+    baseline: PiecewiseConstantTrace
+    samples: tuple[PiecewiseConstantTrace, ...]
+
+
+@dataclass
+class PreparedCorpus:
+    """A corpus with Setting A deployed and abduction solved, ready to replay.
+
+    Produced by :meth:`CounterfactualEngine.prepare_corpus`; consumed by
+    :meth:`CounterfactualEngine.evaluate_many`.
+    """
+
+    setting_a: Setting
+    n_samples: int
+    per_trace: list[PreparedTrace] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.per_trace)
+
+
+# Shared state for forked pool workers.  Settings carry ABR factory
+# closures that cannot cross a pickle boundary, so the parallel paths rely
 # on fork inheritance: the state is installed before the pool spawns and
-# workers receive only trace indices.  The lock serialises concurrent
-# evaluate_corpus calls for the span where workers may still fork, so one
-# call's state cannot leak into another's workers.
+# workers receive only indices.  The lock serialises concurrent calls for
+# the span where workers may still fork, so one call's state cannot leak
+# into another's workers.
 _FORK_STATE: tuple | None = None
 _FORK_LOCK = threading.Lock()
 
 
-def _evaluate_trace_by_index(index: int) -> TraceCounterfactual:
-    engine, traces, setting_a, setting_b, seeds = _FORK_STATE
-    return engine.evaluate_trace(
-        index, traces[index], setting_a, setting_b, seed=seeds[index]
+def _prepare_trace_by_index(index: int) -> PreparedTrace:
+    engine, traces, setting_a, seeds = _FORK_STATE
+    return engine._prepare_trace(index, traces[index], setting_a, seeds[index])
+
+
+def _replay_task(task: tuple[int, int]) -> tuple[int, int, TraceCounterfactual]:
+    engine, per_trace, settings_b = _FORK_STATE
+    setting_index, trace_index = task
+    outcome = engine._replay_prepared(
+        per_trace[trace_index], settings_b[setting_index]
     )
+    return setting_index, trace_index, outcome
 
 
 class CounterfactualEngine:
     """Runs the full Fig.-6 pipeline over a corpus of ground-truth traces.
 
-    ``n_workers`` > 1 fans :meth:`evaluate_corpus` out over a process pool.
-    Every trace gets its seed from the same ``spawn_seeds`` schedule and
-    :meth:`evaluate_trace` is deterministic given its seed, so parallel
+    ``n_workers`` > 1 fans the corpus-level methods out over a process
+    pool.  Every trace gets its seed from the same ``spawn_seeds`` schedule
+    and each per-trace step is deterministic given its seed, so parallel
     results are bit-identical to serial ones.
     """
 
@@ -224,6 +293,147 @@ class CounterfactualEngine:
             veritas_metrics=tuple(veritas_metrics),
         )
 
+    # ------------------------------------------------------------------
+    def _prepare_trace(
+        self,
+        trace_index: int,
+        ground_truth: PiecewiseConstantTrace,
+        setting_a: Setting,
+        seed: SeedLike,
+    ) -> PreparedTrace:
+        """Deploy Setting A, solve abduction and draw the K samples once."""
+        log_a = run_setting(setting_a, ground_truth)
+        metrics_a = compute_metrics(log_a)
+        replay_horizon = max(
+            ground_truth.end_time, 3.0 * setting_a.video.duration_s
+        )
+        base = baseline_trace(log_a, duration_s=replay_horizon)
+        posterior = self.abduction.solve(log_a, trace_duration_s=replay_horizon)
+        rng = ensure_rng(seed)
+        samples = tuple(posterior.sample_traces(self.n_samples, seed=rng))
+        return PreparedTrace(
+            trace_index=trace_index,
+            ground_truth=ground_truth,
+            log_a=log_a,
+            setting_a_metrics=metrics_a,
+            replay_horizon_s=replay_horizon,
+            baseline=base,
+            samples=samples,
+        )
+
+    def _replay_prepared(
+        self, prepared: PreparedTrace, setting_b: Setting
+    ) -> TraceCounterfactual:
+        """Answer one Setting-B query from cached reconstructions.
+
+        Mirrors the replay half of :meth:`evaluate_trace` exactly: the
+        reconstructions hold their final value beyond their span, so
+        extending them to the (Setting-B-dependent) replay horizon yields
+        bit-identical session logs.
+        """
+        gt = prepared.ground_truth
+        horizon = max(gt.end_time, 3.0 * setting_b.video.duration_s)
+
+        truth_log = run_setting(setting_b, gt.extended(horizon))
+        truth_metrics = compute_metrics(truth_log)
+        baseline_metrics = compute_metrics(
+            run_setting(setting_b, prepared.baseline.extended(horizon))
+        )
+        veritas_metrics = tuple(
+            compute_metrics(run_setting(setting_b, sample.extended(horizon)))
+            for sample in prepared.samples
+        )
+        return TraceCounterfactual(
+            trace_index=prepared.trace_index,
+            setting_a_metrics=prepared.setting_a_metrics,
+            truth_metrics=truth_metrics,
+            baseline_metrics=baseline_metrics,
+            veritas_metrics=veritas_metrics,
+        )
+
+    # ------------------------------------------------------------------
+    def prepare_corpus(
+        self,
+        traces: list[PiecewiseConstantTrace],
+        setting_a: Setting,
+        n_workers: int | None = None,
+    ) -> PreparedCorpus:
+        """Deploy Setting A and solve abduction for a whole corpus, once.
+
+        The returned :class:`PreparedCorpus` answers any number of
+        Setting-B queries through :meth:`evaluate_many` without re-running
+        deployment or inference.  Per-trace seeding follows the same
+        ``spawn_seeds`` schedule as :meth:`evaluate_corpus`, so downstream
+        replays are bit-identical to the end-to-end path.
+        """
+        if not traces:
+            raise ValueError("need at least one ground-truth trace")
+        workers = self._resolve_workers(n_workers)
+        seeds = spawn_seeds(self._seed, len(traces))
+        corpus = PreparedCorpus(setting_a=setting_a, n_samples=self.n_samples)
+        if self._use_pool(workers, len(traces)):
+            corpus.per_trace.extend(
+                self._run_pool(
+                    _prepare_trace_by_index,
+                    range(len(traces)),
+                    (self, list(traces), setting_a, seeds),
+                    min(workers, len(traces)),
+                )
+            )
+        else:
+            for i, (trace, seed) in enumerate(zip(traces, seeds)):
+                corpus.per_trace.append(
+                    self._prepare_trace(i, trace, setting_a, seed)
+                )
+        return corpus
+
+    def evaluate_many(
+        self,
+        prepared: PreparedCorpus,
+        settings_b: "list[Setting]",
+        n_workers: int | None = None,
+    ) -> "list[CounterfactualResult]":
+        """Answer several Setting-B queries against one prepared corpus.
+
+        Fans the (trace × setting) replay tasks over the process pool when
+        ``n_workers`` > 1; results are bit-identical to running
+        :meth:`evaluate_corpus` once per setting (see the parity suite).
+        """
+        if not prepared.per_trace:
+            raise ValueError("prepared corpus is empty")
+        if not settings_b:
+            raise ValueError("need at least one Setting-B query")
+        workers = self._resolve_workers(n_workers)
+        results = [
+            CounterfactualResult(
+                setting_a=prepared.setting_a.describe(),
+                setting_b=setting_b.describe(),
+                per_trace=[None] * len(prepared.per_trace),
+            )
+            for setting_b in settings_b
+        ]
+        tasks = [
+            (si, ti)
+            for si in range(len(settings_b))
+            for ti in range(len(prepared.per_trace))
+        ]
+        if self._use_pool(workers, len(tasks)):
+            outcomes = self._run_pool(
+                _replay_task,
+                tasks,
+                (self, list(prepared.per_trace), list(settings_b)),
+                min(workers, len(tasks)),
+            )
+            for si, ti, outcome in outcomes:
+                results[si].per_trace[ti] = outcome
+        else:
+            for si, setting_b in enumerate(settings_b):
+                for ti, trace in enumerate(prepared.per_trace):
+                    results[si].per_trace[ti] = self._replay_prepared(
+                        trace, setting_b
+                    )
+        return results
+
     def evaluate_corpus(
         self,
         traces: list[PiecewiseConstantTrace],
@@ -234,56 +444,40 @@ class CounterfactualEngine:
         """Answer the counterfactual across a whole corpus.
 
         ``n_workers`` overrides the engine-level setting for this call;
-        values > 1 evaluate traces on a process pool with the same
-        deterministic per-trace seeding as the serial path (the results are
-        bit-identical, only wall time changes).
+        values > 1 evaluate on a process pool with the same deterministic
+        per-trace seeding as the serial path (the results are bit-identical,
+        only wall time changes).
         """
-        if not traces:
-            raise ValueError("need at least one ground-truth trace")
+        prepared = self.prepare_corpus(traces, setting_a, n_workers=n_workers)
+        return self.evaluate_many(prepared, [setting_b], n_workers=n_workers)[0]
+
+    # ------------------------------------------------------------------
+    def _resolve_workers(self, n_workers: int | None) -> int | None:
         workers = self.n_workers if n_workers is None else n_workers
         if workers is not None and workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {workers}")
-        seeds = spawn_seeds(self._seed, len(traces))
-        result = CounterfactualResult(
-            setting_a=setting_a.describe(), setting_b=setting_b.describe()
-        )
-        if (
+        return workers
+
+    @staticmethod
+    def _use_pool(workers: int | None, n_tasks: int) -> bool:
+        return (
             workers is not None
             and workers > 1
-            and len(traces) > 1
+            and n_tasks > 1
             and "fork" in multiprocessing.get_all_start_methods()
-        ):
-            result.per_trace.extend(
-                self._evaluate_parallel(
-                    traces, setting_a, setting_b, seeds, min(workers, len(traces))
-                )
-            )
-        else:
-            for i, (trace, seed) in enumerate(zip(traces, seeds)):
-                result.per_trace.append(
-                    self.evaluate_trace(i, trace, setting_a, setting_b, seed=seed)
-                )
-        return result
+        )
 
-    def _evaluate_parallel(
-        self,
-        traces: list[PiecewiseConstantTrace],
-        setting_a: Setting,
-        setting_b: Setting,
-        seeds: list[int],
-        workers: int,
-    ) -> list[TraceCounterfactual]:
-        """Fan the per-trace evaluations out over forked worker processes."""
+    @staticmethod
+    def _run_pool(fn, tasks, state: tuple, workers: int) -> list:
+        """Fan ``fn`` over ``tasks`` on forked workers sharing ``state``."""
         global _FORK_STATE
         context = multiprocessing.get_context("fork")
         with _FORK_LOCK:
-            _FORK_STATE = (self, list(traces), setting_a, setting_b, seeds)
+            _FORK_STATE = state
             try:
                 with ProcessPoolExecutor(
                     max_workers=workers, mp_context=context
                 ) as pool:
-                    return list(
-                        pool.map(_evaluate_trace_by_index, range(len(traces)))
-                    )
+                    return list(pool.map(fn, tasks))
             finally:
                 _FORK_STATE = None

@@ -52,11 +52,11 @@ def _expected_counts(
         total_ll += posterior.log_likelihood
         deltas = posterior.problem.deltas
         xi = posterior.smoothing.xi
-        for n in range(xi.shape[0]):
-            # xi[n] couples chunk n and n+1; the gap of that pair is
-            # deltas[n + 1].  Only unit gaps observe A itself.
-            if deltas[n + 1] == 1:
-                counts += xi[n]
+        # xi[n] couples chunk n and n+1; the gap of that pair is
+        # deltas[n + 1].  Only unit gaps observe A itself.
+        unit = np.asarray(deltas[1:]) == 1
+        if np.any(unit):
+            counts += xi[unit].sum(axis=0)
     return counts, total_ll
 
 

@@ -21,6 +21,7 @@ runs longer than the original one.
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -28,6 +29,7 @@ import numpy as np
 from ..util.units import mbps_to_bytes_per_sec
 
 _EPS_TIME = 1e-12
+_EPS_BYTES = 1e-9
 
 
 class PiecewiseConstantTrace:
@@ -42,11 +44,13 @@ class PiecewiseConstantTrace:
         Bandwidth (Mbps) on each of the ``k`` intervals; all must be >= 0.
     """
 
-    __slots__ = ("_bounds", "_values", "_cum_bytes")
+    __slots__ = ("_bounds", "_values", "_rates", "_cum_bytes", "_mirrors")
 
     def __init__(self, boundaries: Sequence[float], values: Sequence[float]):
-        bounds = np.asarray(boundaries, dtype=float)
-        vals = np.asarray(values, dtype=float)
+        # Always copy: the arrays are frozen below and aliasing a caller's
+        # array would freeze it too.
+        bounds = np.array(boundaries, dtype=float)
+        vals = np.array(values, dtype=float)
         if bounds.ndim != 1 or vals.ndim != 1:
             raise ValueError("boundaries and values must be one-dimensional")
         if bounds.size != vals.size + 1:
@@ -62,12 +66,36 @@ class PiecewiseConstantTrace:
             raise ValueError("bandwidth values must be non-negative")
         self._bounds = bounds
         self._values = vals
+        bounds.setflags(write=False)
+        vals.setflags(write=False)
         # Cumulative bytes moved from start_time up to each boundary; makes
         # integrate()/time_to_transfer() O(log k) instead of O(k).
         rates = mbps_to_bytes_per_sec(vals)
+        self._rates = rates
         self._cum_bytes = np.concatenate(
             [[0.0], np.cumsum(rates * np.diff(bounds))]
         )
+        self._cum_bytes.setflags(write=False)
+        self._mirrors: tuple | None = None
+
+    def _scalar_mirrors(self) -> tuple:
+        """Plain-Python ``(bounds, values, rates, cum_bytes)`` list mirrors.
+
+        The replay engine issues millions of point queries per corpus and
+        bisect on a list is ~10x cheaper than a 0-d numpy searchsorted.
+        Built lazily on the first scalar query so short-lived traces (e.g.
+        ``resampled()`` intermediates) never pay the conversion; shared
+        with the TCP kernel, which must not touch the slots directly.
+        """
+        mirrors = self._mirrors
+        if mirrors is None:
+            mirrors = self._mirrors = (
+                self._bounds.tolist(),
+                self._values.tolist(),
+                self._rates.tolist(),
+                self._cum_bytes.tolist(),
+            )
+        return mirrors
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -107,11 +135,13 @@ class PiecewiseConstantTrace:
 
     @property
     def boundaries(self) -> np.ndarray:
-        return self._bounds.copy()
+        """Interval boundaries as a read-only view (no copy)."""
+        return self._bounds
 
     @property
     def values(self) -> np.ndarray:
-        return self._values.copy()
+        """Per-interval bandwidths (Mbps) as a read-only view (no copy)."""
+        return self._values
 
     def __len__(self) -> int:
         return int(self._values.size)
@@ -128,12 +158,24 @@ class PiecewiseConstantTrace:
     # ------------------------------------------------------------------
     def _interval_index(self, t: float) -> int:
         """Index of the interval containing time ``t`` (clamped at the ends)."""
-        idx = int(np.searchsorted(self._bounds, t, side="right")) - 1
-        return min(max(idx, 0), len(self) - 1)
+        bounds, values, _, _ = self._scalar_mirrors()
+        idx = bisect_right(bounds, t) - 1
+        if idx < 0:
+            return 0
+        last = len(values) - 1
+        return idx if idx < last else last
 
     def value_at(self, t: float) -> float:
         """Bandwidth at time ``t`` (Mbps); clamps before/after the trace."""
-        return float(self._values[self._interval_index(t)])
+        bounds, values, _, _ = self._scalar_mirrors()
+        idx = bisect_right(bounds, t) - 1
+        if idx < 0:
+            idx = 0
+        else:
+            last = len(values) - 1
+            if idx > last:
+                idx = last
+        return values[idx]
 
     def values_at(self, times: Iterable[float]) -> np.ndarray:
         """Vectorised :meth:`value_at`."""
@@ -148,24 +190,47 @@ class PiecewiseConstantTrace:
         widths = np.diff(self._bounds)
         return float(np.sum(self._values * widths) / np.sum(widths))
 
+    def _cum_bytes_at(self, t: float) -> float:
+        """Cumulative bytes moved by a saturating flow from ``start_time`` to ``t``.
+
+        The first/last value is held before/after the trace span, so the
+        integral extends to the whole real line (negative before the start).
+        """
+        bounds, _, rates, cum = self._scalar_mirrors()
+        if t <= bounds[0]:
+            # Hold first value before the trace begins.
+            return rates[0] * (t - bounds[0])
+        if t >= bounds[-1]:
+            return cum[-1] + rates[-1] * (t - bounds[-1])
+        i = self._interval_index(t)
+        return cum[i] + rates[i] * (t - bounds[i])
+
+    def _cum_bytes_at_batch(self, ts: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`_cum_bytes_at` (elementwise-identical floats)."""
+        ts = np.asarray(ts, dtype=float)
+        out = np.empty_like(ts)
+        before = ts <= self.start_time
+        after = ts >= self.end_time
+        mid = ~(before | after)
+        out[before] = self._rates[0] * (ts[before] - self.start_time)
+        out[after] = self._cum_bytes[-1] + self._rates[-1] * (
+            ts[after] - self.end_time
+        )
+        idx = np.clip(
+            np.searchsorted(self._bounds, ts[mid], side="right") - 1,
+            0,
+            len(self) - 1,
+        )
+        out[mid] = self._cum_bytes[idx] + self._rates[idx] * (
+            ts[mid] - self._bounds[idx]
+        )
+        return out
+
     def integrate_bytes(self, t0: float, t1: float) -> float:
         """Bytes a saturating flow moves on ``[t0, t1]`` (t1 may exceed the end)."""
         if t1 < t0:
             raise ValueError(f"need t0 <= t1, got {t0} > {t1}")
-
-        def cum(t: float) -> float:
-            if t <= self.start_time:
-                # Hold first value before the trace begins.
-                rate = mbps_to_bytes_per_sec(float(self._values[0]))
-                return rate * (t - self.start_time)
-            if t >= self.end_time:
-                rate = mbps_to_bytes_per_sec(float(self._values[-1]))
-                return float(self._cum_bytes[-1]) + rate * (t - self.end_time)
-            i = self._interval_index(t)
-            rate = mbps_to_bytes_per_sec(float(self._values[i]))
-            return float(self._cum_bytes[i]) + rate * (t - float(self._bounds[i]))
-
-        return cum(t1) - cum(t0)
+        return self._cum_bytes_at(t1) - self._cum_bytes_at(t0)
 
     def average(self, t0: float, t1: float) -> float:
         """Time-weighted mean bandwidth (Mbps) over ``[t0, t1]``."""
@@ -174,49 +239,122 @@ class PiecewiseConstantTrace:
         bytes_moved = self.integrate_bytes(t0, t1)
         return bytes_moved * 8 / 1e6 / (t1 - t0)
 
+    def _transfer_prefix(
+        self, start: float, remaining: float
+    ) -> "tuple[float, int] | float":
+        """Shared head of the transfer solvers.
+
+        Handles the hold-before-start prefix, the interval containing
+        ``start`` (the hot case: most transfers finish inside it), and
+        starts at/past ``end_time``.  Returns the finish time when the
+        transfer completes there, else ``(cum_start, first_i)``: the
+        cumulative-bytes integral at ``start`` and the first interval index
+        a completion search must consider.
+        """
+        bounds, _, rates, cum = self._scalar_mirrors()
+        t = float(start)
+
+        if t >= bounds[-1]:
+            # At/past the end of the trace the final value holds forever.
+            rate = rates[-1]
+            if rate <= 0:
+                raise RuntimeError(
+                    "transfer cannot complete: trailing bandwidth is zero"
+                )
+            return t + remaining / rate - start
+
+        if t < bounds[0]:
+            # Before the trace begins the first value holds.
+            rate = rates[0]
+            capacity = rate * (bounds[0] - t)
+            if rate > 0 and capacity >= remaining - _EPS_BYTES:
+                return remaining / rate
+            return rate * (t - bounds[0]), 0
+
+        i = self._interval_index(t)
+        rate = rates[i]
+        capacity = rate * (bounds[i + 1] - t)
+        if rate > 0 and capacity >= remaining - _EPS_BYTES:
+            return t + remaining / rate - start
+        return cum[i] + rate * (t - bounds[i]), i + 1
+
     def time_to_transfer(self, start: float, size_bytes: float) -> float:
         """Seconds for a saturating flow starting at ``start`` to move ``size_bytes``.
 
         The trace is held constant at its final value beyond ``end_time``.
         Raises :class:`RuntimeError` when the transfer can never finish
         (zero bandwidth from some point on).
+
+        The completion interval is resolved with a single bisection over the
+        precomputed cumulative-bytes integral instead of walking intervals
+        one by one; :meth:`time_to_transfer_reference` keeps the O(k) walk
+        as the golden reference and the two are bit-identical.
         """
         if size_bytes < 0:
             raise ValueError(f"size must be non-negative, got {size_bytes}")
         if size_bytes == 0:
             return 0.0
 
-        eps_bytes = 1e-9
         remaining = float(size_bytes)
-        t = float(start)
+        head = self._transfer_prefix(start, remaining)
+        if not isinstance(head, tuple):
+            return head
+        cum_start, first_i = head
 
-        # Before the trace begins the first value holds (mirrors integrate_bytes).
-        if t < self.start_time:
-            rate = mbps_to_bytes_per_sec(float(self._values[0]))
-            capacity = rate * (self.start_time - t)
-            if rate > 0 and capacity >= remaining - eps_bytes:
-                return remaining / rate
-            remaining -= capacity
-            t = self.start_time
-
-        i = self._interval_index(t)
-        while i < len(self):
-            seg_end = float(self._bounds[i + 1])
-            rate = mbps_to_bytes_per_sec(float(self._values[i]))
-            # `t` can sit exactly on (or beyond) the segment end when the
-            # start time equals end_time; clamp so capacity is never negative.
-            capacity = rate * max(0.0, seg_end - t)
-            if rate > 0 and capacity >= remaining - eps_bytes:
-                return t + remaining / rate - start
-            remaining -= capacity
-            t = max(t, seg_end)
-            i += 1
+        bounds, _, rates, cum = self._scalar_mirrors()
+        k = len(rates)
+        # First interval i >= first_i with positive rate whose cumulative
+        # capacity covers the transfer: cum[i + 1] >= thresh.  bisect lands
+        # on a positive-rate interval automatically (zero-rate intervals are
+        # plateaus of ``cum``) except in the degenerate remaining <= eps
+        # case, where the short walk below skips them.
+        thresh = cum_start + remaining - _EPS_BYTES
+        idx = bisect_left(cum, thresh, first_i + 1)
+        if idx <= k:
+            i = idx - 1
+            while i < k and rates[i] <= 0:
+                i += 1
+            if i < k:
+                rest = remaining - (cum[i] - cum_start)
+                return bounds[i] + rest / rates[i] - start
 
         # Past the end of the trace: the final value holds forever.
-        rate = mbps_to_bytes_per_sec(float(self._values[-1]))
+        rate = rates[-1]
         if rate <= 0:
             raise RuntimeError("transfer cannot complete: trailing bandwidth is zero")
-        return t + remaining / rate - start
+        rest = remaining - (cum[-1] - cum_start)
+        return bounds[-1] + rest / rate - start
+
+    def time_to_transfer_reference(self, start: float, size_bytes: float) -> float:
+        """Scalar interval walk: the golden reference for :meth:`time_to_transfer`.
+
+        Walks the trace one interval at a time evaluating exactly the same
+        float predicates as the bisection fast path, so the two agree to the
+        last bit (see ``tests/test_replay_parity.py``).
+        """
+        if size_bytes < 0:
+            raise ValueError(f"size must be non-negative, got {size_bytes}")
+        if size_bytes == 0:
+            return 0.0
+
+        remaining = float(size_bytes)
+        head = self._transfer_prefix(start, remaining)
+        if not isinstance(head, tuple):
+            return head
+        cum_start, first_i = head
+
+        bounds, _, rates, cum = self._scalar_mirrors()
+        thresh = cum_start + remaining - _EPS_BYTES
+        for i in range(first_i, len(rates)):
+            if rates[i] > 0 and cum[i + 1] >= thresh:
+                rest = remaining - (cum[i] - cum_start)
+                return bounds[i] + rest / rates[i] - start
+
+        rate = rates[-1]
+        if rate <= 0:
+            raise RuntimeError("transfer cannot complete: trailing bandwidth is zero")
+        rest = remaining - (cum[-1] - cum_start)
+        return bounds[-1] + rest / rate - start
 
     # ------------------------------------------------------------------
     # Transformations
@@ -235,7 +373,13 @@ class PiecewiseConstantTrace:
         span = duration if duration is not None else self.duration
         count = max(1, int(np.ceil(span / interval - _EPS_TIME)))
         starts = self.start_time + interval * np.arange(count)
-        vals = [self.average(s, s + interval) for s in starts]
+        # Interval averages via cumulative-integral differences: one
+        # vectorised pass instead of per-cell integrate_bytes calls.
+        ends = starts + interval
+        bytes_moved = self._cum_bytes_at_batch(ends) - self._cum_bytes_at_batch(
+            starts
+        )
+        vals = bytes_moved * 8 / 1e6 / (ends - starts)
         return PiecewiseConstantTrace.from_uniform(vals, interval, self.start_time)
 
     def extended(self, until: float) -> "PiecewiseConstantTrace":

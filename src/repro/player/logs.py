@@ -22,7 +22,7 @@ from ..util.units import throughput_mbps
 __all__ = ["ChunkRecord", "SessionLog"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ChunkRecord:
     """Everything logged about one chunk download."""
 

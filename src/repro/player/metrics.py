@@ -52,9 +52,12 @@ def compute_metrics(log: SessionLog) -> QoEMetrics:
     if log.n_chunks == 0:
         raise ValueError("cannot compute metrics for an empty session")
 
-    ssim = np.asarray([r.ssim for r in log.records])
+    records = log.records
+    ssim = np.asarray([r.ssim for r in records])
     qualities = log.qualities()
-    sizes = log.sizes_bytes()
+    sizes_total = 0.0
+    for r in records:
+        sizes_total += r.size_bytes
     playback_s = log.n_chunks * log.chunk_duration_s
 
     session_duration = log.session_duration_s
@@ -66,7 +69,7 @@ def compute_metrics(log: SessionLog) -> QoEMetrics:
         mean_ssim=float(ssim.mean()),
         mean_ssim_db=float(np.mean([ssim_to_db(s) for s in ssim])),
         rebuffer_ratio=float(rebuffer_ratio),
-        avg_bitrate_mbps=float(sizes.sum() * 8 / 1e6 / playback_s),
+        avg_bitrate_mbps=float(sizes_total * 8 / 1e6 / playback_s),
         startup_time_s=log.startup_time_s,
         quality_switches=int(np.count_nonzero(np.diff(qualities))),
         n_chunks=log.n_chunks,

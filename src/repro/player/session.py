@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from ..abr.base import ABRAlgorithm, ABRContext
 from ..net.trace import PiecewiseConstantTrace
 from ..tcp.connection import TCPConnection
+from ..util.units import throughput_mbps
 from ..video.chunks import Video
 from .buffer import PlayerBuffer
 from .logs import ChunkRecord, SessionLog
@@ -81,70 +82,94 @@ class StreamingSession:
         now = 0.0
         startup_time = 0.0
 
+        # One context object reused across chunks (per-chunk fields are
+        # rewritten below); the history lists are shared and grow in place.
+        context = ABRContext(
+            chunk_index=0,
+            buffer_s=0.0,
+            buffer_capacity_s=config.buffer_capacity_s,
+            last_quality=None,
+            video=video,
+            throughput_history_mbps=throughput_history,
+            download_time_history_s=download_history,
+        )
+        observe = getattr(abr, "observe_download", None)
+
+        # Hoisted bound methods / constants: the loop below runs once per
+        # chunk across every replay of every counterfactual query, so plain
+        # attribute chasing is a measurable share of replay wall time.
+        overflow_wait = buffer.overflow_wait_s
+        drain = buffer.drain
+        append_playback = buffer.append_chunk
+        download = connection.download
+        choose_quality = abr.choose_quality
+        chunk_size_bytes = video.chunk_size_bytes
+        chunk_ssim = video.chunk_ssim
+        records_append = records.append
+        tp_append = throughput_history.append
+        dl_append = download_history.append
+        chunk_dur = video.chunk_duration_s
+        n_qualities = video.n_qualities
+        overhead = config.request_overhead_s
+        bitrates = [video.bitrate_mbps(q) for q in range(n_qualities)]
+        abr_name = abr.name
+
         for n in range(video.n_chunks):
             # 1. Sleep while the buffer is over capacity.  The buffer keeps
             #    draining during the sleep; no stall is possible here.
-            wait = buffer.overflow_wait_s()
+            wait = overflow_wait()
             if wait > 0:
-                buffer.drain(wait)
+                drain(wait)
                 now += wait
-            if config.request_overhead_s:
-                buffer.drain(config.request_overhead_s)
-                now += config.request_overhead_s
+            if overhead:
+                drain(overhead)
+                now += overhead
 
             # 2. ABR decision from client-observable state only.
-            context = ABRContext(
-                chunk_index=n,
-                buffer_s=buffer.level_s,
-                buffer_capacity_s=config.buffer_capacity_s,
-                last_quality=last_quality,
-                video=video,
-                throughput_history_mbps=throughput_history,
-                download_time_history_s=download_history,
-            )
-            quality = abr.choose_quality(context)
-            if not 0 <= quality < video.n_qualities:
+            context.chunk_index = n
+            context.buffer_s = buffer_before = buffer.level_s
+            context.last_quality = last_quality
+            quality = choose_quality(context)
+            if not 0 <= quality < n_qualities:
                 raise ValueError(
-                    f"{abr.name} chose invalid quality {quality} for chunk {n}"
+                    f"{abr_name} chose invalid quality {quality} for chunk {n}"
                 )
-            size = video.chunk_size_bytes(n, quality)
+            size = chunk_size_bytes(n, quality)
 
             # 3. Download over the ground-truth trace.
-            buffer_before = buffer.level_s
-            result = connection.download(size, now)
-            stall = buffer.drain(result.duration_s)
+            result = download(size, now)
+            duration = result.end_time_s - result.start_time_s
+            stall = drain(duration)
             now = result.end_time_s
 
             # 4. Append and log.
-            buffer.append_chunk(video.chunk_duration_s)
+            append_playback(chunk_dur)
             if n == 0:
                 startup_time = now
                 buffer.start_playback()
 
-            records.append(
-                ChunkRecord(
-                    index=n,
-                    quality=quality,
-                    size_bytes=size,
-                    start_time_s=result.start_time_s,
-                    end_time_s=result.end_time_s,
-                    tcp_state=result.tcp_state_at_start,
-                    buffer_before_s=buffer_before,
-                    buffer_after_s=buffer.level_s,
-                    rebuffer_s=stall,
-                    ssim=video.chunk_ssim(n, quality),
-                    bitrate_mbps=video.bitrate_mbps(quality),
-                )
+            record = ChunkRecord(
+                index=n,
+                quality=quality,
+                size_bytes=size,
+                start_time_s=result.start_time_s,
+                end_time_s=result.end_time_s,
+                tcp_state=result.tcp_state_at_start,
+                buffer_before_s=buffer_before,
+                buffer_after_s=buffer.level_s,
+                rebuffer_s=stall,
+                ssim=chunk_ssim(n, quality),
+                bitrate_mbps=bitrates[quality],
             )
-            throughput_history.append(records[-1].throughput_mbps)
-            download_history.append(records[-1].download_time_s)
+            records_append(record)
+            tp_append(throughput_mbps(size, duration))
+            dl_append(duration)
             last_quality = quality
 
             # Feedback hook for algorithms that learn from finished
             # downloads (e.g. the Veritas-in-the-loop ABR).
-            observe = getattr(abr, "observe_download", None)
             if observe is not None:
-                observe(records[-1])
+                observe(record)
 
         return SessionLog(
             abr_name=abr.name,

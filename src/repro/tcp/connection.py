@@ -18,11 +18,28 @@ The simulation alternates between two regimes:
 This produces exactly the observable biases the paper documents: small
 chunks see throughput far below GTBW (Fig. 2(c)), idle gaps reset the
 window, and only > BDP transfers observe throughput close to GTBW.
+
+Two kernels implement the window-limited phase:
+
+* the **analytic** kernel (the default) resolves each constant-bandwidth
+  trace interval in closed form — the slow-start/congestion-avoidance round
+  schedule is precomputed once per ``(cwnd, ssthresh)`` (the same
+  round-schedule trick the Algorithm-4 estimator uses) and the
+  rounds-until-pipe-full / rounds-until-data-exhausted within the interval
+  reduce to bisections over it, so a download costs O(intervals touched)
+  instead of O(rounds);
+* the **reference** kernel walks the per-RTT ``while`` loop round by round.
+
+Both kernels evaluate the same float predicates in the same order, so they
+produce bit-identical :class:`DownloadResult`s and session logs (see
+``tests/test_replay_parity.py``).  Select with ``TCPConnection(...,
+kernel="reference")`` or by setting the module-level ``DEFAULT_KERNEL``.
 """
 
 from __future__ import annotations
 
 import math
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
 
 from ..net.trace import PiecewiseConstantTrace
@@ -35,10 +52,66 @@ from .constants import (
 )
 from .state import MutableTCPState, TCPStateSnapshot, apply_slow_start_restart
 
-__all__ = ["DownloadResult", "TCPConnection"]
+__all__ = ["DEFAULT_KERNEL", "DownloadResult", "TCPConnection"]
+
+DEFAULT_KERNEL = "analytic"
+"""Kernel used when ``TCPConnection`` is constructed without an explicit one."""
+
+_KERNELS = ("analytic", "reference")
 
 
-@dataclass(frozen=True)
+def _grow_window(cwnd: int, ssthresh: int) -> int:
+    """One round of window growth (slow start below ssthresh, else +1)."""
+    if cwnd < ssthresh:
+        return min(max(cwnd + 1, int(cwnd * SLOW_START_GROWTH)), MAX_CWND_SEGMENTS)
+    return min(cwnd + 1, MAX_CWND_SEGMENTS)
+
+
+# Round schedules keyed by (cwnd0, ssthresh): cwnds[r] is the congestion
+# window at the start of round r, cum[r] the segments sent over rounds
+# 0..r-1, cwnd_bytes[r] == cwnds[r] * MSS as a float (so bisection against
+# byte quantities uses exactly the comparisons the reference loop makes).
+# Entries grow on demand and are shared across downloads and traces —
+# restarted connections revisit the same (cwnd, ssthresh) pairs constantly.
+_SCHEDULE_CACHE: dict[tuple[int, int], tuple[list[int], list[int], list[float]]] = {}
+_SCHEDULE_CACHE_MAX = 4096
+
+
+def _schedule(cwnd0: int, ssthresh: int) -> tuple[list[int], list[int], list[float]]:
+    key = (cwnd0, ssthresh)
+    entry = _SCHEDULE_CACHE.get(key)
+    if entry is None:
+        if len(_SCHEDULE_CACHE) >= _SCHEDULE_CACHE_MAX:
+            _SCHEDULE_CACHE.clear()
+        entry = ([cwnd0], [0], [float(cwnd0 * MSS_BYTES)])
+        _SCHEDULE_CACHE[key] = entry
+    return entry
+
+
+def _extend_schedule_for(
+    entry: tuple[list[int], list[int], list[float]],
+    ssthresh: int,
+    size_bytes: float,
+) -> bool:
+    """Grow ``entry`` until its cumulative bytes cover ``size_bytes``.
+
+    Returns False when the window saturates at ``MAX_CWND_SEGMENTS`` first —
+    the caller falls back to the reference loop for that (pathological,
+    multi-Gbps) download.
+    """
+    cwnds, cum, cwnd_bytes = entry
+    while cum[-1] * MSS_BYTES < size_bytes:
+        cwnd = cwnds[-1]
+        if cwnd >= MAX_CWND_SEGMENTS:
+            return False
+        cum.append(cum[-1] + cwnd)
+        nxt = _grow_window(cwnd, ssthresh)
+        cwnds.append(nxt)
+        cwnd_bytes.append(float(nxt * MSS_BYTES))
+    return True
+
+
+@dataclass(frozen=True, slots=True)
 class DownloadResult:
     """Outcome of a single chunk download."""
 
@@ -69,6 +142,11 @@ class TCPConnection:
         End-to-end round-trip propagation delay (the paper uses 80 ms).
     start_time_s:
         Wall-clock time at which the connection is established.
+    kernel:
+        ``"analytic"`` (interval-wise closed form, the default) or
+        ``"reference"`` (per-RTT scalar loop); ``None`` picks the
+        module-level ``DEFAULT_KERNEL``.  Both produce bit-identical
+        results — the reference exists as the golden parity target.
     """
 
     def __init__(
@@ -76,11 +154,21 @@ class TCPConnection:
         trace: PiecewiseConstantTrace,
         rtt_s: float = 0.08,
         start_time_s: float = 0.0,
+        kernel: str | None = None,
     ):
         if rtt_s <= 0:
             raise ValueError(f"rtt must be positive, got {rtt_s}")
+        resolved = DEFAULT_KERNEL if kernel is None else kernel
+        if resolved not in _KERNELS:
+            raise ValueError(
+                f"unknown kernel {resolved!r}; available: {_KERNELS}"
+            )
         self.trace = trace
         self.rtt_s = rtt_s
+        self.kernel = resolved
+        self._run = (
+            self._run_reference if resolved == "reference" else self._run_analytic
+        )
         self.state = MutableTCPState(last_send_time_s=start_time_s)
         # The handshake measures the first RTT sample.
         self.state.observe_rtt(rtt_s)
@@ -116,55 +204,160 @@ class TCPConnection:
             snapshot.rto_s,
         )
 
-        remaining = float(size_bytes)
         # The HTTP request consumes one round trip before payload flows;
         # the client-side download time (what logs record) includes it.
-        t = float(start_time_s) + self.rtt_s
-        rounds = 0
-        while remaining > 0:
-            bandwidth = self.trace.value_at(t)
-            bdp_bytes = mbps_to_bytes_per_sec(bandwidth) * self.rtt_s
-            cwnd_bytes = cwnd * MSS_BYTES
-            if cwnd_bytes >= bdp_bytes:
-                # Pipe is (or can be kept) full — drain the rest at the link
-                # rate.  time_to_transfer walks zero-bandwidth intervals and
-                # raises only if bandwidth never resumes.
-                fluid_s = self.trace.time_to_transfer(t, remaining)
-                # The window keeps opening ~1 segment per RTT while the
-                # transfer proceeds in congestion avoidance.
-                cwnd = min(
-                    cwnd + max(0, int(fluid_s / self.rtt_s)), MAX_CWND_SEGMENTS
-                )
-                rounds += max(1, math.ceil(fluid_s / self.rtt_s))
-                t += fluid_s
-                remaining = 0.0
-            else:
-                # Window-limited round: one RTT moves cwnd segments.
-                sent = min(cwnd_bytes, remaining)
-                remaining -= sent
-                if cwnd < ssthresh:
-                    cwnd = min(
-                        max(cwnd + 1, int(cwnd * SLOW_START_GROWTH)),
-                        MAX_CWND_SEGMENTS,
-                    )
-                else:
-                    cwnd = min(cwnd + 1, MAX_CWND_SEGMENTS)
-                t += self.rtt_s
-                rounds += 1
+        t0 = float(start_time_s) + self.rtt_s
+        end_time, rounds, cwnd = self._run(float(size_bytes), t0, cwnd, ssthresh)
 
         state.cwnd_segments = cwnd
         state.ssthresh_segments = ssthresh
         state.observe_rtt(self.rtt_s)
-        state.last_send_time_s = t
+        state.last_send_time_s = end_time
 
         return DownloadResult(
             start_time_s=start_time_s,
-            end_time_s=t,
+            end_time_s=end_time,
             size_bytes=size_bytes,
             rounds=rounds,
             slow_start_restarted=restarted,
             tcp_state_at_start=snapshot,
         )
+
+    # ------------------------------------------------------------------
+    def _finish_fluid(
+        self, t: float, remaining: float, rounds: int, cwnd: int
+    ) -> tuple[float, int, int]:
+        """Drain ``remaining`` bytes at the link rate starting at ``t``.
+
+        time_to_transfer waits through zero-bandwidth intervals and raises
+        only if bandwidth never resumes.  The window keeps opening ~1
+        segment per RTT while the transfer proceeds in congestion
+        avoidance.
+        """
+        fluid_s = self.trace.time_to_transfer(t, remaining)
+        cwnd = min(cwnd + max(0, int(fluid_s / self.rtt_s)), MAX_CWND_SEGMENTS)
+        rounds += max(1, math.ceil(fluid_s / self.rtt_s))
+        return t + fluid_s, rounds, cwnd
+
+    def _run_reference(
+        self, size_bytes: float, t0: float, cwnd: int, ssthresh: int
+    ) -> tuple[float, int, int]:
+        """Per-RTT scalar loop: the golden reference kernel.
+
+        Each window-limited round lasts one RTT and moves ``cwnd`` segments;
+        once the pipe is full the rest drains as a fluid transfer.
+        """
+        trace = self.trace
+        rtt = self.rtt_s
+        rounds = 0
+        sent_segments = 0
+        while True:
+            t = t0 + rounds * rtt
+            remaining = size_bytes - sent_segments * MSS_BYTES
+            bandwidth = trace.value_at(t)
+            bdp_bytes = mbps_to_bytes_per_sec(bandwidth) * rtt
+            cwnd_bytes = cwnd * MSS_BYTES
+            if cwnd_bytes >= bdp_bytes:
+                # Pipe is (or can be kept) full — drain at the link rate.
+                return self._finish_fluid(t, remaining, rounds, cwnd)
+            if cwnd_bytes >= remaining:
+                # Final window-limited round: one RTT moves the rest.
+                return t0 + (rounds + 1) * rtt, rounds + 1, _grow_window(cwnd, ssthresh)
+            # Full window-limited round: one RTT moves cwnd segments.
+            sent_segments += cwnd
+            cwnd = _grow_window(cwnd, ssthresh)
+            rounds += 1
+
+    def _run_analytic(
+        self, size_bytes: float, t0: float, cwnd0: int, ssthresh: int
+    ) -> tuple[float, int, int]:
+        """Interval-wise closed form of :meth:`_run_reference`.
+
+        Within one constant-bandwidth trace interval the BDP is constant,
+        so the first pipe-full round is a bisection of the precomputed
+        window schedule against the BDP, and the data-exhaustion round a
+        bisection of the monotone ``cwnd >= remaining`` predicate.  Only
+        interval crossings are walked explicitly.
+        """
+        trace = self.trace
+        rtt = self.rtt_s
+        bounds, values, _, _ = trace._scalar_mirrors()
+        last_start = bounds[-2]
+
+        entry = _schedule(cwnd0, ssthresh)
+        if not _extend_schedule_for(entry, ssthresh, size_bytes):
+            return self._run_reference(size_bytes, t0, cwnd0, ssthresh)
+        cwnds, cum, cwnd_bytes = entry
+        n_sched = len(cum)
+
+        n_intervals = len(values)
+        r = 0
+        while True:
+            t = t0 + r * rtt
+            # Inline interval lookup (clamped bisect, as in trace.value_at).
+            i = bisect_right(bounds, t) - 1
+            if i < 0:
+                i = 0
+            elif i >= n_intervals:
+                i = n_intervals - 1
+            bdp_bytes = mbps_to_bytes_per_sec(values[i]) * rtt
+            if cwnd_bytes[r] >= bdp_bytes:
+                # Pipe already full at the current round (the common case
+                # once the window has opened): straight to the fluid drain,
+                # skipping the boundary/data searches entirely.
+                remaining = size_bytes - cum[r] * MSS_BYTES
+                return self._finish_fluid(t, remaining, r, cwnds[r])
+
+            # Rounds available before the next interval boundary (None when
+            # the final value holds forever).
+            if t >= last_start:
+                n_boundary = None
+            else:
+                seg_end = bounds[i + 1]
+                n = int(math.ceil((seg_end - t) / rtt))
+                if n < 1:
+                    n = 1
+                while t0 + (r + n) * rtt < seg_end:
+                    n += 1
+                while n > 1 and t0 + (r + n - 1) * rtt >= seg_end:
+                    n -= 1
+                n_boundary = n
+
+            # First round (>= r) whose window fills this interval's pipe.
+            k_fluid = bisect_left(cwnd_bytes, bdp_bytes, r) - r
+
+            # First round (>= r) whose window covers the remaining bytes:
+            # cwnd_bytes[j] >= size - cum[j] * MSS, monotone in j, and
+            # guaranteed true by the end of the schedule.
+            lo, hi = r, n_sched - 1
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if cwnd_bytes[mid] >= size_bytes - cum[mid] * MSS_BYTES:
+                    hi = mid
+                else:
+                    lo = mid + 1
+            k_data = lo - r
+
+            in_interval = (
+                n_boundary is None
+                or k_fluid < n_boundary
+                or k_data < n_boundary
+            )
+            if in_interval and k_fluid <= k_data:
+                # Pipe full at round r + k_fluid (ties go to the fluid
+                # check, mirroring the reference's per-round order).
+                r += k_fluid
+                t = t0 + r * rtt
+                remaining = size_bytes - cum[r] * MSS_BYTES
+                return self._finish_fluid(t, remaining, r, cwnds[r])
+            if in_interval:
+                # Data exhausted: round r + k_data is the final
+                # window-limited round.
+                r += k_data
+                return t0 + (r + 1) * rtt, r + 1, _grow_window(cwnds[r], ssthresh)
+            # Neither fires before the boundary: cross into the next
+            # interval having spent n_boundary full window rounds.
+            r += n_boundary
 
     # ------------------------------------------------------------------
     def reset(self, start_time_s: float = 0.0) -> None:

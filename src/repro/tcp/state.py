@@ -23,7 +23,7 @@ from .constants import (
 )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TCPStateSnapshot:
     """Immutable ``tcp_info`` snapshot logged at the start of a chunk download.
 
@@ -106,7 +106,7 @@ def apply_slow_start_restart(
     return cwnd, ssthresh, True
 
 
-@dataclass
+@dataclass(slots=True)
 class MutableTCPState:
     """Live TCP sender state evolved by :class:`~repro.tcp.connection.TCPConnection`."""
 

@@ -48,8 +48,10 @@ class Video:
         ssim: np.ndarray,
         difficulty_db: np.ndarray | None = None,
     ):
-        sizes = np.asarray(sizes_bytes, dtype=float)
-        ssim_arr = np.asarray(ssim, dtype=float)
+        # Always copy: the matrices are frozen below and aliasing a caller's
+        # array would freeze it too.
+        sizes = np.array(sizes_bytes, dtype=float)
+        ssim_arr = np.array(ssim, dtype=float)
         if chunk_duration_s <= 0:
             raise ValueError(f"chunk duration must be positive, got {chunk_duration_s}")
         if sizes.ndim != 2 or sizes.shape != ssim_arr.shape:
@@ -73,6 +75,14 @@ class Video:
         )
         if self._difficulty_db.shape != (sizes.shape[0],):
             raise ValueError("difficulty_db must have one entry per chunk")
+        self._sizes.setflags(write=False)
+        self._ssim.setflags(write=False)
+        self._ssim_db: np.ndarray | None = None
+        # Plain-Python mirrors for scalar hot-path lookups (the session
+        # loop reads one size and one SSIM per chunk; list indexing is
+        # several times cheaper than 0-d numpy indexing).
+        self._sizes_rows: list | None = None
+        self._ssim_rows: list | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -89,15 +99,47 @@ class Video:
 
     def chunk_size_bytes(self, chunk: int, quality: int) -> float:
         """Encoded size of ``chunk`` at ladder level ``quality``."""
-        return float(self._sizes[chunk, quality])
+        rows = self._sizes_rows
+        if rows is None:
+            rows = self._sizes_rows = self._sizes.tolist()
+        return rows[chunk][quality]
 
     def chunk_ssim(self, chunk: int, quality: int) -> float:
         """SSIM of ``chunk`` at ladder level ``quality``."""
-        return float(self._ssim[chunk, quality])
+        rows = self._ssim_rows
+        if rows is None:
+            rows = self._ssim_rows = self._ssim.tolist()
+        return rows[chunk][quality]
 
     def sizes_for_chunk(self, chunk: int) -> np.ndarray:
         """All ladder sizes for one chunk (ascending quality order)."""
-        return self._sizes[chunk].copy()
+        return self._sizes[chunk]
+
+    @property
+    def size_matrix(self) -> np.ndarray:
+        """The ``(n_chunks, n_qualities)`` size matrix as a read-only view."""
+        return self._sizes
+
+    @property
+    def ssim_matrix(self) -> np.ndarray:
+        """The ``(n_chunks, n_qualities)`` SSIM matrix as a read-only view."""
+        return self._ssim
+
+    @property
+    def ssim_db_matrix(self) -> np.ndarray:
+        """Per-(chunk, quality) SSIM in dB, computed once and cached.
+
+        Uses the scalar :func:`ssim_to_db` per cell so the cached values are
+        bit-identical to on-demand conversions (lookahead ABRs such as MPC
+        read this every decision).
+        """
+        if self._ssim_db is None:
+            db = np.array(
+                [[ssim_to_db(v) for v in row] for row in self._ssim.tolist()]
+            )
+            db.setflags(write=False)
+            self._ssim_db = db
+        return self._ssim_db
 
     def bitrate_mbps(self, quality: int) -> float:
         return self.ladder[quality].bitrate_mbps

@@ -126,11 +126,19 @@ class TestVideo:
         b = short_video(seed=5)
         assert a.chunk_size_bytes(3, 2) == b.chunk_size_bytes(3, 2)
 
-    def test_sizes_for_chunk_is_copy(self):
+    def test_sizes_for_chunk_is_read_only(self):
         video = short_video(seed=2)
         row = video.sizes_for_chunk(0)
-        row[0] = -1
+        with pytest.raises(ValueError):
+            row[0] = -1
         assert video.chunk_size_bytes(0, 0) > 0
+
+    def test_matrices_are_read_only_views(self):
+        video = short_video(seed=2)
+        assert video.size_matrix.shape == video.ssim_matrix.shape
+        for mat in (video.size_matrix, video.ssim_matrix, video.ssim_db_matrix):
+            with pytest.raises(ValueError):
+                mat[0, 0] = -1
 
     def test_rejects_bad_duration(self):
         with pytest.raises(ValueError):
