@@ -329,6 +329,82 @@ def test_perf_query_sweep(benchmark):
     assert ok
 
 
+def test_perf_batch_replay(benchmark):
+    """Lockstep batch replay vs per-lane serial replay on evaluate_many.
+
+    The PR-4 tentpole: one prepared corpus, five fig9-style queries, and
+    the whole (setting x trace x lane) replay grid either fused into
+    lockstep batch sessions (the default) or replayed lane by lane
+    (``use_batch=False``).  Both paths are bit-identical (see
+    ``tests/test_batch_replay.py``); the interleaved A/B cancels container
+    CPU noise out of the ratio.
+    """
+    from repro import change_abr, paper_corpus
+
+    setting_a = bench_setting_a()
+    queries = ["bba", "bola", "bba", "bola", "bba"]
+    settings_b = [change_abr(setting_a, q) for q in queries]
+    corpus = paper_corpus(
+        count=min(N_TRACES, 4), duration_s=TRACE_DURATION_S, seed=CORPUS_SEED
+    )
+    engine_batch = CounterfactualEngine(
+        paper_veritas_config(), n_samples=N_SAMPLES, seed=ENGINE_SEED
+    )
+    engine_serial = CounterfactualEngine(
+        paper_veritas_config(),
+        n_samples=N_SAMPLES,
+        seed=ENGINE_SEED,
+        use_batch=False,
+    )
+    prepared = engine_batch.prepare_corpus(corpus, setting_a)
+
+    engine_batch.evaluate_many(prepared, settings_b)  # warm caches
+    engine_serial.evaluate_many(prepared, settings_b)
+
+    batch_times, serial_times = [], []
+    for _ in range(3):
+        start = time.perf_counter()
+        results = engine_batch.evaluate_many(prepared, settings_b)
+        batch_times.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        engine_serial.evaluate_many(prepared, settings_b)
+        serial_times.append(time.perf_counter() - start)
+    run_once(benchmark, lambda: engine_batch.evaluate_many(prepared, settings_b))
+
+    batch_s = min(batch_times)
+    serial_s = min(serial_times)
+    batch_speedup = serial_s / batch_s
+    # 2 (truth + baseline) + K sample replays per (setting, trace) pair.
+    n_replays = len(settings_b) * len(corpus) * (2 + N_SAMPLES)
+    batch_replays_per_sec = n_replays / batch_s
+
+    print_header(
+        "Perf — lockstep batch replay (evaluate_many, batch vs per-lane)",
+        "bit-identical paths; acceptance: >= 2x at bench scale (interleaved A/B)",
+    )
+    print(
+        f"  {len(settings_b)} queries x {len(corpus)} traces "
+        f"({n_replays} replays): batch {batch_s * 1e3:.0f} ms vs serial "
+        f"{serial_s * 1e3:.0f} ms ({batch_speedup:.2f}x, "
+        f"{batch_replays_per_sec:.0f} replays/sec)"
+    )
+    benchmark.extra_info.update(
+        n_replays=n_replays,
+        evaluate_many_ms=batch_s * 1e3,
+        serial_evaluate_many_ms=serial_s * 1e3,
+        batch_replays_per_sec=batch_replays_per_sec,
+        batch_speedup=batch_speedup,
+    )
+    ok = shape_check(
+        "every query answered for every trace",
+        all(len(r.per_trace) == len(corpus) for r in results),
+    )
+    ok &= shape_check(
+        "batch replay beats per-lane serial (>= 1.3x)", batch_speedup >= 1.3
+    )
+    assert ok
+
+
 def test_perf_corpus_evaluation(benchmark):
     """Full counterfactual corpus evaluation at bench scale."""
     setting_a = bench_setting_a()

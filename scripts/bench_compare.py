@@ -56,6 +56,17 @@ def compare(
         if name not in new:
             lines.append(f"~ {name}: missing from new snapshot (skipped)")
             continue
+        # Metrics present in only one snapshot are warned about, never
+        # compared: newer benchmarks grow extra_info keys (e.g. the batch
+        # replay metrics) and older BENCH_*.json files must stay diffable.
+        for key in sorted(set(old[name]) - set(new[name])):
+            lines.append(
+                f"~ {name}.{key}: only in old snapshot (skipped)"
+            )
+        for key in sorted(set(new[name]) - set(old[name])):
+            lines.append(
+                f"~ {name}.{key}: only in new snapshot (no baseline, skipped)"
+            )
         shared = sorted(set(old[name]) & set(new[name]))
         for key in shared:
             before, after = old[name][key], new[name][key]

@@ -55,6 +55,7 @@ from .causal import (
     format_counterfactual_report,
     per_trace_series,
     run_setting,
+    run_setting_batch,
     scheme_summaries,
 )
 from .core import (
@@ -71,18 +72,22 @@ from .core import (
 )
 from .net import (
     PiecewiseConstantTrace,
+    TraceBatch,
     constant_trace,
     random_walk_trace,
     square_wave_trace,
     trace_corpus,
 )
 from .player import (
+    BatchStreamingSession,
     ChunkRecord,
     QoEMetrics,
     SessionConfig,
     SessionLog,
+    SessionLogBatch,
     StreamingSession,
     compute_metrics,
+    compute_metrics_batch,
 )
 from .tcp import (
     TCPConnection,
@@ -114,6 +119,7 @@ __all__ = [
     "ABRContext",
     "BBAAlgorithm",
     "BOLAAlgorithm",
+    "BatchStreamingSession",
     "CapacityGrid",
     "ChunkRecord",
     "CounterfactualEngine",
@@ -131,10 +137,12 @@ __all__ = [
     "RateBasedAlgorithm",
     "SessionConfig",
     "SessionLog",
+    "SessionLogBatch",
     "Setting",
     "StreamingSession",
     "TCPConnection",
     "TCPStateSnapshot",
+    "TraceBatch",
     "TransitionModel",
     "VeritasAbduction",
     "VeritasConfig",
@@ -148,6 +156,7 @@ __all__ = [
     "change_buffer",
     "change_ladder",
     "compute_metrics",
+    "compute_metrics_batch",
     "constant_trace",
     "default_ladder",
     "estimate_download_time",
@@ -165,6 +174,7 @@ __all__ = [
     "per_trace_series",
     "random_walk_trace",
     "run_setting",
+    "run_setting_batch",
     "sample_state_paths",
     "scheme_summaries",
     "short_video",

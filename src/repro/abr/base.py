@@ -17,7 +17,12 @@ import numpy as np
 
 from ..video.chunks import Video
 
-__all__ = ["ABRContext", "ABRAlgorithm", "HarmonicMeanPredictor"]
+__all__ = [
+    "ABRContext",
+    "ABRAlgorithm",
+    "BatchABRContext",
+    "HarmonicMeanPredictor",
+]
 
 
 @dataclass
@@ -59,12 +64,50 @@ class ABRContext:
         return self.video.n_qualities
 
 
+@dataclass
+class BatchABRContext:
+    """Observable state of ``K`` lockstep sessions at one chunk boundary.
+
+    The array-valued counterpart of :class:`ABRContext`, handed to
+    ``choose_quality_batch`` by the batched replay engine
+    (:class:`~repro.player.batch_session.BatchStreamingSession`).  Only
+    memoryless observables are carried — algorithms that need per-lane
+    throughput/download histories or per-session learning state run through
+    the engine's automatic per-lane scalar fallback instead.
+    """
+
+    chunk_index: int
+    buffer_s: np.ndarray
+    """Per-lane playout buffer levels, shape ``(K,)``."""
+    buffer_capacity_s: float
+    last_quality: np.ndarray | None
+    """Per-lane previous ladder indices (``None`` for the first chunk)."""
+    video: Video
+
+    @property
+    def n_lanes(self) -> int:
+        return int(self.buffer_s.shape[0])
+
+    @property
+    def n_qualities(self) -> int:
+        return self.video.n_qualities
+
+
 class ABRAlgorithm(ABC):
     """Base class for adaptive-bitrate algorithms.
 
     Subclasses implement :meth:`choose_quality`; algorithms with per-session
     state (e.g. MPC's robust error tracking) override :meth:`reset`, which
     the session simulator calls once before playback starts.
+
+    Algorithms whose decision is pure threshold/index arithmetic may
+    additionally implement ``choose_quality_batch(context:
+    BatchABRContext) -> np.ndarray`` — the batched replay engine then makes
+    one vectorised decision for all K lockstep lanes per chunk.  The
+    contract is exactness: lane ``k`` of the returned array must equal what
+    :meth:`choose_quality` would return for lane ``k``'s scalar context
+    (BBA and BOLA ship such implementations; anything else falls back to
+    per-lane scalar decisions automatically).
     """
 
     name: str = "abr"

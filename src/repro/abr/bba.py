@@ -10,7 +10,9 @@ the paper's Fig. 8 documents (higher SSIM *and* higher rebuffering).
 
 from __future__ import annotations
 
-from .base import ABRAlgorithm, ABRContext
+import numpy as np
+
+from .base import ABRAlgorithm, ABRContext, BatchABRContext
 
 __all__ = ["BBAAlgorithm"]
 
@@ -42,13 +44,10 @@ class BBAAlgorithm(ABRAlgorithm):
     def reset(self) -> None:
         self._plan = None
 
-    def choose_quality(self, context: ABRContext) -> int:
-        video = context.video
-        capacity = context.buffer_capacity_s
+    def _ensure_plan(self, video, capacity: float) -> tuple:
+        """Session-constant thresholds/ladder endpoints, computed once."""
         plan = self._plan
         if plan is None or plan[0] is not video.ladder or plan[1] != capacity:
-            # Thresholds and ladder endpoints are fixed for a session;
-            # compute them once and reuse (this runs every chunk).
             ladder = video.ladder
             reservoir = max(
                 video.chunk_duration_s, self.reservoir_fraction * capacity
@@ -66,8 +65,14 @@ class BBAAlgorithm(ABRAlgorithm):
                 ladder.highest.index,
                 ladder.lowest.bitrate_mbps,
                 ladder.highest.bitrate_mbps,
+                np.asarray(ladder.bitrates_mbps),
             )
-        _, _, reservoir, upper, lowest, highest, r_min, r_max = plan
+        return plan
+
+    def choose_quality(self, context: ABRContext) -> int:
+        video = context.video
+        plan = self._ensure_plan(video, context.buffer_capacity_s)
+        _, _, reservoir, upper, lowest, highest, r_min, r_max, _ = plan
 
         buffer_s = context.buffer_s
         if buffer_s <= reservoir:
@@ -79,3 +84,21 @@ class BBAAlgorithm(ABRAlgorithm):
         fraction = (buffer_s - reservoir) / (upper - reservoir)
         target_rate = r_min + fraction * (r_max - r_min)
         return video.ladder.highest_below(target_rate).index
+
+    def choose_quality_batch(self, context: BatchABRContext) -> np.ndarray:
+        """Vectorised :meth:`choose_quality` over K lockstep lanes.
+
+        Pure threshold/interpolation arithmetic on the same floats the
+        scalar path uses; ``highest_below`` becomes one ``searchsorted``
+        with identical tie behaviour (bitrate == target is kept)."""
+        plan = self._ensure_plan(context.video, context.buffer_capacity_s)
+        _, _, reservoir, upper, lowest, highest, r_min, r_max, rates = plan
+
+        buffer_s = context.buffer_s
+        fraction = (buffer_s - reservoir) / (upper - reservoir)
+        target_rate = r_min + fraction * (r_max - r_min)
+        quality = np.searchsorted(rates, target_rate, side="right") - 1
+        np.maximum(quality, lowest, out=quality)
+        quality[buffer_s <= reservoir] = lowest
+        quality[buffer_s >= upper] = highest
+        return quality

@@ -26,7 +26,7 @@ import math
 import numpy as np
 
 from ..video.chunks import Video
-from .base import ABRAlgorithm, ABRContext
+from .base import ABRAlgorithm, ABRContext, BatchABRContext
 
 __all__ = ["BOLAAlgorithm"]
 
@@ -50,11 +50,13 @@ class BOLAAlgorithm(ABRAlgorithm):
         self._calibration: tuple[float, float] | None = None
         self._calibrated_for: tuple[int, float] | None = None
         self._weights: list[float] | None = None
+        self._weights_arr: np.ndarray | None = None
 
     def reset(self) -> None:
         self._calibration = None
         self._calibrated_for = None
         self._weights = None
+        self._weights_arr = None
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -104,6 +106,7 @@ class BOLAAlgorithm(ABRAlgorithm):
         self._weights = [
             v * (u + gp) for u in self._utilities(video).tolist()
         ]
+        self._weights_arr = np.asarray(self._weights)
         return calibration
 
     def choose_quality(self, context: ABRContext) -> int:
@@ -120,3 +123,17 @@ class BOLAAlgorithm(ABRAlgorithm):
                 best_score = score
                 best_q = q
         return best_q
+
+    def choose_quality_batch(self, context: BatchABRContext) -> np.ndarray:
+        """Vectorised :meth:`choose_quality` over K lockstep lanes.
+
+        One ``(K, Q)`` drift-plus-penalty score matrix per chunk; the
+        row-wise ``argmax`` keeps the first maximum, matching the scalar
+        loop's strict-improvement tie rule."""
+        video = context.video
+        self._calibrate(video, context.buffer_capacity_s)
+        sizes = video.sizes_for_chunk(context.chunk_index)
+        scores = (self._weights_arr[None, :] - context.buffer_s[:, None]) / sizes[
+            None, :
+        ]
+        return np.argmax(scores, axis=1)

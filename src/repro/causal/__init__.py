@@ -8,6 +8,7 @@ from .engine import (
     TraceCounterfactual,
     VeritasRange,
     run_setting,
+    run_setting_batch,
 )
 from .evaluation import (
     format_counterfactual_report,
@@ -31,5 +32,6 @@ __all__ = [
     "format_counterfactual_report",
     "per_trace_series",
     "run_setting",
+    "run_setting_batch",
     "scheme_summaries",
 ]

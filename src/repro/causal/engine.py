@@ -33,9 +33,14 @@ import numpy as np
 
 from ..baselines.observed import baseline_trace
 from ..core.abduction import VeritasAbduction, VeritasConfig
-from ..net.trace import PiecewiseConstantTrace
-from ..player.logs import SessionLog
-from ..player.metrics import QoEMetrics, compute_metrics
+from ..net.trace import PiecewiseConstantTrace, TraceBatch
+from ..player.batch_session import (
+    BatchStreamingSession,
+    LaneGroup,
+    abr_supports_batch_replay,
+)
+from ..player.logs import SessionLog, SessionLogBatch
+from ..player.metrics import QoEMetrics, compute_metrics, compute_metrics_batch
 from ..player.session import StreamingSession
 from ..util.rng import SeedLike, ensure_rng, spawn_seeds
 from .queries import Setting
@@ -48,6 +53,7 @@ __all__ = [
     "PreparedCorpus",
     "CounterfactualEngine",
     "run_setting",
+    "run_setting_batch",
 ]
 
 
@@ -60,6 +66,30 @@ def run_setting(setting: Setting, trace: PiecewiseConstantTrace) -> SessionLog:
         config=setting.config,
     )
     return session.run()
+
+
+def run_setting_batch(
+    setting: Setting, traces: "TraceBatch | list[PiecewiseConstantTrace]"
+) -> SessionLogBatch:
+    """Emulate one session of ``setting`` over every trace lane in lockstep.
+
+    All lanes must share a boundary grid and the setting's ABR must pass
+    :func:`~repro.player.batch_session.abr_supports_batch_replay`; lane
+    ``k`` of the result is bit-identical to ``run_setting`` over lane ``k``.
+    """
+    session = BatchStreamingSession(
+        video=setting.video,
+        abr_factory=setting.make_abr,
+        traces=traces,
+        config=setting.config,
+    )
+    return session.run()
+
+
+def _boundary_key(trace: PiecewiseConstantTrace) -> tuple:
+    """Hashable grouping key: lanes with equal keys can share a TraceBatch."""
+    bounds = trace.boundaries
+    return (bounds.size, bounds.tobytes())
 
 
 @dataclass(frozen=True)
@@ -231,6 +261,16 @@ class CounterfactualEngine:
     pool.  Every trace gets its seed from the same ``spawn_seeds`` schedule
     and each per-trace step is deterministic given its seed, so parallel
     results are bit-identical to serial ones.
+
+    ``use_batch`` (the default) routes Setting-B replays through the
+    lockstep batch engine: all replay lanes of a query — truth, baseline
+    and the K posterior samples, across every trace being answered — are
+    grouped by boundary grid and each group advances chunk by chunk as one
+    :class:`~repro.player.batch_session.BatchStreamingSession`.  Batch
+    replays are bit-identical to per-lane serial replay; ABRs the batch
+    loop cannot drive (``observe_download`` hooks) fall back to the serial
+    path automatically, so ``use_batch=False`` is only an escape hatch for
+    benchmarking the serial engine.
     """
 
     def __init__(
@@ -239,6 +279,7 @@ class CounterfactualEngine:
         n_samples: int = 5,
         seed: SeedLike = 0,
         n_workers: int | None = None,
+        use_batch: bool = True,
     ):
         if n_samples < 1:
             raise ValueError(f"n_samples must be >= 1, got {n_samples}")
@@ -247,6 +288,7 @@ class CounterfactualEngine:
         self.abduction = VeritasAbduction(veritas_config)
         self.n_samples = n_samples
         self.n_workers = n_workers
+        self.use_batch = use_batch
         self._seed = seed
 
     # ------------------------------------------------------------------
@@ -269,28 +311,23 @@ class CounterfactualEngine:
             ground_truth.end_time, 3.0 * setting_b.video.duration_s
         )
 
-        # 2a. Truth: replay Setting B over the real bandwidth.
-        truth_log = run_setting(setting_b, ground_truth.extended(replay_horizon))
-        truth_metrics = compute_metrics(truth_log)
-
-        # 2b. Baseline reconstruction.
+        # 2a/2b/2c. Truth, Baseline reconstruction, and the K Veritas
+        # posterior samples, replayed under Setting B — batched in lockstep
+        # groups when enabled (bit-identical to per-lane serial replay).
         base = baseline_trace(log_a, duration_s=replay_horizon)
-        baseline_metrics = compute_metrics(run_setting(setting_b, base))
-
-        # 2c. Veritas posterior samples.
         posterior = self.abduction.solve(log_a, trace_duration_s=replay_horizon)
         rng = ensure_rng(seed)
-        veritas_metrics = []
-        for sample in posterior.sample_traces(self.n_samples, seed=rng):
-            replay = run_setting(setting_b, sample.extended(replay_horizon))
-            veritas_metrics.append(compute_metrics(replay))
+        samples = posterior.sample_traces(self.n_samples, seed=rng)
+        lanes = [ground_truth.extended(replay_horizon), base]
+        lanes.extend(sample.extended(replay_horizon) for sample in samples)
+        metrics = self._replay_tasks([(setting_b, lane) for lane in lanes])
 
         return TraceCounterfactual(
             trace_index=trace_index,
             setting_a_metrics=metrics_a,
-            truth_metrics=truth_metrics,
-            baseline_metrics=baseline_metrics,
-            veritas_metrics=tuple(veritas_metrics),
+            truth_metrics=metrics[0],
+            baseline_metrics=metrics[1],
+            veritas_metrics=tuple(metrics[2:]),
         )
 
     # ------------------------------------------------------------------
@@ -321,35 +358,140 @@ class CounterfactualEngine:
             samples=samples,
         )
 
+    def _replay_tasks(
+        self, tasks: "list[tuple[Setting, PiecewiseConstantTrace]]"
+    ) -> "list[QoEMetrics]":
+        """QoE metrics of one session per ``(setting, trace)`` task.
+
+        The batch path fuses tasks sharing a boundary grid, video, RTT and
+        request overhead into one lockstep replay — across *different*
+        settings (ABR / buffer capacity become per-partition / per-lane),
+        so a query sweep's truth, baseline and posterior-sample lanes all
+        amortise the chunk loop — and reads metrics straight off the
+        column logs.  Leftover singleton lanes, and every lane when
+        ``use_batch`` is off or a setting's ABR needs per-chunk feedback,
+        replay serially.  Both paths produce bit-identical metrics (pinned
+        by ``tests/test_batch_replay.py``).
+        """
+        metrics: "list[QoEMetrics | None]" = [None] * len(tasks)
+        batchable: dict[int, bool] = {}
+        # Lane traces repeat across tasks (extended() returns self when the
+        # span already covers the horizon), so hash each boundary array
+        # once per distinct object, not once per task.
+        boundary_keys: dict[int, tuple] = {}
+        groups: dict[tuple, list[int]] = {}
+        for i, (setting, trace) in enumerate(tasks):
+            sid = id(setting)
+            ok = batchable.get(sid)
+            if ok is None:
+                ok = batchable[sid] = self.use_batch and abr_supports_batch_replay(
+                    setting.make_abr()
+                )
+            if not ok:
+                metrics[i] = compute_metrics(run_setting(setting, trace))
+                continue
+            tid = id(trace)
+            bkey = boundary_keys.get(tid)
+            if bkey is None:
+                bkey = boundary_keys[tid] = _boundary_key(trace)
+            config = setting.config
+            groups.setdefault(
+                (bkey, id(setting.video), config.rtt_s, config.request_overhead_s),
+                [],
+            ).append(i)
+
+        for indices in groups.values():
+            if len(indices) == 1:
+                i = indices[0]
+                setting, trace = tasks[i]
+                metrics[i] = compute_metrics(run_setting(setting, trace))
+                continue
+            # One partition per run of same-setting tasks (tasks arrive
+            # setting-major, so each setting contributes one partition).
+            lane_groups: "list[LaneGroup]" = []
+            current_sid = None
+            for i in indices:
+                setting, trace = tasks[i]
+                if id(setting) != current_sid:
+                    current_sid = id(setting)
+                    lane_groups.append(
+                        LaneGroup(setting.make_abr, setting.config, [trace])
+                    )
+                else:
+                    lane_groups[-1].traces.append(trace)
+            video = tasks[indices[0]][0].video
+            log_batch = BatchStreamingSession.fused(video, lane_groups).run()
+            for i, m in zip(indices, compute_metrics_batch(log_batch)):
+                metrics[i] = m
+        return metrics
+
+    def _replay_settings(
+        self,
+        prepared_traces: "list[PreparedTrace]",
+        settings_b: "list[Setting]",
+    ) -> "list[list[TraceCounterfactual]]":
+        """Answer several Setting-B queries for several prepared traces.
+
+        Collects every replay lane of every query — truth, baseline and
+        the K posterior samples per trace — into one task list so
+        :meth:`_replay_tasks` can fuse lanes across both traces and
+        settings, then reassembles the per-setting per-trace
+        counterfactuals.  Mirrors the replay half of
+        :meth:`evaluate_trace` exactly: the reconstructions hold their
+        final value beyond their span, so extending them to the
+        (Setting-B-dependent) replay horizon yields bit-identical session
+        logs.
+        """
+        tasks: "list[tuple[Setting, PiecewiseConstantTrace]]" = []
+        lane_counts: "list[int]" = []
+        # Settings sharing a replay horizon (the common sweep shape) reuse
+        # one extended lane list per trace instead of rebuilding identical
+        # trace objects once per setting.
+        lane_cache: "dict[tuple[int, float], list[PiecewiseConstantTrace]]" = {}
+        for setting_b in settings_b:
+            for prepared in prepared_traces:
+                gt = prepared.ground_truth
+                horizon = max(gt.end_time, 3.0 * setting_b.video.duration_s)
+                key = (id(prepared), horizon)
+                lanes = lane_cache.get(key)
+                if lanes is None:
+                    lanes = [
+                        gt.extended(horizon),
+                        prepared.baseline.extended(horizon),
+                    ]
+                    lanes.extend(s.extended(horizon) for s in prepared.samples)
+                    lane_cache[key] = lanes
+                lane_counts.append(len(lanes))
+                tasks.extend((setting_b, lane) for lane in lanes)
+
+        metrics = self._replay_tasks(tasks)
+
+        out: "list[list[TraceCounterfactual]]" = []
+        pos = 0
+        counts = iter(lane_counts)
+        for setting_b in settings_b:
+            per_setting = []
+            for prepared in prepared_traces:
+                count = next(counts)
+                chunk = metrics[pos : pos + count]
+                pos += count
+                per_setting.append(
+                    TraceCounterfactual(
+                        trace_index=prepared.trace_index,
+                        setting_a_metrics=prepared.setting_a_metrics,
+                        truth_metrics=chunk[0],
+                        baseline_metrics=chunk[1],
+                        veritas_metrics=tuple(chunk[2:]),
+                    )
+                )
+            out.append(per_setting)
+        return out
+
     def _replay_prepared(
         self, prepared: PreparedTrace, setting_b: Setting
     ) -> TraceCounterfactual:
-        """Answer one Setting-B query from cached reconstructions.
-
-        Mirrors the replay half of :meth:`evaluate_trace` exactly: the
-        reconstructions hold their final value beyond their span, so
-        extending them to the (Setting-B-dependent) replay horizon yields
-        bit-identical session logs.
-        """
-        gt = prepared.ground_truth
-        horizon = max(gt.end_time, 3.0 * setting_b.video.duration_s)
-
-        truth_log = run_setting(setting_b, gt.extended(horizon))
-        truth_metrics = compute_metrics(truth_log)
-        baseline_metrics = compute_metrics(
-            run_setting(setting_b, prepared.baseline.extended(horizon))
-        )
-        veritas_metrics = tuple(
-            compute_metrics(run_setting(setting_b, sample.extended(horizon)))
-            for sample in prepared.samples
-        )
-        return TraceCounterfactual(
-            trace_index=prepared.trace_index,
-            setting_a_metrics=prepared.setting_a_metrics,
-            truth_metrics=truth_metrics,
-            baseline_metrics=baseline_metrics,
-            veritas_metrics=veritas_metrics,
-        )
+        """Answer one Setting-B query from one trace's cached reconstructions."""
+        return self._replay_settings([prepared], [setting_b])[0][0]
 
     # ------------------------------------------------------------------
     def prepare_corpus(
@@ -427,11 +569,12 @@ class CounterfactualEngine:
             for si, ti, outcome in outcomes:
                 results[si].per_trace[ti] = outcome
         else:
-            for si, setting_b in enumerate(settings_b):
-                for ti, trace in enumerate(prepared.per_trace):
-                    results[si].per_trace[ti] = self._replay_prepared(
-                        trace, setting_b
-                    )
+            # In-process: hand the whole (setting x trace) grid over at
+            # once so the lockstep batch path can fuse replay lanes across
+            # traces AND settings.
+            per_setting = self._replay_settings(prepared.per_trace, settings_b)
+            for si in range(len(settings_b)):
+                results[si].per_trace = per_setting[si]
         return results
 
     def evaluate_corpus(

@@ -88,6 +88,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="process-pool size for corpus evaluation (1 = serial; results "
              "are bit-identical either way)",
     )
+    cf.add_argument(
+        "--no-batch", action="store_true",
+        help="replay counterfactual sessions one lane at a time instead of "
+             "in lockstep batches (the escape hatch mirroring "
+             "kernel=\"reference\"; results are bit-identical either way)",
+    )
     return parser
 
 
@@ -152,6 +158,7 @@ def _cmd_counterfactual(args: argparse.Namespace) -> int:
         n_samples=args.samples,
         seed=args.seed,
         n_workers=args.workers,
+        use_batch=not args.no_batch,
     )
     # Setting A is deployed and abduction solved exactly once; every query
     # is answered by replays against the shared reconstructions.

@@ -16,11 +16,12 @@ from .io import (
     save_mahimahi,
     to_mahimahi,
 )
-from .trace import PiecewiseConstantTrace
+from .trace import PiecewiseConstantTrace, TraceBatch
 
 __all__ = [
     "MTU_BYTES",
     "PiecewiseConstantTrace",
+    "TraceBatch",
     "constant_trace",
     "from_mahimahi",
     "load_csv",

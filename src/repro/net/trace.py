@@ -28,6 +28,8 @@ import numpy as np
 
 from ..util.units import mbps_to_bytes_per_sec
 
+__all__ = ["PiecewiseConstantTrace", "TraceBatch"]
+
 _EPS_TIME = 1e-12
 _EPS_BYTES = 1e-9
 
@@ -411,3 +413,251 @@ class PiecewiseConstantTrace:
         t1 = max(self.end_time, other.end_time)
         grid = np.arange(t0, t1, interval) + interval / 2
         return float(np.mean(np.abs(self.values_at(grid) - other.values_at(grid))))
+
+
+class TraceBatch:
+    """``K`` traces sharing one boundary grid, stacked for lockstep replay.
+
+    The batched replay engine advances ``K`` counterfactual sessions in
+    lockstep — one chunk loop over all lanes.  Its trace queries become
+    array-valued: per-lane bandwidth lookups reduce to a single
+    ``searchsorted`` against the shared boundary vector, and
+    :meth:`time_to_transfer_batch` resolves every lane's completion interval
+    with one vectorised bisection over the stacked ``(K, intervals + 1)``
+    cumulative-bytes integrals.
+
+    Every lane's result is **bit-identical** to the corresponding scalar
+    :meth:`PiecewiseConstantTrace.time_to_transfer` call: the float
+    expressions are evaluated element-wise in the same order and the
+    bisection takes the same comparison decisions (pinned by
+    ``tests/test_batch_replay.py``).  All lanes must share an identical
+    boundary array — posterior samples of one abduction (and uniform-grid
+    reconstructions generally) satisfy this by construction; use
+    :meth:`from_traces` to probe compatibility without raising.
+    """
+
+    __slots__ = (
+        "_traces",
+        "_bounds",
+        "_values2d",
+        "_rates2d",
+        "_cum2d",
+        "_next_pos",
+        "_lane_idx",
+    )
+
+    def __init__(self, traces: Sequence[PiecewiseConstantTrace]):
+        lanes = list(traces)
+        if not lanes:
+            raise ValueError("a trace batch needs at least one lane")
+        bounds = lanes[0].boundaries
+        for t in lanes[1:]:
+            if not np.array_equal(t.boundaries, bounds):
+                raise ValueError(
+                    "all lanes of a TraceBatch must share identical boundaries"
+                )
+        self._traces = lanes
+        self._bounds = bounds
+        # Stack the per-trace precomputed arrays: the floats are exactly the
+        # ones the scalar paths use, so stacked arithmetic stays on the same
+        # values.
+        self._values2d = np.stack([t._values for t in lanes])
+        self._rates2d = np.stack([t._rates for t in lanes])
+        self._cum2d = np.stack([t._cum_bytes for t in lanes])
+        self._next_pos: np.ndarray | None = None
+        self._lane_idx = np.arange(len(lanes))
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_traces(
+        cls, traces: Sequence[PiecewiseConstantTrace]
+    ) -> "TraceBatch | None":
+        """Build a batch, or return ``None`` when boundaries differ.
+
+        The replay engine uses this to decide between the lockstep batch
+        path and per-lane serial replay.
+        """
+        lanes = list(traces)
+        if not lanes:
+            return None
+        bounds = lanes[0].boundaries
+        for t in lanes[1:]:
+            if not np.array_equal(t.boundaries, bounds):
+                return None
+        return cls(lanes)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_lanes(self) -> int:
+        return len(self._traces)
+
+    @property
+    def n_intervals(self) -> int:
+        return int(self._values2d.shape[1])
+
+    @property
+    def boundaries(self) -> np.ndarray:
+        """The shared boundary grid (read-only view)."""
+        return self._bounds
+
+    def lane(self, k: int) -> PiecewiseConstantTrace:
+        """The underlying trace of lane ``k``."""
+        return self._traces[k]
+
+    def __len__(self) -> int:
+        return self.n_lanes
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"TraceBatch(lanes={self.n_lanes}, intervals={self.n_intervals}, "
+            f"span=[{self._bounds[0]:.3g}, {self._bounds[-1]:.3g}]s)"
+        )
+
+    # ------------------------------------------------------------------
+    def interval_indices(self, times: np.ndarray) -> np.ndarray:
+        """Per-lane interval index at per-lane time (clamped at the ends)."""
+        idx = np.searchsorted(self._bounds, times, side="right") - 1
+        np.minimum(idx, self.n_intervals - 1, out=idx)
+        np.maximum(idx, 0, out=idx)
+        return idx
+
+    def values_at(self, times: np.ndarray) -> np.ndarray:
+        """Per-lane bandwidth (Mbps) at per-lane time ``times[k]``."""
+        return self._values2d[self._lane_idx, self.interval_indices(times)]
+
+    def _next_positive(self) -> np.ndarray:
+        """``next_pos[k, i]``: first interval ``j >= i`` of lane ``k`` with a
+        positive rate, or ``n_intervals`` when bandwidth never resumes."""
+        nxt = self._next_pos
+        if nxt is None:
+            k = self.n_intervals
+            idxs = np.where(self._rates2d > 0, np.arange(k)[None, :], k)
+            nxt = np.minimum.accumulate(idxs[:, ::-1], axis=1)[:, ::-1]
+            self._next_pos = nxt
+        return nxt
+
+    # Below this many non-hot lanes, the per-lane scalar bisection (list
+    # mirrors + bisect, ~2 us each) beats the vectorised search's fixed
+    # NumPy dispatch cost.  Both paths are bit-identical.
+    _VECTOR_SEARCH_MIN = 8
+
+    def time_to_transfer_batch(
+        self,
+        starts: np.ndarray,
+        sizes: np.ndarray,
+        lanes: np.ndarray | None = None,
+        interval_hint: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Vectorised :meth:`PiecewiseConstantTrace.time_to_transfer`.
+
+        ``starts[j]`` / ``sizes[j]`` are per-lane transfer starts and byte
+        counts for lanes ``lanes[j]`` (all lanes when omitted).  Raises
+        :class:`RuntimeError` exactly when any lane's scalar query would
+        (zero trailing bandwidth or a negative size).  Element-wise
+        bit-identical to the scalar path.
+
+        The hot case — the transfer completes inside the interval
+        containing its start — resolves for all lanes with one
+        ``searchsorted`` against the shared boundary grid (skipped when
+        the caller already knows the interval indices and passes
+        ``interval_hint``); lanes that spill over resolve via a lockstep
+        vectorised bisection over the stacked cumulative-bytes integrals
+        (or the scalar bisection when too few lanes remain to amortise
+        the array dispatch).
+        """
+        starts = np.asarray(starts, dtype=float)
+        sizes = np.asarray(sizes, dtype=float)
+        if lanes is None:
+            lanes = self._lane_idx
+        bounds = self._bounds
+        k = self.n_intervals
+
+        # Rare shapes (non-positive size, start before/after the trace
+        # span) go through the scalar path lane by lane — same code, same
+        # floats (and the same ValueError for negative sizes).
+        simple = (sizes <= 0.0) | (starts >= bounds[-1]) | (starts < bounds[0])
+        if simple.any():
+            out = np.empty(starts.shape)
+            for j in np.flatnonzero(simple):
+                out[j] = self._traces[int(lanes[j])].time_to_transfer(
+                    float(starts[j]), float(sizes[j])
+                )
+            mids = np.flatnonzero(~simple)
+            if mids.size:
+                out[mids] = self.time_to_transfer_batch(
+                    starts[mids], sizes[mids], lanes[mids]
+                )
+            return out
+
+        # Hot case (mirrors _transfer_prefix's in-interval completion).
+        if interval_hint is None:
+            i0 = np.searchsorted(bounds, starts, side="right") - 1
+        else:
+            # In-span starts make the clamped and unclamped lookups agree.
+            i0 = interval_hint
+        rate0 = self._rates2d[lanes, i0]
+        capacity = rate0 * (bounds[i0 + 1] - starts)
+        hot = (rate0 > 0) & (capacity >= sizes - _EPS_BYTES)
+        if hot.all():
+            return starts + sizes / rate0 - starts
+
+        out = np.empty(starts.shape)
+        cold = np.flatnonzero(~hot)
+        hot_idx = np.flatnonzero(hot)
+        if hot_idx.size:
+            sh = starts[hot_idx]
+            out[hot_idx] = sh + sizes[hot_idx] / rate0[hot_idx] - sh
+
+        if cold.size < self._VECTOR_SEARCH_MIN:
+            for j in cold:
+                out[j] = self._traces[int(lanes[j])].time_to_transfer(
+                    float(starts[j]), float(sizes[j])
+                )
+            return out
+
+        stc = starts[cold]
+        remc = sizes[cold]
+        lnc = lanes[cold]
+        i0c = i0[cold]
+        cum_start = self._cum2d[lnc, i0c] + rate0[cold] * (stc - bounds[i0c])
+        thresh = cum_start + remc - _EPS_BYTES
+
+        # Lockstep bisect_left over the K cumulative integrals: leftmost
+        # idx in [i0 + 1, k + 1) with cum[idx] >= thresh.
+        lo = i0c + 1
+        hi = np.full_like(lo, k + 1)
+        active = lo < hi
+        while active.any():
+            mid = (lo + hi) >> 1
+            # Converged lanes can sit at lo == hi == k + 1; clamp their
+            # (masked-out) gather index into bounds.
+            go_right = self._cum2d[lnc, np.minimum(mid, k)] < thresh
+            lo = np.where(active & go_right, mid + 1, lo)
+            hi = np.where(active & ~go_right, mid, hi)
+            active = lo < hi
+        idx = lo
+
+        # Completion interval: first positive-rate interval at or after
+        # idx - 1 (zero-rate intervals are plateaus of cum).
+        within = idx <= k
+        ii = np.where(within, idx - 1, 0)
+        nxt = self._next_positive()[lnc, ii]
+        inside = within & (nxt < k)
+        outc = np.empty(stc.shape)
+        if inside.any():
+            li = lnc[inside]
+            ni = nxt[inside]
+            rest = remc[inside] - (self._cum2d[li, ni] - cum_start[inside])
+            outc[inside] = bounds[ni] + rest / self._rates2d[li, ni] - stc[inside]
+        tail = ~inside
+        if tail.any():
+            lt = lnc[tail]
+            rate_last = self._rates2d[lt, -1]
+            if np.any(rate_last <= 0):
+                raise RuntimeError(
+                    "transfer cannot complete: trailing bandwidth is zero"
+                )
+            rest = remc[tail] - (self._cum2d[lt, -1] - cum_start[tail])
+            outc[tail] = bounds[-1] + rest / rate_last - stc[tail]
+        out[cold] = outc
+        return out

@@ -1,16 +1,21 @@
 """Video player substrate: buffer, session simulator, logs, QoE metrics."""
 
+from .batch_session import BatchStreamingSession, abr_supports_batch_replay
 from .buffer import PlayerBuffer
-from .logs import ChunkRecord, SessionLog
-from .metrics import QoEMetrics, compute_metrics
+from .logs import ChunkRecord, SessionLog, SessionLogBatch
+from .metrics import QoEMetrics, compute_metrics, compute_metrics_batch
 from .session import SessionConfig, StreamingSession
 
 __all__ = [
+    "BatchStreamingSession",
     "ChunkRecord",
     "PlayerBuffer",
     "QoEMetrics",
     "SessionConfig",
     "SessionLog",
+    "SessionLogBatch",
     "StreamingSession",
+    "abr_supports_batch_replay",
     "compute_metrics",
+    "compute_metrics_batch",
 ]

@@ -1,0 +1,419 @@
+"""Lockstep multi-session replay: one chunk loop over K trace lanes.
+
+After PR 2 made a single replay's TCP kernel analytic, per-chunk CPython
+work (ABR decision calls, record construction, buffer bookkeeping)
+dominated counterfactual replay — and every Setting-B query paid it once
+per posterior sample.  :class:`BatchStreamingSession` removes that
+multiplier: it replays streaming sessions over ``K`` bandwidth lanes at
+once, advancing all sessions chunk by chunk in lockstep with array-valued
+buffer levels, stall accounting and congestion state, and writing a
+column-oriented :class:`~repro.player.logs.SessionLogBatch` instead of K
+record lists.
+
+Lanes are organised into **partitions**: contiguous runs of lanes sharing
+one ABR algorithm and player config.  A single counterfactual query uses
+one partition (its K posterior samples); the engine fuses *several*
+queries' lanes into one batch — same video, RTT and request overhead, but
+different ABRs and buffer capacities per partition — so the fixed
+per-chunk cost amortises over every replay of a sweep, not just one
+query's samples.
+
+Semantics are pinned to :class:`~repro.player.session.StreamingSession`:
+every float the lockstep loop produces is **bit-identical** to what K
+independent serial sessions would log (``tests/test_batch_replay.py``).
+This relies on three facts:
+
+* elementwise NumPy float64 arithmetic performs exactly the scalar IEEE
+  operations, so vectorised buffer/stall updates match the scalar ones
+  (per-lane buffer capacities broadcast the same way);
+* the RTT estimator sees the same constant RTT once per chunk on every
+  lane, so its state is a shared scalar, not a column;
+* ABR decisions either come from an exact vectorised
+  ``choose_quality_batch`` (BBA, BOLA — pure threshold/index arithmetic)
+  or fall back to per-lane scalar ``choose_quality`` calls on per-lane
+  contexts (MPC and custom ABRs) while downloads and logging stay batched.
+
+ABRs with an ``observe_download`` feedback hook (e.g. the
+Veritas-in-the-loop ABR) need materialized per-chunk records mid-session
+and are not batchable — :func:`abr_supports_batch_replay` reports this so
+callers can route those replays through the serial engine.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..abr.base import ABRAlgorithm, ABRContext, BatchABRContext
+from ..net.trace import PiecewiseConstantTrace, TraceBatch
+from ..tcp.connection import BatchTCPConnection
+from ..util.units import throughput_mbps
+from ..video.chunks import Video
+from .logs import SessionLogBatch
+from .session import SessionConfig
+
+__all__ = ["BatchStreamingSession", "LaneGroup", "abr_supports_batch_replay"]
+
+
+def abr_supports_batch_replay(abr: ABRAlgorithm) -> bool:
+    """Whether lockstep replay can drive ``abr``.
+
+    Anything without an ``observe_download`` feedback hook qualifies:
+    algorithms exposing ``choose_quality_batch`` decide vectorised, all
+    others transparently run per-lane scalar decisions inside the batch
+    loop.
+    """
+    return getattr(abr, "observe_download", None) is None
+
+
+def _vectorised_decider(abr: ABRAlgorithm):
+    """``abr.choose_quality_batch`` when it is safe to use, else ``None``.
+
+    A batch implementation mirrors the scalar ``choose_quality`` of the
+    class that defined it.  A subclass that overrides ``choose_quality``
+    but *inherits* ``choose_quality_batch`` (e.g. a tweaked BBA) would
+    silently diverge from serial replay on the vectorised path, so such
+    algorithms are routed to the per-lane scalar fallback instead: the
+    batch method is only trusted when ``choose_quality`` is not overridden
+    below the class that defined it.
+    """
+    scalar_depth = batch_depth = None
+    for depth, klass in enumerate(type(abr).__mro__):
+        attrs = klass.__dict__
+        if batch_depth is None and "choose_quality_batch" in attrs:
+            batch_depth = depth
+        if scalar_depth is None and "choose_quality" in attrs:
+            scalar_depth = depth
+    if batch_depth is None or scalar_depth is None or scalar_depth < batch_depth:
+        return None
+    return abr.choose_quality_batch
+
+
+class LaneGroup:
+    """A contiguous run of lanes sharing one ABR factory and config."""
+
+    __slots__ = ("abr_factory", "config", "traces")
+
+    def __init__(
+        self,
+        abr_factory: Callable[[], ABRAlgorithm],
+        config: SessionConfig,
+        traces: Sequence[PiecewiseConstantTrace],
+    ):
+        if not traces:
+            raise ValueError("a lane group needs at least one trace")
+        self.abr_factory = abr_factory
+        self.config = config
+        self.traces = list(traces)
+
+
+class _Partition:
+    """Runtime decision state for one lane group."""
+
+    __slots__ = (
+        "start",
+        "stop",
+        "choose_batch",
+        "context",
+        "lane_abrs",
+        "lane_contexts",
+        "name",
+    )
+
+    def __init__(self, start: int, stop: int, group: LaneGroup, video: Video):
+        self.start = start
+        self.stop = stop
+        abr = group.abr_factory()
+        if not abr_supports_batch_replay(abr):
+            raise ValueError(
+                f"{abr.name}: observe_download hooks need materialized "
+                "records; replay this ABR with StreamingSession per lane"
+            )
+        self.name = abr.name
+        self.choose_batch = _vectorised_decider(abr)
+        if self.choose_batch is not None:
+            abr.reset()
+            self.context = BatchABRContext(
+                chunk_index=0,
+                buffer_s=np.zeros(stop - start),
+                buffer_capacity_s=group.config.buffer_capacity_s,
+                last_quality=None,
+                video=video,
+            )
+            self.lane_abrs = None
+            self.lane_contexts = None
+        else:
+            # Automatic per-lane scalar fallback (MPC, custom ABRs): one
+            # independent algorithm instance and context per lane, as
+            # serial replay would create, with downloads and logging still
+            # batched.
+            self.context = None
+            self.lane_abrs = [abr] + [
+                group.abr_factory() for _ in range(stop - start - 1)
+            ]
+            self.lane_contexts = []
+            for lane_abr in self.lane_abrs:
+                lane_abr.reset()
+                self.lane_contexts.append(
+                    ABRContext(
+                        chunk_index=0,
+                        buffer_s=0.0,
+                        buffer_capacity_s=group.config.buffer_capacity_s,
+                        last_quality=None,
+                        video=video,
+                        throughput_history_mbps=[],
+                        download_time_history_s=[],
+                    )
+                )
+
+
+class BatchStreamingSession:
+    """K lockstep clients streaming ``video``, one per trace lane.
+
+    Two construction forms:
+
+    * ``BatchStreamingSession(video, abr_factory, traces, config)`` — one
+      partition: K counterfactual bandwidths under a single Setting (the
+      single-query shape);
+    * ``BatchStreamingSession.fused(video, groups)`` — several
+      :class:`LaneGroup` partitions advancing in one loop: the groups may
+      differ in ABR and buffer capacity but must share the video, RTT and
+      request overhead (the engine checks this when fusing queries).
+
+    All lanes must share one trace boundary grid.  ``abr_factory`` is
+    called once for batch-capable algorithms and once per lane for the
+    scalar fallback — exactly the per-session independence the serial
+    engine has.
+    """
+
+    def __init__(
+        self,
+        video: Video,
+        abr_factory: Callable[[], ABRAlgorithm] | None = None,
+        traces: "TraceBatch | Sequence[PiecewiseConstantTrace] | None" = None,
+        config: SessionConfig | None = None,
+        kernel: str | None = None,
+        groups: "Sequence[LaneGroup] | None" = None,
+    ):
+        prebuilt: TraceBatch | None = None
+        if groups is None:
+            if abr_factory is None or traces is None:
+                raise ValueError("need abr_factory and traces (or groups)")
+            if isinstance(traces, TraceBatch):
+                prebuilt = traces
+                lanes = [traces.lane(k) for k in range(traces.n_lanes)]
+            else:
+                lanes = list(traces)
+            groups = [LaneGroup(abr_factory, config or SessionConfig(), lanes)]
+        elif abr_factory is not None or traces is not None:
+            raise ValueError("pass either groups or abr_factory/traces, not both")
+        rtts = {g.config.rtt_s for g in groups}
+        overheads = {g.config.request_overhead_s for g in groups}
+        if len(rtts) != 1 or len(overheads) != 1:
+            raise ValueError(
+                "fused lane groups must share rtt_s and request_overhead_s"
+            )
+        self.video = video
+        self.groups = list(groups)
+        self.batch = (
+            prebuilt
+            if prebuilt is not None
+            else TraceBatch([t for g in self.groups for t in g.traces])
+        )
+        self.rtt_s = rtts.pop()
+        self.request_overhead_s = overheads.pop()
+        self.kernel = kernel
+
+    @classmethod
+    def fused(
+        cls, video: Video, groups: "Sequence[LaneGroup]", kernel: str | None = None
+    ) -> "BatchStreamingSession":
+        """Build a multi-partition lockstep session (see class docstring)."""
+        return cls(video, groups=groups, kernel=kernel)
+
+    # ------------------------------------------------------------------
+    def run(self) -> SessionLogBatch:
+        """Simulate all K sessions in lockstep and return the column log."""
+        video = self.video
+        tb = self.batch
+        n_lanes = tb.n_lanes
+        n_chunks = video.n_chunks
+        n_qualities = video.n_qualities
+
+        partitions: list[_Partition] = []
+        pos = 0
+        for group in self.groups:
+            partitions.append(
+                _Partition(pos, pos + len(group.traces), group, video)
+            )
+            pos += len(group.traces)
+        single = partitions[0] if len(partitions) == 1 else None
+
+        capacity = np.empty(n_lanes)
+        for part, group in zip(partitions, self.groups):
+            capacity[part.start : part.stop] = group.config.buffer_capacity_s
+        abr_names = [p.name for p in partitions for _ in range(p.stop - p.start)]
+
+        connection = BatchTCPConnection(
+            tb, rtt_s=self.rtt_s, start_time_s=0.0, kernel=self.kernel
+        )
+
+        # Lockstep player state (arrays over lanes).
+        overhead = self.request_overhead_s
+        chunk_dur = video.chunk_duration_s
+        level = np.zeros(n_lanes)
+        now = np.zeros(n_lanes)
+        total_rebuffer = np.zeros(n_lanes)
+        total_bytes = np.zeros(n_lanes)
+        startup_time = np.zeros(n_lanes)
+        playing = False
+
+        size_matrix = video.size_matrix
+        ssim_matrix = video.ssim_matrix
+        ssim_db_matrix = video.ssim_db_matrix
+        bitrates = np.asarray([video.bitrate_mbps(q) for q in range(n_qualities)])
+
+        # Column log storage, written row by row.
+        shape = (n_chunks, n_lanes)
+        col_quality = np.empty(shape, dtype=np.int64)
+        col_size = np.empty(shape)
+        col_start = np.empty(shape)
+        col_end = np.empty(shape)
+        col_before = np.empty(shape)
+        col_after = np.empty(shape)
+        col_rebuffer = np.empty(shape)
+        col_ssim = np.empty(shape)
+        col_ssim_db = np.empty(shape)
+        col_bitrate = np.empty(shape)
+        col_cwnd = np.empty(shape, dtype=np.int64)
+        col_ssthresh = np.empty(shape, dtype=np.int64)
+        col_idle = np.empty(shape)
+        col_srtt = np.empty(n_chunks)
+        col_min_rtt = np.empty(n_chunks)
+        col_rto = np.empty(n_chunks)
+
+        quality = np.empty(n_lanes, dtype=np.int64)
+        for n in range(n_chunks):
+            # 1. Sleep while the buffer is over capacity.  Lanes at or
+            #    below capacity see wait == 0 and every update below is an
+            #    exact no-op, so no masking is needed.
+            wait = np.maximum(0.0, level - capacity)
+            if playing:
+                level = np.maximum(0.0, level - wait)
+            now = now + wait
+            if overhead:
+                if playing:
+                    stall = np.maximum(0.0, overhead - level)
+                    level = np.maximum(0.0, level - overhead)
+                    total_rebuffer = total_rebuffer + stall
+                now = now + overhead
+
+            # 2. ABR decisions from client-observable state only, one
+            #    vectorised (or per-lane fallback) call per partition.
+            buffer_before = level
+            for part in partitions:
+                choose_batch = part.choose_batch
+                if choose_batch is not None:
+                    context = part.context
+                    context.chunk_index = n
+                    context.buffer_s = (
+                        buffer_before
+                        if single is not None
+                        else buffer_before[part.start : part.stop]
+                    )
+                    chosen = choose_batch(context)
+                    if single is not None:
+                        quality = np.asarray(chosen, dtype=np.int64)
+                    else:
+                        quality[part.start : part.stop] = chosen
+                    context.last_quality = chosen
+                else:
+                    for k, (lane_abr, ctx) in enumerate(
+                        zip(part.lane_abrs, part.lane_contexts)
+                    ):
+                        ctx.chunk_index = n
+                        ctx.buffer_s = float(buffer_before[part.start + k])
+                        quality[part.start + k] = lane_abr.choose_quality(ctx)
+            q_min = int(quality.min())
+            q_max = int(quality.max())
+            if q_min < 0 or q_max >= n_qualities:
+                bad = q_min if q_min < 0 else q_max
+                raise ValueError(
+                    f"batch replay chose invalid quality {bad} for chunk {n}"
+                )
+            sizes = size_matrix[n, quality]
+
+            # 3. Lockstep download over all K traces.
+            result = connection.download_batch(sizes, now)
+            duration = result.end_times_s - now
+            if playing:
+                stall = np.maximum(0.0, duration - level)
+                level = np.maximum(0.0, level - duration)
+                total_rebuffer = total_rebuffer + stall
+            else:
+                stall = np.zeros(n_lanes)
+            now = result.end_times_s
+
+            # 4. Append and log.
+            level = level + chunk_dur
+            if n == 0:
+                startup_time = now.copy()
+                playing = True
+
+            col_quality[n] = quality
+            col_size[n] = sizes
+            col_start[n] = result.start_times_s
+            col_end[n] = now
+            col_before[n] = buffer_before
+            col_after[n] = level
+            col_rebuffer[n] = stall
+            col_ssim[n] = ssim_matrix[n, quality]
+            col_ssim_db[n] = ssim_db_matrix[n, quality]
+            col_bitrate[n] = bitrates[quality]
+            col_cwnd[n] = result.cwnd_segments
+            col_ssthresh[n] = result.ssthresh_segments
+            col_idle[n] = result.time_since_last_send_s
+            col_srtt[n] = result.srtt_s
+            col_min_rtt[n] = result.min_rtt_s
+            col_rto[n] = result.rto_s
+            total_bytes = total_bytes + sizes
+
+            for part in partitions:
+                if part.lane_contexts is not None:
+                    # Per-lane observables for the scalar-fallback ABRs,
+                    # fed in the same order the serial loop appends them.
+                    for k, ctx in enumerate(part.lane_contexts):
+                        j = part.start + k
+                        d = float(duration[j])
+                        ctx.throughput_history_mbps.append(
+                            throughput_mbps(float(sizes[j]), d)
+                        )
+                        ctx.download_time_history_s.append(d)
+                        ctx.last_quality = int(quality[j])
+
+        return SessionLogBatch(
+            abr_names=abr_names,
+            buffer_capacity_s=capacity,
+            chunk_duration_s=chunk_dur,
+            rtt_s=self.rtt_s,
+            startup_time_s=startup_time,
+            total_rebuffer_s=total_rebuffer,
+            total_size_bytes=total_bytes,
+            qualities=col_quality,
+            size_bytes=col_size,
+            start_times_s=col_start,
+            end_times_s=col_end,
+            buffer_before_s=col_before,
+            buffer_after_s=col_after,
+            rebuffer_s=col_rebuffer,
+            ssim=col_ssim,
+            ssim_db=col_ssim_db,
+            bitrate_mbps=col_bitrate,
+            cwnd_segments=col_cwnd,
+            ssthresh_segments=col_ssthresh,
+            time_since_last_send_s=col_idle,
+            srtt_s=col_srtt,
+            min_rtt_s=col_min_rtt,
+            rto_s=col_rto,
+        )

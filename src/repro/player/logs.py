@@ -19,7 +19,7 @@ import numpy as np
 from ..tcp.state import TCPStateSnapshot
 from ..util.units import throughput_mbps
 
-__all__ = ["ChunkRecord", "SessionLog"]
+__all__ = ["ChunkRecord", "SessionLog", "SessionLogBatch"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -197,3 +197,101 @@ class SessionLog:
             total_rebuffer_s=sum(r.rebuffer_s for r in prefix),
             records=list(prefix),
         )
+
+
+@dataclass
+class SessionLogBatch:
+    """Column-oriented logs of ``K`` sessions replayed in lockstep.
+
+    Produced by :class:`~repro.player.batch_session.BatchStreamingSession`:
+    every per-chunk quantity is a ``(n_chunks, K)`` array (chunk-major so a
+    lane is a column), per-session scalars are ``(K,)`` arrays, and the TCP
+    RTT-estimator fields — identical across lanes by construction — are
+    ``(n_chunks,)`` vectors.  QoE metrics are computed directly from the
+    columns (:func:`~repro.player.metrics.compute_metrics_batch`), so
+    metric-only consumers never pay per-chunk object construction;
+    :meth:`lane` materializes an ordinary per-lane :class:`SessionLog`
+    (bit-identical to a serial replay of that lane) on demand.
+
+    ``total_size_bytes`` carries the loop's sequential per-lane byte
+    accumulation so derived metrics reproduce the scalar accumulation order
+    exactly.  ``abr_names`` and ``buffer_capacity_s`` are per-lane because
+    a fused batch replays several queries' lanes — different ABRs and
+    buffer caps — in one loop.
+    """
+
+    abr_names: "list[str]"
+    buffer_capacity_s: np.ndarray
+    chunk_duration_s: float
+    rtt_s: float
+    startup_time_s: np.ndarray
+    total_rebuffer_s: np.ndarray
+    total_size_bytes: np.ndarray
+    qualities: np.ndarray
+    size_bytes: np.ndarray
+    start_times_s: np.ndarray
+    end_times_s: np.ndarray
+    buffer_before_s: np.ndarray
+    buffer_after_s: np.ndarray
+    rebuffer_s: np.ndarray
+    ssim: np.ndarray
+    ssim_db: np.ndarray
+    bitrate_mbps: np.ndarray
+    cwnd_segments: np.ndarray
+    ssthresh_segments: np.ndarray
+    time_since_last_send_s: np.ndarray
+    srtt_s: np.ndarray
+    min_rtt_s: np.ndarray
+    rto_s: np.ndarray
+
+    # ------------------------------------------------------------------
+    @property
+    def n_chunks(self) -> int:
+        return int(self.qualities.shape[0])
+
+    @property
+    def n_lanes(self) -> int:
+        return int(self.qualities.shape[1])
+
+    def lane(self, k: int) -> SessionLog:
+        """Materialize lane ``k`` as an ordinary :class:`SessionLog`."""
+        if not 0 <= k < self.n_lanes:
+            raise IndexError(f"lane {k} out of range for {self.n_lanes} lanes")
+        records = []
+        for n in range(self.n_chunks):
+            snapshot = TCPStateSnapshot(
+                cwnd_segments=int(self.cwnd_segments[n, k]),
+                ssthresh_segments=int(self.ssthresh_segments[n, k]),
+                srtt_s=float(self.srtt_s[n]),
+                min_rtt_s=float(self.min_rtt_s[n]),
+                rto_s=float(self.rto_s[n]),
+                time_since_last_send_s=float(self.time_since_last_send_s[n, k]),
+            )
+            records.append(
+                ChunkRecord(
+                    index=n,
+                    quality=int(self.qualities[n, k]),
+                    size_bytes=float(self.size_bytes[n, k]),
+                    start_time_s=float(self.start_times_s[n, k]),
+                    end_time_s=float(self.end_times_s[n, k]),
+                    tcp_state=snapshot,
+                    buffer_before_s=float(self.buffer_before_s[n, k]),
+                    buffer_after_s=float(self.buffer_after_s[n, k]),
+                    rebuffer_s=float(self.rebuffer_s[n, k]),
+                    ssim=float(self.ssim[n, k]),
+                    bitrate_mbps=float(self.bitrate_mbps[n, k]),
+                )
+            )
+        return SessionLog(
+            abr_name=self.abr_names[k],
+            buffer_capacity_s=float(self.buffer_capacity_s[k]),
+            chunk_duration_s=self.chunk_duration_s,
+            rtt_s=self.rtt_s,
+            startup_time_s=float(self.startup_time_s[k]),
+            total_rebuffer_s=float(self.total_rebuffer_s[k]),
+            records=records,
+        )
+
+    def to_logs(self) -> "list[SessionLog]":
+        """Materialize every lane (mostly for tests and debugging)."""
+        return [self.lane(k) for k in range(self.n_lanes)]

@@ -13,9 +13,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..video.ladder import ssim_to_db
-from .logs import SessionLog
+from .logs import SessionLog, SessionLogBatch
 
-__all__ = ["QoEMetrics", "compute_metrics"]
+__all__ = ["QoEMetrics", "compute_metrics", "compute_metrics_batch"]
 
 
 @dataclass(frozen=True)
@@ -74,3 +74,45 @@ def compute_metrics(log: SessionLog) -> QoEMetrics:
         quality_switches=int(np.count_nonzero(np.diff(qualities))),
         n_chunks=log.n_chunks,
     )
+
+
+def compute_metrics_batch(batch: SessionLogBatch) -> "list[QoEMetrics]":
+    """Per-lane :class:`QoEMetrics` straight from a batch log's columns.
+
+    Metric-only consumers (the counterfactual engine's Setting-B queries)
+    never materialize per-chunk :class:`~repro.player.logs.ChunkRecord`
+    objects: SSIM means reduce over the stored columns (the dB column was
+    gathered from the video's cached per-cell conversions, so the floats
+    match the scalar path), and the rebuffer/byte totals reuse the session
+    loop's sequential accumulations.  Lane ``k`` of the result is
+    bit-identical to ``compute_metrics(batch.lane(k))``.
+    """
+    n_chunks = batch.n_chunks
+    if n_chunks == 0:
+        raise ValueError("cannot compute metrics for an empty session")
+
+    playback_s = n_chunks * batch.chunk_duration_s
+    switches = np.count_nonzero(np.diff(batch.qualities, axis=0), axis=0)
+    out = []
+    for k in range(batch.n_lanes):
+        total_rebuffer = float(batch.total_rebuffer_s[k])
+        session_duration = (
+            float(batch.startup_time_s[k]) + playback_s + total_rebuffer
+        )
+        rebuffer_ratio = (
+            total_rebuffer / session_duration if session_duration > 0 else 0.0
+        )
+        out.append(
+            QoEMetrics(
+                mean_ssim=float(batch.ssim[:, k].mean()),
+                mean_ssim_db=float(batch.ssim_db[:, k].mean()),
+                rebuffer_ratio=float(rebuffer_ratio),
+                avg_bitrate_mbps=float(
+                    batch.total_size_bytes[k] * 8 / 1e6 / playback_s
+                ),
+                startup_time_s=float(batch.startup_time_s[k]),
+                quality_switches=int(switches[k]),
+                n_chunks=n_chunks,
+            )
+        )
+    return out

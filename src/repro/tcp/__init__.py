@@ -1,6 +1,11 @@
 """TCP substrate: state tracking, Algorithm-4 estimator, flow simulator."""
 
-from .connection import DownloadResult, TCPConnection
+from .connection import (
+    BatchDownloadResult,
+    BatchTCPConnection,
+    DownloadResult,
+    TCPConnection,
+)
 from .constants import (
     INIT_CWND_SEGMENTS,
     INITIAL_SSTHRESH_SEGMENTS,
@@ -18,6 +23,8 @@ from .estimator import (
 from .state import MutableTCPState, TCPStateSnapshot, apply_slow_start_restart
 
 __all__ = [
+    "BatchDownloadResult",
+    "BatchTCPConnection",
     "DownloadResult",
     "INIT_CWND_SEGMENTS",
     "INITIAL_SSTHRESH_SEGMENTS",

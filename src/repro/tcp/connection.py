@@ -42,17 +42,26 @@ import math
 from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
 
-from ..net.trace import PiecewiseConstantTrace
+import numpy as np
+
+from ..net.trace import PiecewiseConstantTrace, TraceBatch
 from ..util.units import mbps_to_bytes_per_sec, throughput_mbps
 from .constants import (
     INIT_CWND_SEGMENTS,
+    INITIAL_SSTHRESH_SEGMENTS,
     MAX_CWND_SEGMENTS,
     MSS_BYTES,
     SLOW_START_GROWTH,
 )
 from .state import MutableTCPState, TCPStateSnapshot, apply_slow_start_restart
 
-__all__ = ["DEFAULT_KERNEL", "DownloadResult", "TCPConnection"]
+__all__ = [
+    "DEFAULT_KERNEL",
+    "BatchDownloadResult",
+    "BatchTCPConnection",
+    "DownloadResult",
+    "TCPConnection",
+]
 
 DEFAULT_KERNEL = "analytic"
 """Kernel used when ``TCPConnection`` is constructed without an explicit one."""
@@ -109,6 +118,161 @@ def _extend_schedule_for(
         cwnds.append(nxt)
         cwnd_bytes.append(float(nxt * MSS_BYTES))
     return True
+
+
+# The two download kernels, shared between the scalar TCPConnection and the
+# per-lane fallback of BatchTCPConnection.  Module-level (rather than
+# methods) so the batch engine runs *exactly* this code for lanes its
+# vectorised fast path cannot cover — bit-identity by construction.
+
+
+def _fluid_finish(
+    trace: PiecewiseConstantTrace,
+    rtt: float,
+    t: float,
+    remaining: float,
+    rounds: int,
+    cwnd: int,
+) -> tuple[float, int, int]:
+    """Drain ``remaining`` bytes at the link rate starting at ``t``.
+
+    time_to_transfer waits through zero-bandwidth intervals and raises
+    only if bandwidth never resumes.  The window keeps opening ~1
+    segment per RTT while the transfer proceeds in congestion
+    avoidance.
+    """
+    fluid_s = trace.time_to_transfer(t, remaining)
+    cwnd = min(cwnd + max(0, int(fluid_s / rtt)), MAX_CWND_SEGMENTS)
+    rounds += max(1, math.ceil(fluid_s / rtt))
+    return t + fluid_s, rounds, cwnd
+
+
+def _reference_download(
+    trace: PiecewiseConstantTrace,
+    rtt: float,
+    size_bytes: float,
+    t0: float,
+    cwnd: int,
+    ssthresh: int,
+) -> tuple[float, int, int]:
+    """Per-RTT scalar loop: the golden reference kernel.
+
+    Each window-limited round lasts one RTT and moves ``cwnd`` segments;
+    once the pipe is full the rest drains as a fluid transfer.
+    """
+    rounds = 0
+    sent_segments = 0
+    while True:
+        t = t0 + rounds * rtt
+        remaining = size_bytes - sent_segments * MSS_BYTES
+        bandwidth = trace.value_at(t)
+        bdp_bytes = mbps_to_bytes_per_sec(bandwidth) * rtt
+        cwnd_bytes = cwnd * MSS_BYTES
+        if cwnd_bytes >= bdp_bytes:
+            # Pipe is (or can be kept) full — drain at the link rate.
+            return _fluid_finish(trace, rtt, t, remaining, rounds, cwnd)
+        if cwnd_bytes >= remaining:
+            # Final window-limited round: one RTT moves the rest.
+            return t0 + (rounds + 1) * rtt, rounds + 1, _grow_window(cwnd, ssthresh)
+        # Full window-limited round: one RTT moves cwnd segments.
+        sent_segments += cwnd
+        cwnd = _grow_window(cwnd, ssthresh)
+        rounds += 1
+
+
+def _analytic_download(
+    trace: PiecewiseConstantTrace,
+    rtt: float,
+    size_bytes: float,
+    t0: float,
+    cwnd0: int,
+    ssthresh: int,
+) -> tuple[float, int, int]:
+    """Interval-wise closed form of :func:`_reference_download`.
+
+    Within one constant-bandwidth trace interval the BDP is constant,
+    so the first pipe-full round is a bisection of the precomputed
+    window schedule against the BDP, and the data-exhaustion round a
+    bisection of the monotone ``cwnd >= remaining`` predicate.  Only
+    interval crossings are walked explicitly.
+    """
+    bounds, values, _, _ = trace._scalar_mirrors()
+    last_start = bounds[-2]
+
+    entry = _schedule(cwnd0, ssthresh)
+    if not _extend_schedule_for(entry, ssthresh, size_bytes):
+        return _reference_download(trace, rtt, size_bytes, t0, cwnd0, ssthresh)
+    cwnds, cum, cwnd_bytes = entry
+    n_sched = len(cum)
+
+    n_intervals = len(values)
+    r = 0
+    while True:
+        t = t0 + r * rtt
+        # Inline interval lookup (clamped bisect, as in trace.value_at).
+        i = bisect_right(bounds, t) - 1
+        if i < 0:
+            i = 0
+        elif i >= n_intervals:
+            i = n_intervals - 1
+        bdp_bytes = mbps_to_bytes_per_sec(values[i]) * rtt
+        if cwnd_bytes[r] >= bdp_bytes:
+            # Pipe already full at the current round (the common case
+            # once the window has opened): straight to the fluid drain,
+            # skipping the boundary/data searches entirely.
+            remaining = size_bytes - cum[r] * MSS_BYTES
+            return _fluid_finish(trace, rtt, t, remaining, r, cwnds[r])
+
+        # Rounds available before the next interval boundary (None when
+        # the final value holds forever).
+        if t >= last_start:
+            n_boundary = None
+        else:
+            seg_end = bounds[i + 1]
+            n = int(math.ceil((seg_end - t) / rtt))
+            if n < 1:
+                n = 1
+            while t0 + (r + n) * rtt < seg_end:
+                n += 1
+            while n > 1 and t0 + (r + n - 1) * rtt >= seg_end:
+                n -= 1
+            n_boundary = n
+
+        # First round (>= r) whose window fills this interval's pipe.
+        k_fluid = bisect_left(cwnd_bytes, bdp_bytes, r) - r
+
+        # First round (>= r) whose window covers the remaining bytes:
+        # cwnd_bytes[j] >= size - cum[j] * MSS, monotone in j, and
+        # guaranteed true by the end of the schedule.
+        lo, hi = r, n_sched - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cwnd_bytes[mid] >= size_bytes - cum[mid] * MSS_BYTES:
+                hi = mid
+            else:
+                lo = mid + 1
+        k_data = lo - r
+
+        in_interval = (
+            n_boundary is None
+            or k_fluid < n_boundary
+            or k_data < n_boundary
+        )
+        if in_interval and k_fluid <= k_data:
+            # Pipe full at round r + k_fluid (ties go to the fluid
+            # check, mirroring the reference's per-round order).
+            r += k_fluid
+            t = t0 + r * rtt
+            remaining = size_bytes - cum[r] * MSS_BYTES
+            return _fluid_finish(trace, rtt, t, remaining, r, cwnds[r])
+        if in_interval:
+            # Data exhausted: round r + k_data is the final
+            # window-limited round.
+            r += k_data
+            return t0 + (r + 1) * rtt, r + 1, _grow_window(cwnds[r], ssthresh)
+        # Neither fires before the boundary: cross into the next
+        # interval having spent n_boundary full window rounds.
+        r += n_boundary
 
 
 @dataclass(frozen=True, slots=True)
@@ -227,137 +391,24 @@ class TCPConnection:
     def _finish_fluid(
         self, t: float, remaining: float, rounds: int, cwnd: int
     ) -> tuple[float, int, int]:
-        """Drain ``remaining`` bytes at the link rate starting at ``t``.
-
-        time_to_transfer waits through zero-bandwidth intervals and raises
-        only if bandwidth never resumes.  The window keeps opening ~1
-        segment per RTT while the transfer proceeds in congestion
-        avoidance.
-        """
-        fluid_s = self.trace.time_to_transfer(t, remaining)
-        cwnd = min(cwnd + max(0, int(fluid_s / self.rtt_s)), MAX_CWND_SEGMENTS)
-        rounds += max(1, math.ceil(fluid_s / self.rtt_s))
-        return t + fluid_s, rounds, cwnd
+        """Delegates to the module-level :func:`_fluid_finish`."""
+        return _fluid_finish(self.trace, self.rtt_s, t, remaining, rounds, cwnd)
 
     def _run_reference(
         self, size_bytes: float, t0: float, cwnd: int, ssthresh: int
     ) -> tuple[float, int, int]:
-        """Per-RTT scalar loop: the golden reference kernel.
-
-        Each window-limited round lasts one RTT and moves ``cwnd`` segments;
-        once the pipe is full the rest drains as a fluid transfer.
-        """
-        trace = self.trace
-        rtt = self.rtt_s
-        rounds = 0
-        sent_segments = 0
-        while True:
-            t = t0 + rounds * rtt
-            remaining = size_bytes - sent_segments * MSS_BYTES
-            bandwidth = trace.value_at(t)
-            bdp_bytes = mbps_to_bytes_per_sec(bandwidth) * rtt
-            cwnd_bytes = cwnd * MSS_BYTES
-            if cwnd_bytes >= bdp_bytes:
-                # Pipe is (or can be kept) full — drain at the link rate.
-                return self._finish_fluid(t, remaining, rounds, cwnd)
-            if cwnd_bytes >= remaining:
-                # Final window-limited round: one RTT moves the rest.
-                return t0 + (rounds + 1) * rtt, rounds + 1, _grow_window(cwnd, ssthresh)
-            # Full window-limited round: one RTT moves cwnd segments.
-            sent_segments += cwnd
-            cwnd = _grow_window(cwnd, ssthresh)
-            rounds += 1
+        """Delegates to the module-level :func:`_reference_download`."""
+        return _reference_download(
+            self.trace, self.rtt_s, size_bytes, t0, cwnd, ssthresh
+        )
 
     def _run_analytic(
         self, size_bytes: float, t0: float, cwnd0: int, ssthresh: int
     ) -> tuple[float, int, int]:
-        """Interval-wise closed form of :meth:`_run_reference`.
-
-        Within one constant-bandwidth trace interval the BDP is constant,
-        so the first pipe-full round is a bisection of the precomputed
-        window schedule against the BDP, and the data-exhaustion round a
-        bisection of the monotone ``cwnd >= remaining`` predicate.  Only
-        interval crossings are walked explicitly.
-        """
-        trace = self.trace
-        rtt = self.rtt_s
-        bounds, values, _, _ = trace._scalar_mirrors()
-        last_start = bounds[-2]
-
-        entry = _schedule(cwnd0, ssthresh)
-        if not _extend_schedule_for(entry, ssthresh, size_bytes):
-            return self._run_reference(size_bytes, t0, cwnd0, ssthresh)
-        cwnds, cum, cwnd_bytes = entry
-        n_sched = len(cum)
-
-        n_intervals = len(values)
-        r = 0
-        while True:
-            t = t0 + r * rtt
-            # Inline interval lookup (clamped bisect, as in trace.value_at).
-            i = bisect_right(bounds, t) - 1
-            if i < 0:
-                i = 0
-            elif i >= n_intervals:
-                i = n_intervals - 1
-            bdp_bytes = mbps_to_bytes_per_sec(values[i]) * rtt
-            if cwnd_bytes[r] >= bdp_bytes:
-                # Pipe already full at the current round (the common case
-                # once the window has opened): straight to the fluid drain,
-                # skipping the boundary/data searches entirely.
-                remaining = size_bytes - cum[r] * MSS_BYTES
-                return self._finish_fluid(t, remaining, r, cwnds[r])
-
-            # Rounds available before the next interval boundary (None when
-            # the final value holds forever).
-            if t >= last_start:
-                n_boundary = None
-            else:
-                seg_end = bounds[i + 1]
-                n = int(math.ceil((seg_end - t) / rtt))
-                if n < 1:
-                    n = 1
-                while t0 + (r + n) * rtt < seg_end:
-                    n += 1
-                while n > 1 and t0 + (r + n - 1) * rtt >= seg_end:
-                    n -= 1
-                n_boundary = n
-
-            # First round (>= r) whose window fills this interval's pipe.
-            k_fluid = bisect_left(cwnd_bytes, bdp_bytes, r) - r
-
-            # First round (>= r) whose window covers the remaining bytes:
-            # cwnd_bytes[j] >= size - cum[j] * MSS, monotone in j, and
-            # guaranteed true by the end of the schedule.
-            lo, hi = r, n_sched - 1
-            while lo < hi:
-                mid = (lo + hi) // 2
-                if cwnd_bytes[mid] >= size_bytes - cum[mid] * MSS_BYTES:
-                    hi = mid
-                else:
-                    lo = mid + 1
-            k_data = lo - r
-
-            in_interval = (
-                n_boundary is None
-                or k_fluid < n_boundary
-                or k_data < n_boundary
-            )
-            if in_interval and k_fluid <= k_data:
-                # Pipe full at round r + k_fluid (ties go to the fluid
-                # check, mirroring the reference's per-round order).
-                r += k_fluid
-                t = t0 + r * rtt
-                remaining = size_bytes - cum[r] * MSS_BYTES
-                return self._finish_fluid(t, remaining, r, cwnds[r])
-            if in_interval:
-                # Data exhausted: round r + k_data is the final
-                # window-limited round.
-                r += k_data
-                return t0 + (r + 1) * rtt, r + 1, _grow_window(cwnds[r], ssthresh)
-            # Neither fires before the boundary: cross into the next
-            # interval having spent n_boundary full window rounds.
-            r += n_boundary
+        """Delegates to the module-level :func:`_analytic_download`."""
+        return _analytic_download(
+            self.trace, self.rtt_s, size_bytes, t0, cwnd0, ssthresh
+        )
 
     # ------------------------------------------------------------------
     def reset(self, start_time_s: float = 0.0) -> None:
@@ -365,3 +416,316 @@ class TCPConnection:
         self.state = MutableTCPState(last_send_time_s=start_time_s)
         self.state.observe_rtt(self.rtt_s)
         self.state.cwnd_segments = INIT_CWND_SEGMENTS
+
+
+def _grow_window_batch(cwnd: np.ndarray, ssthresh: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`_grow_window` (element-wise identical)."""
+    slow_start = cwnd < ssthresh
+    grown = np.where(
+        slow_start,
+        np.maximum(cwnd + 1, (cwnd * SLOW_START_GROWTH).astype(np.int64)),
+        cwnd + 1,
+    )
+    return np.minimum(grown, MAX_CWND_SEGMENTS)
+
+
+def _fluid_grow_batch(
+    cwnd: np.ndarray, fluid_s: np.ndarray, rtt: float
+) -> np.ndarray:
+    """Vectorised post-fluid-drain window growth.
+
+    Mirrors :func:`_fluid_finish`'s ``min(cwnd + max(0, int(fluid/rtt)),
+    MAX)`` update element-wise — the single spot the batch paths share so
+    the scalar/batch mirror cannot drift.
+    """
+    ratio = fluid_s / rtt
+    return np.minimum(
+        cwnd + np.maximum(0, ratio.astype(np.int64)), MAX_CWND_SEGMENTS
+    )
+
+
+def _batch_slow_start_restart(
+    cwnd: np.ndarray,
+    ssthresh: np.ndarray,
+    idle_s: np.ndarray,
+    rto_s: float,
+    restart_cwnd: int = INIT_CWND_SEGMENTS,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorised :func:`~repro.tcp.state.apply_slow_start_restart`.
+
+    Element-wise identical to the scalar halving loop: every lane takes the
+    same decay iterations on the same floats.
+    """
+    triggered = (idle_s > rto_s) & (cwnd > restart_cwnd)
+    hits = triggered.nonzero()[0]
+    if not hits.size:
+        # No lane restarts: the caller never mutates state arrays in
+        # place, so the inputs can be reused as-is.
+        return cwnd, ssthresh
+    new_cwnd = cwnd.copy()
+    new_ssthresh = ssthresh.copy()
+    if hits.size < 16:
+        # Few restarting lanes: the scalar halving loop is cheaper than
+        # array dispatch (and trivially identical — it IS the scalar path).
+        for j in hits:
+            decayed, raised, _ = apply_slow_start_restart(
+                int(cwnd[j]), int(ssthresh[j]), float(idle_s[j]), rto_s
+            )
+            new_cwnd[j] = decayed
+            new_ssthresh[j] = raised
+        return new_cwnd, new_ssthresh
+    # Decay only the triggered lanes: the halving loop runs on the
+    # compacted subset.
+    remaining = idle_s[hits]
+    decayed = cwnd[hits]
+    active = np.ones(hits.size, dtype=bool)
+    while True:
+        remaining = np.where(active, remaining - rto_s, remaining)
+        decayed = np.where(active, decayed >> 1, decayed)
+        active = active & (remaining > rto_s) & (decayed > restart_cwnd)
+        if not active.any():
+            break
+    new_cwnd[hits] = np.maximum(decayed, restart_cwnd)
+    new_ssthresh[hits] = np.maximum(
+        np.maximum(ssthresh[hits], (new_cwnd[hits] >> 1) + (new_cwnd[hits] >> 2)),
+        2,
+    )
+    return new_cwnd, new_ssthresh
+
+
+@dataclass(frozen=True, slots=True)
+class BatchDownloadResult:
+    """Column-oriented outcome of one lockstep chunk download over K lanes.
+
+    The per-lane ``tcp_info`` snapshot decomposes into the per-lane columns
+    below plus the shared scalars — RTT bookkeeping is identical across
+    lanes (every lane observes the same RTT once per download), so
+    ``srtt``/``min_rtt``/``rto`` are per-chunk scalars, not columns.
+    """
+
+    start_times_s: np.ndarray
+    end_times_s: np.ndarray
+    size_bytes: np.ndarray
+    cwnd_segments: np.ndarray
+    ssthresh_segments: np.ndarray
+    time_since_last_send_s: np.ndarray
+    srtt_s: float
+    min_rtt_s: float
+    rto_s: float
+
+
+class BatchTCPConnection:
+    """K persistent TCP connections advanced in lockstep over a trace batch.
+
+    One instance per :class:`~repro.net.trace.TraceBatch` lane set; the
+    congestion state (cwnd, ssthresh, last send time) is array-valued while
+    the RTT estimator state is shared (all lanes observe the same constant
+    RTT, so their ``srtt``/``rto`` sequences are identical).
+
+    Per download, the batch path vectorises the slow-start-restart decay,
+    the interval lookup (one ``searchsorted`` across all lanes against the
+    shared boundary grid) and the round-0 pipe-full test; lanes whose pipe
+    is already full drain through the batched
+    :meth:`~repro.net.trace.TraceBatch.time_to_transfer_batch`, and
+    window-limited lanes fall through to the *same* scalar kernel functions
+    ``TCPConnection`` runs — results are bit-identical to K independent
+    scalar connections under either kernel (see
+    ``tests/test_batch_replay.py``).
+    """
+
+    def __init__(
+        self,
+        batch: TraceBatch,
+        rtt_s: float = 0.08,
+        start_time_s: float = 0.0,
+        kernel: str | None = None,
+    ):
+        if rtt_s <= 0:
+            raise ValueError(f"rtt must be positive, got {rtt_s}")
+        resolved = DEFAULT_KERNEL if kernel is None else kernel
+        if resolved not in _KERNELS:
+            raise ValueError(f"unknown kernel {resolved!r}; available: {_KERNELS}")
+        self.batch = batch
+        self.rtt_s = rtt_s
+        self.kernel = resolved
+        self._scalar_run = (
+            _reference_download if resolved == "reference" else _analytic_download
+        )
+        n = batch.n_lanes
+        self._shared = MutableTCPState(last_send_time_s=start_time_s)
+        self._shared.observe_rtt(rtt_s)
+        self._cwnd = np.full(n, INIT_CWND_SEGMENTS, dtype=np.int64)
+        self._ssthresh = np.full(n, INITIAL_SSTHRESH_SEGMENTS, dtype=np.int64)
+        self._last_send = np.full(n, float(start_time_s))
+        self._lane_idx = np.arange(n)
+
+    @property
+    def n_lanes(self) -> int:
+        return self.batch.n_lanes
+
+    def download_batch(
+        self, size_bytes: np.ndarray, start_times_s: np.ndarray
+    ) -> BatchDownloadResult:
+        """Download ``size_bytes[k]`` on every lane ``k`` starting at
+        ``start_times_s[k]``; advances all K congestion states."""
+        shared = self._shared
+        rtt = self.rtt_s
+        starts = np.asarray(start_times_s, dtype=float)
+        sizes = np.asarray(size_bytes, dtype=float)
+
+        # The logged tcp_info snapshot (pre-restart state, as in the scalar
+        # path) decomposed into columns + shared scalars.
+        idle = np.maximum(0.0, starts - self._last_send)
+        srtt = shared.srtt_s
+        min_rtt = shared.min_rtt_s
+        rto = shared.rto_s
+        cwnd_pre = self._cwnd
+        ssthresh_pre = self._ssthresh
+
+        cwnd, ssthresh = _batch_slow_start_restart(cwnd_pre, ssthresh_pre, idle, rto)
+
+        # The HTTP request consumes one round trip before payload flows.
+        t0 = starts + rtt
+        tb = self.batch
+        i = tb.interval_indices(t0)
+        bdp_bytes = mbps_to_bytes_per_sec(tb._values2d[self._lane_idx, i]) * rtt
+        pipe_full = (cwnd * MSS_BYTES) >= bdp_bytes
+
+        if pipe_full.all():
+            # Round 0 is already pipe-full on every lane (the common case
+            # once windows have opened): one batched fluid drain, no
+            # masking.  remaining == size exactly (0 segments sent).
+            fluid_s = tb.time_to_transfer_batch(t0, sizes, interval_hint=i)
+            ends = t0 + fluid_s
+            new_cwnd = _fluid_grow_batch(cwnd, fluid_s, rtt)
+        else:
+            ends = np.empty(starts.shape)
+            new_cwnd = np.empty(starts.shape, dtype=np.int64)
+            full = pipe_full.nonzero()[0]
+            if full.size:
+                fluid_s = tb.time_to_transfer_batch(
+                    t0[full], sizes[full], lanes=full, interval_hint=i[full]
+                )
+                ends[full] = t0[full] + fluid_s
+                new_cwnd[full] = _fluid_grow_batch(cwnd[full], fluid_s, rtt)
+            rest = (~pipe_full).nonzero()[0]
+            if rest.size >= self._VECTOR_ROUNDS_MIN:
+                e, c = self._run_rounds_batch(
+                    t0[rest], sizes[rest], cwnd[rest], ssthresh[rest], rest
+                )
+                ends[rest] = e
+                new_cwnd[rest] = c
+            else:
+                # Few window-limited lanes: the scalar kernel's list-mirror
+                # bisections beat lockstep NumPy dispatch (same code path
+                # as TCPConnection — bit-identical by construction).
+                run = self._scalar_run
+                for j in rest:
+                    end, _, grown = run(
+                        tb.lane(int(j)),
+                        rtt,
+                        float(sizes[j]),
+                        float(t0[j]),
+                        int(cwnd[j]),
+                        int(ssthresh[j]),
+                    )
+                    ends[j] = end
+                    new_cwnd[j] = grown
+
+        self._cwnd = new_cwnd
+        self._ssthresh = ssthresh
+        shared.observe_rtt(rtt)
+        self._last_send = ends
+
+        return BatchDownloadResult(
+            start_times_s=starts,
+            end_times_s=ends,
+            size_bytes=sizes,
+            cwnd_segments=cwnd_pre,
+            ssthresh_segments=ssthresh_pre,
+            time_since_last_send_s=idle,
+            srtt_s=srtt if srtt > 0 else 1.0,
+            min_rtt_s=min_rtt if min_rtt != float("inf") else (srtt or 1.0),
+            rto_s=rto,
+        )
+
+    # Below this many window-limited lanes, per-lane scalar kernels beat
+    # the lockstep round loop's fixed NumPy dispatch cost per round.
+    _VECTOR_ROUNDS_MIN = 12
+
+    def _run_rounds_batch(
+        self,
+        t0: np.ndarray,
+        sizes: np.ndarray,
+        cwnd: np.ndarray,
+        ssthresh: np.ndarray,
+        lanes: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Lockstep window-limited rounds for the lane subset ``lanes``.
+
+        All arguments are subset-aligned.  Mirrors the reference kernel's
+        per-RTT loop with the round index shared across lanes (every lane
+        enters at round 0, so ``r`` is a scalar); lanes leave the loop as
+        their pipe fills — all such lanes drain through one batched fluid
+        transfer at the end — or as their remaining data fits in the
+        current window.  Element-wise identical to per-lane scalar kernel
+        runs, and used only when the subset is large enough to amortise
+        per-round array dispatch (``_VECTOR_ROUNDS_MIN``).
+        """
+        tb = self.batch
+        rtt = self.rtt_s
+        m = lanes.size
+        ends = np.empty(m)
+        new_cwnd = np.empty(m, dtype=np.int64)
+        # Subset-aligned state: sent / cur_cwnd track the positions in
+        # `active` (indices into the subset).
+        active = np.arange(m)
+        sent = np.zeros(m, dtype=np.int64)
+        cur_cwnd = cwnd
+        fluid_parts = []
+        r = 0
+        while active.size:
+            t = t0[active] + r * rtt
+            i = tb.interval_indices(t)
+            bdp_bytes = mbps_to_bytes_per_sec(tb._values2d[lanes[active], i]) * rtt
+            cwnd_bytes = cur_cwnd * MSS_BYTES
+            remaining = sizes[active] - sent * MSS_BYTES
+            fluid_m = cwnd_bytes >= bdp_bytes
+            data_m = ~fluid_m & (cwnd_bytes >= remaining)
+            if fluid_m.any():
+                # Pipe full: collect for the batched fluid drain.
+                fluid_parts.append(
+                    (
+                        active[fluid_m],
+                        t[fluid_m],
+                        remaining[fluid_m],
+                        cur_cwnd[fluid_m],
+                        i[fluid_m],
+                    )
+                )
+            if data_m.any():
+                # Final window-limited round: one RTT moves the rest.
+                pi = active[data_m]
+                ends[pi] = t0[pi] + (r + 1) * rtt
+                new_cwnd[pi] = _grow_window_batch(cur_cwnd[data_m], ssthresh[pi])
+            cont = ~(fluid_m | data_m)
+            sent = sent[cont] + cur_cwnd[cont]
+            active = active[cont]
+            cur_cwnd = _grow_window_batch(cur_cwnd[cont], ssthresh[active])
+            r += 1
+
+        if fluid_parts:
+            if len(fluid_parts) == 1:
+                fpos, ft, frem, fcwnd, fi = fluid_parts[0]
+            else:
+                fpos = np.concatenate([p[0] for p in fluid_parts])
+                ft = np.concatenate([p[1] for p in fluid_parts])
+                frem = np.concatenate([p[2] for p in fluid_parts])
+                fcwnd = np.concatenate([p[3] for p in fluid_parts])
+                fi = np.concatenate([p[4] for p in fluid_parts])
+            fluid_s = tb.time_to_transfer_batch(
+                ft, frem, lanes=lanes[fpos], interval_hint=fi
+            )
+            ends[fpos] = ft + fluid_s
+            new_cwnd[fpos] = _fluid_grow_batch(fcwnd, fluid_s, rtt)
+        return ends, new_cwnd
