@@ -1,0 +1,333 @@
+"""Parity suite for the lockstep batch replay engine (PR 4).
+
+The batch engine promises **bit-identical** results to per-lane serial
+replay at every layer:
+
+* ``TraceBatch.time_to_transfer_batch`` vs the scalar
+  ``PiecewiseConstantTrace.time_to_transfer`` (vectorised bisection over
+  the stacked cumulative-bytes integrals),
+* ``BatchStreamingSession`` (lockstep chunk loop + ``BatchTCPConnection``)
+  vs per-lane ``StreamingSession`` runs — exact vectorised ABR decisions
+  for BBA/BOLA, the automatic per-lane scalar fallback for MPC, and fused
+  multi-setting batches (different ABRs / buffer capacities in one loop),
+* ``compute_metrics_batch`` vs per-lane ``compute_metrics`` — without ever
+  materializing ``ChunkRecord`` objects,
+* ``CounterfactualEngine`` with ``use_batch=True`` vs ``use_batch=False``.
+
+Edge cases covered: stalls (starved lanes), buffer-overflow sleeps (fast
+lanes), zero-capacity intervals mid-trace, K=1 batches, and transfers
+starting beyond the trace span.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.player.logs as logs_module
+from repro import (
+    BatchStreamingSession,
+    CounterfactualEngine,
+    SessionConfig,
+    StreamingSession,
+    TraceBatch,
+    Video,
+    change_abr,
+    change_buffer,
+    compute_metrics,
+    compute_metrics_batch,
+    default_ladder,
+    fast_setting_a,
+    paper_corpus,
+    paper_veritas_config,
+    run_setting,
+    run_setting_batch,
+)
+from repro.abr import BBAAlgorithm, BOLAAlgorithm, MPCAlgorithm
+from repro.causal.engine import _boundary_key
+from repro.net.trace import PiecewiseConstantTrace
+from repro.player.batch_session import LaneGroup, abr_supports_batch_replay
+
+
+def lane_traces(
+    n_lanes: int, seed: int = 0, n_intervals: int = 40, interval_s: float = 5.0
+) -> list[PiecewiseConstantTrace]:
+    """Shared-grid lanes spanning slow, fast and zero-capacity shapes."""
+    rng = np.random.default_rng(seed)
+    traces = []
+    for k in range(n_lanes):
+        if k % 4 == 0:
+            # Starved lane: frequent stalls.
+            vals = rng.uniform(0.05, 0.6, n_intervals)
+        elif k % 4 == 1:
+            # Fast lane: buffer-overflow sleeps every chunk.
+            vals = rng.uniform(5.0, 12.0, n_intervals)
+        else:
+            vals = rng.uniform(0.2, 8.0, n_intervals)
+        if k % 3 == 2:
+            # Zero-capacity intervals mid-trace (transfers must wait).
+            lo = int(rng.integers(2, n_intervals - 4))
+            vals[lo : lo + 2] = 0.0
+        traces.append(PiecewiseConstantTrace.from_uniform(vals, interval_s))
+    return traces
+
+
+@pytest.fixture(scope="module")
+def video() -> Video:
+    return Video.generate(default_ladder(), duration_s=60.0, seed=7)
+
+
+class TestTraceBatch:
+    def test_rejects_mismatched_boundaries(self):
+        a = PiecewiseConstantTrace.from_uniform([1.0, 2.0], 5.0)
+        b = PiecewiseConstantTrace.from_uniform([1.0, 2.0], 4.0)
+        with pytest.raises(ValueError, match="share identical boundaries"):
+            TraceBatch([a, b])
+        assert TraceBatch.from_traces([a, b]) is None
+        assert TraceBatch.from_traces([]) is None
+
+    def test_from_traces_accepts_shared_grid(self):
+        lanes = lane_traces(3)
+        batch = TraceBatch.from_traces(lanes)
+        assert batch is not None
+        assert batch.n_lanes == 3
+        assert batch.lane(1) is lanes[1]
+
+    def test_values_at_matches_scalar(self):
+        lanes = lane_traces(5, seed=3)
+        batch = TraceBatch(lanes)
+        rng = np.random.default_rng(0)
+        ts = rng.uniform(-10.0, 250.0, 5)
+        got = batch.values_at(ts)
+        for k, t in enumerate(ts):
+            assert got[k] == lanes[k].value_at(float(t))
+
+    def test_time_to_transfer_batch_bit_identical(self):
+        rng = np.random.default_rng(11)
+        lanes = lane_traces(9, seed=5)
+        batch = TraceBatch(lanes)
+        for _ in range(300):
+            starts = rng.uniform(-5.0, 230.0, 9)  # spans before/past the grid
+            sizes = 10 ** rng.uniform(1.0, 7.5, 9)
+            sizes[rng.random(9) < 0.1] = 0.0
+            got = batch.time_to_transfer_batch(starts, sizes)
+            for k in range(9):
+                want = lanes[k].time_to_transfer(float(starts[k]), float(sizes[k]))
+                assert got[k] == want  # bit-identical, no tolerance
+
+    def test_time_to_transfer_batch_lane_subset(self):
+        lanes = lane_traces(6, seed=9)
+        batch = TraceBatch(lanes)
+        subset = np.array([1, 3, 4])
+        starts = np.array([3.0, 17.0, 160.0])
+        sizes = np.array([5e4, 2e6, 8e5])
+        got = batch.time_to_transfer_batch(starts, sizes, lanes=subset)
+        for j, k in enumerate(subset):
+            want = lanes[k].time_to_transfer(float(starts[j]), float(sizes[j]))
+            assert got[j] == want
+
+    def test_vectorised_bisection_path_bit_identical(self):
+        # Enough cold lanes to engage the lockstep binary search (the
+        # small-subset scalar shortcut is bypassed).
+        lanes = lane_traces(24, seed=13)
+        batch = TraceBatch(lanes)
+        rng = np.random.default_rng(2)
+        starts = rng.uniform(0.0, 150.0, 24)
+        sizes = 10 ** rng.uniform(6.0, 7.6, 24)  # big: spill many intervals
+        got = batch.time_to_transfer_batch(starts, sizes)
+        for k in range(24):
+            want = lanes[k].time_to_transfer(float(starts[k]), float(sizes[k]))
+            assert got[k] == want
+
+    def test_zero_trailing_bandwidth_raises(self):
+        vals = [2.0, 1.0, 0.0]
+        dead = PiecewiseConstantTrace.from_uniform(vals, 5.0)
+        batch = TraceBatch([dead, dead])
+        with pytest.raises(RuntimeError, match="trailing bandwidth"):
+            batch.time_to_transfer_batch(
+                np.array([0.0, 0.0]), np.array([1e9, 1e9])
+            )
+
+
+def assert_logs_identical(serial, lane):
+    assert serial.abr_name == lane.abr_name
+    assert serial.buffer_capacity_s == lane.buffer_capacity_s
+    assert serial.chunk_duration_s == lane.chunk_duration_s
+    assert serial.rtt_s == lane.rtt_s
+    assert serial.startup_time_s == lane.startup_time_s
+    assert serial.total_rebuffer_s == lane.total_rebuffer_s
+    assert serial.records == lane.records  # frozen dataclasses: exact floats
+
+
+class TestBatchSessionParity:
+    @pytest.mark.parametrize("abr_factory", [BBAAlgorithm, BOLAAlgorithm])
+    def test_vectorised_abrs_bit_identical(self, video, abr_factory):
+        traces = lane_traces(6, seed=1)
+        config = SessionConfig(buffer_capacity_s=5.0)
+        batch_log = BatchStreamingSession(video, abr_factory, traces, config).run()
+        assert batch_log.n_lanes == 6
+        for k, trace in enumerate(traces):
+            serial = StreamingSession(video, abr_factory(), trace, config).run()
+            assert_logs_identical(serial, batch_log.lane(k))
+
+    def test_mpc_scalar_fallback_bit_identical(self, video):
+        traces = lane_traces(4, seed=2)
+        config = SessionConfig(buffer_capacity_s=8.0)
+        batch_log = BatchStreamingSession(video, MPCAlgorithm, traces, config).run()
+        for k, trace in enumerate(traces):
+            serial = StreamingSession(video, MPCAlgorithm(), trace, config).run()
+            assert_logs_identical(serial, batch_log.lane(k))
+
+    def test_k1_batch_bit_identical(self, video):
+        traces = lane_traces(1, seed=4)
+        config = SessionConfig(buffer_capacity_s=5.0)
+        batch_log = BatchStreamingSession(video, BBAAlgorithm, traces, config).run()
+        serial = StreamingSession(video, BBAAlgorithm(), traces[0], config).run()
+        assert batch_log.n_lanes == 1
+        assert_logs_identical(serial, batch_log.lane(0))
+
+    def test_request_overhead_bit_identical(self, video):
+        traces = lane_traces(3, seed=6)
+        config = SessionConfig(buffer_capacity_s=5.0, request_overhead_s=0.05)
+        batch_log = BatchStreamingSession(video, BOLAAlgorithm, traces, config).run()
+        for k, trace in enumerate(traces):
+            serial = StreamingSession(video, BOLAAlgorithm(), trace, config).run()
+            assert_logs_identical(serial, batch_log.lane(k))
+
+    def test_fused_multi_setting_batch_bit_identical(self, video):
+        """One lockstep loop over partitions with different ABRs/buffers."""
+        traces = lane_traces(9, seed=8)
+        groups = [
+            LaneGroup(BBAAlgorithm, SessionConfig(buffer_capacity_s=5.0), traces[:3]),
+            LaneGroup(BOLAAlgorithm, SessionConfig(buffer_capacity_s=12.0), traces[3:6]),
+            LaneGroup(MPCAlgorithm, SessionConfig(buffer_capacity_s=5.0), traces[6:]),
+        ]
+        batch_log = BatchStreamingSession.fused(video, groups).run()
+        factories = [BBAAlgorithm] * 3 + [BOLAAlgorithm] * 3 + [MPCAlgorithm] * 3
+        capacities = [5.0] * 3 + [12.0] * 3 + [5.0] * 3
+        for k, trace in enumerate(traces):
+            serial = StreamingSession(
+                video,
+                factories[k](),
+                trace,
+                SessionConfig(buffer_capacity_s=capacities[k]),
+            ).run()
+            assert_logs_identical(serial, batch_log.lane(k))
+
+    def test_fused_rejects_mixed_rtt(self, video):
+        traces = lane_traces(2, seed=8)
+        groups = [
+            LaneGroup(BBAAlgorithm, SessionConfig(rtt_s=0.08), traces[:1]),
+            LaneGroup(BBAAlgorithm, SessionConfig(rtt_s=0.12), traces[1:]),
+        ]
+        with pytest.raises(ValueError, match="share rtt_s"):
+            BatchStreamingSession.fused(video, groups)
+
+    def test_overridden_scalar_decision_bypasses_inherited_batch(self, video):
+        """A subclass overriding choose_quality but inheriting
+        choose_quality_batch must take the scalar fallback, not the stale
+        vectorised path — parity with serial replay is the contract."""
+
+        class PinnedBBA(BBAAlgorithm):
+            name = "pinned-bba"
+
+            def choose_quality(self, context):
+                return min(1, context.video.n_qualities - 1)
+
+        traces = lane_traces(3, seed=12)
+        config = SessionConfig(buffer_capacity_s=5.0)
+        batch_log = BatchStreamingSession(video, PinnedBBA, traces, config).run()
+        for k, trace in enumerate(traces):
+            serial = StreamingSession(video, PinnedBBA(), trace, config).run()
+            assert_logs_identical(serial, batch_log.lane(k))
+        assert set(batch_log.qualities.ravel().tolist()) == {1}
+
+    def test_observe_download_abrs_are_rejected(self, video):
+        class FeedbackABR(BBAAlgorithm):
+            def observe_download(self, record):  # pragma: no cover - marker
+                pass
+
+        assert not abr_supports_batch_replay(FeedbackABR())
+        assert abr_supports_batch_replay(MPCAlgorithm())
+        with pytest.raises(ValueError, match="observe_download"):
+            BatchStreamingSession(
+                video, FeedbackABR, lane_traces(2), SessionConfig()
+            ).run()
+
+
+class TestBatchMetrics:
+    def test_metrics_match_per_lane_without_records(self, video, monkeypatch):
+        traces = lane_traces(5, seed=10)
+        config = SessionConfig(buffer_capacity_s=5.0)
+        batch_log = BatchStreamingSession(video, BBAAlgorithm, traces, config).run()
+        expected = [compute_metrics(batch_log.lane(k)) for k in range(5)]
+
+        calls = {"n": 0}
+        real = logs_module.ChunkRecord
+
+        class CountingRecord(real):
+            def __init__(self, *args, **kwargs):  # pragma: no cover - guard
+                calls["n"] += 1
+                super().__init__(*args, **kwargs)
+
+        monkeypatch.setattr(logs_module, "ChunkRecord", CountingRecord)
+        got = compute_metrics_batch(batch_log)
+        assert calls["n"] == 0  # metric-only path materializes no records
+        assert got == expected
+
+
+class TestEnginePaths:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return paper_corpus(count=2, duration_s=240.0, seed=5)
+
+    @pytest.fixture(scope="class")
+    def setting_a(self):
+        return fast_setting_a(duration_s=120.0, seed=7)
+
+    def test_evaluate_many_batch_matches_serial(self, corpus, setting_a):
+        settings_b = [
+            change_abr(setting_a, "bba"),
+            change_abr(setting_a, "bola"),
+            change_buffer(setting_a, 15.0),
+            change_abr(setting_a, "mpc"),  # scalar-fallback partition
+        ]
+        batch_engine = CounterfactualEngine(
+            paper_veritas_config(), n_samples=3, seed=0
+        )
+        serial_engine = CounterfactualEngine(
+            paper_veritas_config(), n_samples=3, seed=0, use_batch=False
+        )
+        prepared = batch_engine.prepare_corpus(corpus, setting_a)
+        batch_results = batch_engine.evaluate_many(prepared, settings_b)
+        serial_results = serial_engine.evaluate_many(prepared, settings_b)
+        for rb, rs in zip(batch_results, serial_results):
+            for tb, ts in zip(rb.per_trace, rs.per_trace):
+                assert tb.truth_metrics == ts.truth_metrics
+                assert tb.baseline_metrics == ts.baseline_metrics
+                assert tb.veritas_metrics == ts.veritas_metrics
+
+    def test_evaluate_trace_batch_matches_serial(self, corpus, setting_a):
+        setting_b = change_abr(setting_a, "bba")
+        batch_engine = CounterfactualEngine(
+            paper_veritas_config(), n_samples=3, seed=0
+        )
+        serial_engine = CounterfactualEngine(
+            paper_veritas_config(), n_samples=3, seed=0, use_batch=False
+        )
+        got = batch_engine.evaluate_trace(0, corpus[0], setting_a, setting_b, seed=1)
+        want = serial_engine.evaluate_trace(0, corpus[0], setting_a, setting_b, seed=1)
+        assert got.truth_metrics == want.truth_metrics
+        assert got.baseline_metrics == want.baseline_metrics
+        assert got.veritas_metrics == want.veritas_metrics
+
+    def test_run_setting_batch_matches_run_setting(self, corpus, setting_a):
+        setting_b = change_abr(setting_a, "bola")
+        horizon = max(corpus[0].end_time, 3.0 * setting_b.video.duration_s)
+        lanes = [t.extended(horizon) for t in corpus]
+        assert len({_boundary_key(t) for t in lanes}) == 1
+        batch_log = run_setting_batch(setting_b, lanes)
+        for k, lane in enumerate(lanes):
+            assert_logs_identical(
+                run_setting(setting_b, lane), batch_log.lane(k)
+            )
