@@ -196,8 +196,14 @@ def test_perf_replay_kernel(benchmark):
             t = result.end_time_s
         return (time.perf_counter() - start) / repeats
 
+    # Interleaved min-of-3 per kernel: a single 5-repeat mean sits close
+    # enough to the 0.8x acceptance gate to flake when the container CPU
+    # gets a noise burst mid-measurement.
     analytic_s = run_once(benchmark, lambda: run_sessions("analytic"))
     reference_s = run_sessions("reference")
+    for _ in range(2):
+        analytic_s = min(analytic_s, run_sessions("analytic"))
+        reference_s = min(reference_s, run_sessions("reference"))
     stress_analytic_s = run_stress("analytic")
     stress_reference_s = run_stress("reference")
 
