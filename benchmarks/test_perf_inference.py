@@ -411,6 +411,76 @@ def test_perf_batch_replay(benchmark):
     assert ok
 
 
+def test_perf_prepare_corpus(benchmark):
+    """Corpus-lockstep preparation vs per-trace preparation (PR 5).
+
+    One fused Setting-A deployment over all shared-grid traces (MPC
+    decides vectorised across lanes), then stacked abduction and FFBS
+    sampling — against the per-trace ``use_batch=False`` pipeline.  Both
+    paths are bit-identical (``tests/test_batch_prepare.py``); the
+    interleaved A/B cancels container CPU noise out of the ratio.
+    """
+    from repro import paper_corpus
+
+    setting_a = bench_setting_a()
+    n_prepare = max(20, 2 * N_TRACES)
+    corpus = paper_corpus(
+        count=n_prepare, duration_s=TRACE_DURATION_S, seed=CORPUS_SEED
+    )
+    engine_batch = CounterfactualEngine(
+        paper_veritas_config(), n_samples=N_SAMPLES, seed=ENGINE_SEED
+    )
+    engine_serial = CounterfactualEngine(
+        paper_veritas_config(),
+        n_samples=N_SAMPLES,
+        seed=ENGINE_SEED,
+        use_batch=False,
+    )
+
+    engine_batch.prepare_corpus(corpus, setting_a)  # warm caches
+    engine_serial.prepare_corpus(corpus, setting_a)
+
+    batch_times, serial_times = [], []
+    for _ in range(3):
+        start = time.perf_counter()
+        prepared = engine_batch.prepare_corpus(corpus, setting_a)
+        batch_times.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        engine_serial.prepare_corpus(corpus, setting_a)
+        serial_times.append(time.perf_counter() - start)
+    run_once(benchmark, lambda: engine_batch.prepare_corpus(corpus, setting_a))
+
+    batch_s = min(batch_times)
+    serial_s = min(serial_times)
+    prepare_speedup = serial_s / batch_s
+    prepares_per_sec = n_prepare / batch_s
+
+    print_header(
+        "Perf — corpus-lockstep prepare_corpus (batch vs per-trace)",
+        "bit-identical paths; target >= 1.5x at corpus scale "
+        "(interleaved A/B; the assertion gates at 1.3x for CPU noise)",
+    )
+    print(
+        f"  {n_prepare} shared-grid traces: batch {batch_s * 1e3:.0f} ms vs "
+        f"serial {serial_s * 1e3:.0f} ms ({prepare_speedup:.2f}x, "
+        f"{prepares_per_sec:.1f} prepares/sec)"
+    )
+    benchmark.extra_info.update(
+        n_prepare_traces=n_prepare,
+        prepare_corpus_ms=batch_s * 1e3,
+        serial_prepare_corpus_ms=serial_s * 1e3,
+        prepares_per_sec=prepares_per_sec,
+        prepare_speedup=prepare_speedup,
+    )
+    ok = shape_check(
+        "every trace prepared", len(prepared.per_trace) == n_prepare
+    )
+    ok &= shape_check(
+        "batch preparation beats per-trace (>= 1.3x)", prepare_speedup >= 1.3
+    )
+    assert ok
+
+
 def test_perf_corpus_evaluation(benchmark):
     """Full counterfactual corpus evaluation at bench scale."""
     setting_a = bench_setting_a()

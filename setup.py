@@ -1,9 +1,13 @@
 """Legacy setup shim.
 
 The offline environment lacks the ``wheel`` package, so PEP 517 editable
-installs fail with ``invalid command 'bdist_wheel'``.  This shim lets
-``pip install -e . --no-build-isolation --no-use-pep517`` (and plain
-``python setup.py develop``) work; all metadata lives in pyproject.toml.
+installs fail with ``invalid command 'bdist_wheel'``.  This shim keeps the
+legacy install routes working — ``pip install -e . --no-build-isolation
+--no-use-pep517`` (where pip's wheel prerequisite is met) and plain
+``python setup.py develop`` (fully offline) — with all metadata read from
+pyproject.toml's ``[project]`` table by setuptools >= 61.  pyproject.toml
+intentionally omits a ``[build-system]`` backend declaration: pip rejects
+``--no-use-pep517`` for projects that pin one.
 """
 
 from setuptools import setup

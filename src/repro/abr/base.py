@@ -22,6 +22,7 @@ __all__ = [
     "ABRAlgorithm",
     "BatchABRContext",
     "HarmonicMeanPredictor",
+    "HarmonicMeanPredictorBatch",
 ]
 
 
@@ -70,10 +71,14 @@ class BatchABRContext:
 
     The array-valued counterpart of :class:`ABRContext`, handed to
     ``choose_quality_batch`` by the batched replay engine
-    (:class:`~repro.player.batch_session.BatchStreamingSession`).  Only
-    memoryless observables are carried — algorithms that need per-lane
-    throughput/download histories or per-session learning state run through
-    the engine's automatic per-lane scalar fallback instead.
+    (:class:`~repro.player.batch_session.BatchStreamingSession`).
+    Algorithms whose decision reads the per-chunk observation history
+    (e.g. MPC's throughput predictor) set ``uses_throughput_history`` and
+    receive it as column rows: entry ``n`` of each history list is the
+    ``(K,)`` per-lane observation for chunk ``n``, with lane ``k``'s value
+    bit-identical to the scalar :class:`ABRContext` history entry.
+    Algorithms with per-session learning state that cannot be vectorised
+    run through the engine's automatic per-lane scalar fallback instead.
     """
 
     chunk_index: int
@@ -83,6 +88,10 @@ class BatchABRContext:
     last_quality: np.ndarray | None
     """Per-lane previous ladder indices (``None`` for the first chunk)."""
     video: Video
+    throughput_history_mbps: "list[np.ndarray]" = field(default_factory=list)
+    """Per-chunk ``(K,)`` observed-throughput rows, oldest first."""
+    download_time_history_s: "list[np.ndarray]" = field(default_factory=list)
+    """Per-chunk ``(K,)`` download-time rows, oldest first."""
 
     @property
     def n_lanes(self) -> int:
@@ -111,6 +120,11 @@ class ABRAlgorithm(ABC):
     """
 
     name: str = "abr"
+
+    uses_throughput_history: bool = False
+    """Whether ``choose_quality_batch`` reads the batch context's
+    observation histories; the lockstep engine only pays the per-chunk
+    history-row appends for algorithms that set this."""
 
     @abstractmethod
     def choose_quality(self, context: ABRContext) -> int:
@@ -178,6 +192,78 @@ class HarmonicMeanPredictor:
                 inv_sum += 1.0 / v
             harmonic = len(recent) / inv_sum
             max_error = max(self._errors) if self._errors else 0.0
+            prediction = harmonic / (1.0 + max_error)
+        self._last_prediction = prediction
+        return prediction
+
+
+class HarmonicMeanPredictorBatch:
+    """Lane-vectorised :class:`HarmonicMeanPredictor` for lockstep replay.
+
+    Tracks the predictor state of ``K`` lanes advancing together: the
+    rolling error window becomes a list of ``(K,)`` rows (every lane
+    observes exactly once per chunk, so the scalar predictor's list
+    semantics map directly onto row appends) and predictions come out as
+    ``(K,)`` arrays.  Lane ``k``'s stream of predictions is bit-identical
+    to a scalar predictor fed lane ``k``'s history: the accumulations run
+    in the same order and predictions are always positive, so the scalar
+    ``last_prediction > 0`` guard never diverges per lane.
+    """
+
+    def __init__(
+        self,
+        n_lanes: int,
+        window: int = 8,
+        error_window: int = 12,
+        cold_start_mbps: float = 0.3,
+    ):
+        if n_lanes < 1:
+            raise ValueError(f"need at least one lane, got {n_lanes}")
+        if window < 1 or error_window < 1:
+            raise ValueError("windows must be >= 1")
+        if cold_start_mbps <= 0:
+            raise ValueError(
+                f"cold-start prediction must be positive, got {cold_start_mbps}"
+            )
+        self.n_lanes = n_lanes
+        self.window = window
+        self.error_window = error_window
+        self.cold_start_mbps = cold_start_mbps
+        self._error_rows: "list[np.ndarray]" = []
+        self._last_prediction: np.ndarray | None = None
+
+    def reset(self) -> None:
+        self._error_rows = []
+        self._last_prediction = None
+
+    def observe(self, actual_mbps: np.ndarray) -> None:
+        """Record the per-lane realised throughputs of the last chunk."""
+        if np.any(actual_mbps <= 0):
+            raise ValueError("throughput must be positive")
+        last = self._last_prediction
+        if last is not None:
+            error = np.abs(last - actual_mbps) / actual_mbps
+            self._error_rows.append(error)
+            if len(self._error_rows) > self.error_window:
+                self._error_rows.pop(0)
+
+    def predict(self, history_rows: "list[np.ndarray]") -> np.ndarray:
+        """Predicted per-lane throughput (Mbps) for the next download."""
+        if not history_rows:
+            prediction = np.full(self.n_lanes, self.cold_start_mbps)
+        else:
+            recent = history_rows[-self.window:]
+            # Same sequential 1/v accumulation as the scalar predictor, one
+            # lane-row at a time, so per-lane floats cannot reassociate.
+            inv_sum = np.zeros(self.n_lanes)
+            for row in recent:
+                if np.any(row <= 0):
+                    raise ValueError("throughput history must be positive")
+                inv_sum += 1.0 / row
+            harmonic = len(recent) / inv_sum
+            max_error = (
+                np.maximum.reduce(self._error_rows) if self._error_rows else 0.0
+            )
             prediction = harmonic / (1.0 + max_error)
         self._last_prediction = prediction
         return prediction

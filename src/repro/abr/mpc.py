@@ -23,7 +23,13 @@ from weakref import WeakKeyDictionary
 import numpy as np
 
 from ..video.ladder import ssim_to_db
-from .base import ABRAlgorithm, ABRContext, HarmonicMeanPredictor
+from .base import (
+    ABRAlgorithm,
+    ABRContext,
+    BatchABRContext,
+    HarmonicMeanPredictor,
+    HarmonicMeanPredictorBatch,
+)
 
 __all__ = ["MPCAlgorithm"]
 
@@ -111,6 +117,8 @@ class MPCAlgorithm(ABRAlgorithm):
 
     name = "mpc"
 
+    uses_throughput_history = True
+
     def __init__(
         self,
         horizon: int = 5,
@@ -127,11 +135,14 @@ class MPCAlgorithm(ABRAlgorithm):
         self.switch_penalty = switch_penalty
         self.robust = robust
         self._predictor = HarmonicMeanPredictor()
+        self._batch_predictor: HarmonicMeanPredictorBatch | None = None
         self._sequence_cache: dict[tuple[int, int], np.ndarray] = {}
         self._plan_cache: dict[tuple[int, int], tuple] = {}
+        self._batch_scratch_cache: dict[tuple[int, int, int], tuple] = {}
 
     def reset(self) -> None:
         self._predictor.reset()
+        self._batch_predictor = None
 
     # ------------------------------------------------------------------
     def _sequences(self, n_qualities: int, horizon: int) -> np.ndarray:
@@ -255,3 +266,124 @@ class MPCAlgorithm(ABRAlgorithm):
 
         best = int(np.argmax(qoe))
         return int(sequences[best, 0])
+
+    # ------------------------------------------------------------------
+    def choose_quality_batch(self, context: BatchABRContext) -> np.ndarray:
+        """Vectorised MPC decision for ``K`` lockstep lanes.
+
+        Lanes share the chunk index, so everything except the throughput
+        prediction and the buffer/switch state is common: the per-lane QoE
+        surface is the shared ``(horizon, n_seq)`` tables scaled and
+        shifted by per-lane scalars.  Lane ``k`` of the result is
+        bit-identical to :meth:`choose_quality` on lane ``k``'s scalar
+        context — the arithmetic runs in the same order per element, with
+        the RobustMPC predictor vectorised as
+        :class:`~repro.abr.base.HarmonicMeanPredictorBatch` (pinned by
+        ``tests/test_batch_replay.py``).
+        """
+        video = context.video
+        n = context.chunk_index
+        horizon = min(self.horizon, video.n_chunks - n)
+        if horizon <= 0:
+            raise ValueError(f"chunk index {n} beyond video end")
+        n_lanes = context.n_lanes
+
+        predictor = self._batch_predictor
+        if predictor is None or predictor.n_lanes != n_lanes:
+            scalar = self._predictor
+            predictor = self._batch_predictor = HarmonicMeanPredictorBatch(
+                n_lanes,
+                window=scalar.window,
+                error_window=scalar.error_window,
+                cold_start_mbps=scalar.cold_start_mbps,
+            )
+        history = context.throughput_history_mbps
+        if history:
+            predictor.observe(history[-1])
+        predicted = predictor.predict(history)
+        if not self.robust:
+            recent = history[-predictor.window:]
+            if recent:
+                # Lanes on the leading axis so each lane's window is a
+                # contiguous row: summing the last axis then applies the
+                # same pairwise reduction np.sum uses on the scalar
+                # path's 1-D window, keeping predictions bit-identical.
+                inv = 1.0 / np.stack(recent, axis=-1)
+                predicted = len(recent) / inv.sum(axis=1)
+        predicted = np.maximum(predicted, 1e-3)
+
+        sequences, flat, _, _, _ = self._plan(video.n_qualities, horizon)
+        n_seq = sequences.shape[0]
+        scratch_key = (n_lanes, video.n_qualities, horizon)
+        workspace = self._batch_scratch_cache.get(scratch_key)
+        if workspace is None:
+            workspace = self._batch_scratch_cache[scratch_key] = (
+                np.empty((n_lanes, horizon, n_seq)),
+                np.empty((n_lanes, n_seq)),
+                np.empty((n_lanes, horizon, n_seq)),
+            )
+        scratch, buf, d_steps = workspace
+
+        # Shared per-(step, sequence) seconds-per-Mbps base, scaled by each
+        # lane's predicted throughput: same gather-then-multiply the scalar
+        # path performs, broadcast over lanes.
+        base = video.size_matrix[n : n + horizon].ravel()[flat]
+        np.multiply(
+            base[None, :, :], (8 / 1e6 / predicted)[:, None, None], out=d_steps
+        )
+
+        chunk_dur = video.chunk_duration_s
+        capacity = context.buffer_capacity_s
+        buffer = context.buffer_s[:, None]
+        for h in range(horizon):
+            level = scratch[:, h, :]
+            np.subtract(buffer, d_steps[:, h, :], out=level)
+            if h + 1 < horizon:
+                np.maximum(level, 0.0, out=buf)
+                buf += chunk_dur
+                np.minimum(buf, capacity, out=buf)
+                buffer = buf
+        np.minimum(scratch, 0.0, out=scratch)
+        neg_stall = scratch.sum(axis=1)
+        neg_stall *= self.rebuffer_penalty
+
+        if context.last_quality is not None:
+            # ssim_db_matrix caches the scalar ssim_to_db conversions, so
+            # this gather matches the scalar path's per-cell calls.
+            prev_db = video.ssim_db_matrix[
+                max(n - 1, 0), np.asarray(context.last_quality, dtype=int)
+            ]
+        else:
+            prev_db = None
+
+        tables = _video_tables(video, sequences, video.n_qualities, horizon)
+        if tables is not None:
+            db_sum, switch_sum = tables
+            qoe = db_sum[n] + neg_stall
+            if prev_db is not None:
+                level_jump = np.abs(video.ssim_db_matrix[n] - prev_db[:, None])
+                rows = switch_sum[n] + level_jump[:, flat[0]]
+                rows *= self.switch_penalty
+                qoe -= rows
+            elif self.switch_penalty:
+                qoe -= self.switch_penalty * switch_sum[n]
+        else:
+            # Large-video fallback, mirroring the scalar branch.
+            db_steps = video.ssim_db_matrix[n : n + horizon].ravel()[flat]
+            qoe = db_steps.sum(axis=0) + neg_stall
+            if horizon > 1:
+                sw = np.subtract(db_steps[1:], db_steps[:-1])
+                np.abs(sw, out=sw)
+                switches = sw.sum(axis=0)
+            else:
+                switches = None
+            if prev_db is not None:
+                first_jump = np.abs(db_steps[0] - prev_db[:, None])
+                switches = (
+                    first_jump if switches is None else switches + first_jump
+                )
+            if switches is not None:
+                switches = switches * self.switch_penalty
+                qoe -= switches
+
+        return sequences[qoe.argmax(axis=1), 0]

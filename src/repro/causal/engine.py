@@ -32,8 +32,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..baselines.observed import baseline_trace
-from ..core.abduction import VeritasAbduction, VeritasConfig
-from ..net.trace import PiecewiseConstantTrace, TraceBatch
+from ..core.abduction import VeritasAbduction, VeritasConfig, sample_traces_batch
+from ..net.trace import PiecewiseConstantTrace, TraceBatch, boundary_key
 from ..player.batch_session import (
     BatchStreamingSession,
     LaneGroup,
@@ -84,12 +84,6 @@ def run_setting_batch(
         config=setting.config,
     )
     return session.run()
-
-
-def _boundary_key(trace: PiecewiseConstantTrace) -> tuple:
-    """Hashable grouping key: lanes with equal keys can share a TraceBatch."""
-    bounds = trace.boundaries
-    return (bounds.size, bounds.tobytes())
 
 
 @dataclass(frozen=True)
@@ -240,9 +234,9 @@ _FORK_STATE: tuple | None = None
 _FORK_LOCK = threading.Lock()
 
 
-def _prepare_trace_by_index(index: int) -> PreparedTrace:
+def _prepare_shard(indices: "tuple[int, ...]") -> "list[PreparedTrace]":
     engine, traces, setting_a, seeds = _FORK_STATE
-    return engine._prepare_trace(index, traces[index], setting_a, seeds[index])
+    return engine._prepare_traces(indices, traces, setting_a, seeds)
 
 
 def _replay_task(task: tuple[int, int]) -> tuple[int, int, TraceCounterfactual]:
@@ -262,15 +256,19 @@ class CounterfactualEngine:
     and each per-trace step is deterministic given its seed, so parallel
     results are bit-identical to serial ones.
 
-    ``use_batch`` (the default) routes Setting-B replays through the
-    lockstep batch engine: all replay lanes of a query — truth, baseline
-    and the K posterior samples, across every trace being answered — are
-    grouped by boundary grid and each group advances chunk by chunk as one
-    :class:`~repro.player.batch_session.BatchStreamingSession`.  Batch
-    replays are bit-identical to per-lane serial replay; ABRs the batch
-    loop cannot drive (``observe_download`` hooks) fall back to the serial
-    path automatically, so ``use_batch=False`` is only an escape hatch for
-    benchmarking the serial engine.
+    ``use_batch`` (the default) routes both halves of the pipeline
+    through the lockstep batch engine.  On the replay side, all lanes of
+    a query — truth, baseline and the K posterior samples, across every
+    trace being answered — are grouped by boundary grid and each group
+    advances chunk by chunk as one
+    :class:`~repro.player.batch_session.BatchStreamingSession`.  On the
+    preparation side, :meth:`prepare_corpus` deploys Setting A the same
+    way over the ground-truth traces and stacks same-shape session logs
+    through batched abduction and posterior sampling.  Both are
+    bit-identical to the per-lane/per-trace serial paths; ABRs the batch
+    loop cannot drive (``observe_download`` hooks) fall back to the
+    serial path automatically, so ``use_batch=False`` is only an escape
+    hatch for benchmarking the serial engine.
     """
 
     def __init__(
@@ -358,6 +356,88 @@ class CounterfactualEngine:
             samples=samples,
         )
 
+    def _prepare_traces(
+        self,
+        indices: "Iterable[int]",
+        traces: "list[PiecewiseConstantTrace]",
+        setting_a: Setting,
+        seeds: "list[int]",
+    ) -> "list[PreparedTrace]":
+        """Prepare ``traces[i]`` for every ``i`` in ``indices``, batched.
+
+        The corpus-lockstep twin of :meth:`_prepare_trace`: ground-truth
+        traces sharing a boundary grid deploy Setting A as one fused
+        :class:`~repro.player.batch_session.BatchStreamingSession`
+        (BBA/BOLA/MPC decide vectorised; other ABRs take the per-lane
+        scalar-decision fallback inside the batch loop), and the
+        resulting logs run
+        abduction and posterior sampling through the stacked inference
+        pipeline (:meth:`VeritasAbduction.solve_batch` /
+        :func:`~repro.core.abduction.sample_traces_batch`).  Every
+        per-trace output is bit-identical to :meth:`_prepare_trace` under
+        the same seed (pinned by ``tests/test_batch_prepare.py``); traces
+        with no same-grid peers, and everything when ``use_batch`` is off
+        or the ABR needs serial replay, fall back to the per-trace path.
+        """
+        indices = list(indices)
+        if (
+            not self.use_batch
+            or len(indices) == 1
+            or not abr_supports_batch_replay(setting_a.make_abr())
+        ):
+            return [
+                self._prepare_trace(i, traces[i], setting_a, seeds[i])
+                for i in indices
+            ]
+
+        # 1. Deployment: one lockstep session per shared boundary grid
+        #    (the corpus generators emit one uniform grid by construction,
+        #    so this is usually a single group).
+        groups: "dict[tuple, list[int]]" = {}
+        for pos, i in enumerate(indices):
+            groups.setdefault(boundary_key(traces[i]), []).append(pos)
+        logs: "list[SessionLog | None]" = [None] * len(indices)
+        metrics: "list[QoEMetrics | None]" = [None] * len(indices)
+        for positions in groups.values():
+            if len(positions) == 1:
+                pos = positions[0]
+                log = run_setting(setting_a, traces[indices[pos]])
+                logs[pos] = log
+                metrics[pos] = compute_metrics(log)
+                continue
+            lanes = [traces[indices[pos]] for pos in positions]
+            log_batch = run_setting_batch(setting_a, lanes)
+            lane_metrics = compute_metrics_batch(log_batch)
+            for k, pos in enumerate(positions):
+                logs[pos] = log_batch.lane(k)
+                metrics[pos] = lane_metrics[k]
+
+        # 2. Reconstructions: baselines per trace, then abduction and the
+        #    K posterior samples once per same-shape session stack.
+        horizon_floor = 3.0 * setting_a.video.duration_s
+        horizons = [max(traces[i].end_time, horizon_floor) for i in indices]
+        baselines = [
+            baseline_trace(log, duration_s=horizon)
+            for log, horizon in zip(logs, horizons)
+        ]
+        posteriors = self.abduction.solve_batch(logs, trace_duration_s=horizons)
+        samples = sample_traces_batch(
+            posteriors, self.n_samples, [seeds[i] for i in indices]
+        )
+
+        return [
+            PreparedTrace(
+                trace_index=i,
+                ground_truth=traces[i],
+                log_a=logs[pos],
+                setting_a_metrics=metrics[pos],
+                replay_horizon_s=horizons[pos],
+                baseline=baselines[pos],
+                samples=tuple(samples[pos]),
+            )
+            for pos, i in enumerate(indices)
+        ]
+
     def _replay_tasks(
         self, tasks: "list[tuple[Setting, PiecewiseConstantTrace]]"
     ) -> "list[QoEMetrics]":
@@ -393,7 +473,7 @@ class CounterfactualEngine:
             tid = id(trace)
             bkey = boundary_keys.get(tid)
             if bkey is None:
-                bkey = boundary_keys[tid] = _boundary_key(trace)
+                bkey = boundary_keys[tid] = boundary_key(trace)
             config = setting.config
             groups.setdefault(
                 (bkey, id(setting.video), config.rtt_s, config.request_overhead_s),
@@ -507,26 +587,39 @@ class CounterfactualEngine:
         deployment or inference.  Per-trace seeding follows the same
         ``spawn_seeds`` schedule as :meth:`evaluate_corpus`, so downstream
         replays are bit-identical to the end-to-end path.
+
+        With ``use_batch`` (the default) the preparation itself runs
+        corpus-lockstep: same-grid traces deploy Setting A as one fused
+        batch session and same-shape logs share stacked abduction and
+        sampling passes (see :meth:`_prepare_traces`) — bit-identical to
+        the per-trace path.  ``n_workers`` > 1 fans contiguous trace
+        shards over the fork pool; each worker batches within its shard,
+        so pooled results equal serial ones float for float.
         """
         if not traces:
             raise ValueError("need at least one ground-truth trace")
         workers = self._resolve_workers(n_workers)
         seeds = spawn_seeds(self._seed, len(traces))
+        traces = list(traces)
         corpus = PreparedCorpus(setting_a=setting_a, n_samples=self.n_samples)
         if self._use_pool(workers, len(traces)):
-            corpus.per_trace.extend(
-                self._run_pool(
-                    _prepare_trace_by_index,
-                    range(len(traces)),
-                    (self, list(traces), setting_a, seeds),
-                    min(workers, len(traces)),
-                )
-            )
+            shard_count = min(workers, len(traces))
+            shards = [
+                tuple(int(i) for i in shard)
+                for shard in np.array_split(np.arange(len(traces)), shard_count)
+                if shard.size
+            ]
+            for prepared in self._run_pool(
+                _prepare_shard,
+                shards,
+                (self, traces, setting_a, seeds),
+                shard_count,
+            ):
+                corpus.per_trace.extend(prepared)
         else:
-            for i, (trace, seed) in enumerate(zip(traces, seeds)):
-                corpus.per_trace.append(
-                    self._prepare_trace(i, trace, setting_a, seed)
-                )
+            corpus.per_trace.extend(
+                self._prepare_traces(range(len(traces)), traces, setting_a, seeds)
+            )
         return corpus
 
     def evaluate_many(

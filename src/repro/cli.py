@@ -90,9 +90,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cf.add_argument(
         "--no-batch", action="store_true",
-        help="replay counterfactual sessions one lane at a time instead of "
-             "in lockstep batches (the escape hatch mirroring "
-             "kernel=\"reference\"; results are bit-identical either way)",
+        help="prepare and replay counterfactual sessions one trace/lane at "
+             "a time instead of in lockstep batches (the escape hatch "
+             "mirroring kernel=\"reference\"; results are bit-identical "
+             "either way)",
     )
     return parser
 

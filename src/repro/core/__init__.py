@@ -1,17 +1,28 @@
 """Veritas core: the EHMM, its algorithms, and the abduction engine."""
 
-from .abduction import VeritasAbduction, VeritasConfig, VeritasPosterior
+from .abduction import (
+    VeritasAbduction,
+    VeritasConfig,
+    VeritasPosterior,
+    sample_traces_batch,
+)
 from .diagnostics import (
     ChunkDiagnostics,
     PosteriorDiagnostics,
     diagnose_posterior,
 )
-from .ehmm import EHMMProblem, build_problem
+from .ehmm import EHMMProblem, build_problem, build_problems_batch
 from .em import EMResult, learn_transition_matrix
 from .emission import EmissionModel, naive_emission, tcp_estimator_emission
-from .forward_backward import ForwardBackwardResult, forward_backward
+from .forward_backward import (
+    ForwardBackwardBatchResult,
+    ForwardBackwardResult,
+    forward_backward,
+    forward_backward_batch,
+)
 from .grid import CapacityGrid
 from .interpolation import (
+    CapacityTracePlan,
     interpolate_capacity_trace,
     window_gaps,
     window_index,
@@ -27,22 +38,28 @@ from .model_selection import (
     select_config,
     sigma_grid_search,
 )
-from .sampler import sample_state_path, sample_state_paths
+from .sampler import (
+    sample_state_path,
+    sample_state_paths,
+    sample_state_paths_stack,
+)
 from .transitions import (
     TransitionModel,
     sticky_matrix,
     tridiagonal_matrix,
     uniform_matrix,
 )
-from .viterbi import ViterbiResult, viterbi_path
+from .viterbi import ViterbiBatchResult, ViterbiResult, viterbi_path, viterbi_path_batch
 
 __all__ = [
     "CapacityGrid",
+    "CapacityTracePlan",
     "ChunkDiagnostics",
     "DownloadTimeDistribution",
     "EHMMProblem",
     "EMResult",
     "EmissionModel",
+    "ForwardBackwardBatchResult",
     "ForwardBackwardResult",
     "InterventionalPrediction",
     "PosteriorDiagnostics",
@@ -52,15 +69,20 @@ __all__ = [
     "VeritasConfig",
     "VeritasDownloadPredictor",
     "VeritasPosterior",
+    "ViterbiBatchResult",
     "ViterbiResult",
     "build_problem",
+    "build_problems_batch",
     "diagnose_posterior",
     "forward_backward",
+    "forward_backward_batch",
     "interpolate_capacity_trace",
     "learn_transition_matrix",
     "naive_emission",
     "sample_state_path",
     "sample_state_paths",
+    "sample_state_paths_stack",
+    "sample_traces_batch",
     "score_config",
     "select_config",
     "sigma_grid_search",
@@ -69,6 +91,7 @@ __all__ = [
     "tridiagonal_matrix",
     "uniform_matrix",
     "viterbi_path",
+    "viterbi_path_batch",
     "window_gaps",
     "window_index",
 ]

@@ -26,21 +26,41 @@ import numpy as np
 from ..net.trace import PiecewiseConstantTrace
 from ..player.logs import SessionLog
 from ..util.rng import SeedLike, ensure_rng
-from .ehmm import EHMMProblem, build_problem
+from .ehmm import EHMMProblem, build_problem, build_problems_batch
 from .emission import EmissionModel, naive_emission, tcp_estimator_emission
-from .forward_backward import ForwardBackwardResult, forward_backward
+from .forward_backward import (
+    ForwardBackwardResult,
+    forward_backward,
+    forward_backward_batch,
+)
 from .grid import CapacityGrid
-from .interpolation import interpolate_capacity_trace
-from .sampler import sample_state_path, sample_state_paths
+from .interpolation import CapacityTracePlan
+from .sampler import (
+    sample_state_path,
+    sample_state_paths,
+    sample_state_paths_stack,
+)
 from .transitions import (
     TransitionModel,
     sticky_matrix,
     tridiagonal_matrix,
     uniform_matrix,
 )
-from .viterbi import ViterbiResult, viterbi_path
+from .viterbi import ViterbiResult, viterbi_path, viterbi_path_batch
 
-__all__ = ["VeritasConfig", "VeritasPosterior", "VeritasAbduction"]
+__all__ = [
+    "VeritasConfig",
+    "VeritasPosterior",
+    "VeritasAbduction",
+    "sample_traces_batch",
+]
+
+# Sessions per stacked inference block.  Bounds the transient
+# (T, N-1, K, K) tensors (stacked powers / pairwise posteriors) to
+# ~90-135 MB at paper scale (200-300 chunks, K=21, 128 sessions) while
+# leaving plenty of lanes to amortise the per-chunk NumPy dispatch the
+# batching exists to remove.
+_MAX_STACK = 128
 
 _TRANSITION_BUILDERS = {
     "tridiagonal": tridiagonal_matrix,
@@ -113,13 +133,22 @@ class VeritasPosterior:
         return self.smoothing.gamma @ self.problem.grid.values_mbps
 
     def _path_to_trace(self, states: np.ndarray) -> PiecewiseConstantTrace:
-        return interpolate_capacity_trace(
-            self.problem.start_times_s,
-            self.problem.grid.values_of(states),
-            self.problem.delta_s,
-            self.problem.grid,
-            duration_s=max(self._trace_duration_s, self.problem.session_end_s),
-        )
+        # One interpolation plan per posterior: the window structure
+        # depends only on the chunk start times, so the MAP path and every
+        # posterior sample reuse it (traces are bit-identical to the
+        # one-shot interpolate_capacity_trace, which shares the code).
+        plan = getattr(self, "_plan_cache", None)
+        if plan is None:
+            plan = CapacityTracePlan(
+                self.problem.start_times_s,
+                self.problem.delta_s,
+                self.problem.grid,
+                duration_s=max(
+                    self._trace_duration_s, self.problem.session_end_s
+                ),
+            )
+            object.__setattr__(self, "_plan_cache", plan)
+        return plan.trace_for(self.problem.grid.values_of(states))
 
     def map_trace(self) -> PiecewiseConstantTrace:
         """The single most-likely GTBW trace (used by interventional queries)."""
@@ -193,6 +222,12 @@ class VeritasAbduction:
         problem = build_problem(
             log, self.grid, self.transitions, self.emission, self.config.delta_s
         )
+        return self._posterior_from_problem(problem, trace_duration_s or 0.0)
+
+    def _posterior_from_problem(
+        self, problem: EHMMProblem, trace_duration_s: float
+    ) -> VeritasPosterior:
+        """Scalar Viterbi + forward-backward tail shared by solve paths."""
         vit = viterbi_path(problem.log_emissions, problem.transitions, problem.deltas)
         smooth = forward_backward(
             problem.log_emissions, problem.transitions, problem.deltas
@@ -201,5 +236,145 @@ class VeritasAbduction:
             problem=problem,
             viterbi=vit,
             smoothing=smooth,
-            _trace_duration_s=trace_duration_s or 0.0,
+            _trace_duration_s=trace_duration_s,
         )
+
+    def solve_batch(
+        self,
+        logs: "list[SessionLog]",
+        trace_duration_s: "float | list[float] | None" = None,
+    ) -> "list[VeritasPosterior]":
+        """Infer GTBW posteriors for many session logs at once.
+
+        The corpus-batched twin of :meth:`solve`: all logs share one
+        emission-matrix evaluation, and sessions with equal chunk counts
+        are stacked so the Viterbi and forward-backward recursions run
+        once per stack instead of once per session (ragged corpora are
+        partitioned by chunk count; a session with no same-length peers
+        just takes the scalar path).  Entry ``i`` of the result is
+        **bit-identical** to ``solve(logs[i], ...)`` — the stacked
+        recursions reproduce the scalar floats exactly (see
+        ``tests/test_batch_prepare.py``).
+
+        ``trace_duration_s`` may be a scalar (applied to every log) or a
+        per-log sequence.
+
+        Memory note: posteriors from one stack share its arrays —
+        ``smoothing.gamma``/``xi`` are views into the stacked tensors and
+        each posterior keeps a reference to the block's pairwise tensor so
+        :func:`sample_traces_batch` can reuse it without re-copying.
+        Keeping a single posterior alive therefore retains its whole block
+        (up to ~0.8 MB x 128 sessions at paper scale); deep-copy the
+        slices if one posterior must outlive the batch.
+        """
+        logs = list(logs)
+        if not logs:
+            raise ValueError("need at least one session log")
+        if trace_duration_s is None:
+            durations = [0.0] * len(logs)
+        elif np.isscalar(trace_duration_s):
+            durations = [float(trace_duration_s)] * len(logs)
+        else:
+            durations = [float(d) for d in trace_duration_s]
+            if len(durations) != len(logs):
+                raise ValueError(
+                    f"need one trace duration per log, got {len(durations)} "
+                    f"for {len(logs)} logs"
+                )
+
+        problems = build_problems_batch(
+            logs, self.grid, self.transitions, self.emission, self.config.delta_s
+        )
+        posteriors: "list[VeritasPosterior | None]" = [None] * len(logs)
+        by_length: dict[int, list[int]] = {}
+        for i, problem in enumerate(problems):
+            by_length.setdefault(problem.n_chunks, []).append(i)
+        for indices in by_length.values():
+            for start in range(0, len(indices), _MAX_STACK):
+                block = indices[start : start + _MAX_STACK]
+                if len(block) == 1:
+                    i = block[0]
+                    posteriors[i] = self._posterior_from_problem(
+                        problems[i], durations[i]
+                    )
+                    continue
+                log_b = np.stack([problems[i].log_emissions for i in block])
+                deltas = np.stack([problems[i].deltas for i in block])
+                vits = viterbi_path_batch(log_b, self.transitions, deltas)
+                smooths = forward_backward_batch(log_b, self.transitions, deltas)
+                for t, i in enumerate(block):
+                    posterior = VeritasPosterior(
+                        problem=problems[i],
+                        viterbi=vits.session(t),
+                        smoothing=smooths.session(t),
+                        _trace_duration_s=durations[i],
+                    )
+                    # Remember the owning stack so sample_traces_batch can
+                    # reuse the contiguous xi tensor instead of re-stacking
+                    # tens of MB per block.
+                    posterior._stack_xi = smooths.xi
+                    posterior._stack_slot = t
+                    posteriors[i] = posterior
+        return posteriors
+
+
+def sample_traces_batch(
+    posteriors: "list[VeritasPosterior]",
+    count: int,
+    seeds: "list",
+) -> "list[list[PiecewiseConstantTrace]]":
+    """Draw ``count`` posterior GTBW traces per posterior, batched.
+
+    Posteriors with equal shapes are stacked so the inverse-CDF FFBS
+    backward pass runs once per stack; each posterior consumes exactly one
+    uniform block from its own ``seeds[i]``, so entry ``i`` of the result
+    is bit-identical to ``posteriors[i].sample_traces(count,
+    seed=seeds[i])``.
+    """
+    posteriors = list(posteriors)
+    seeds = list(seeds)
+    if len(seeds) != len(posteriors):
+        raise ValueError(
+            f"need one seed per posterior, got {len(seeds)} for "
+            f"{len(posteriors)} posteriors"
+        )
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+
+    out: "list[list[PiecewiseConstantTrace] | None]" = [None] * len(posteriors)
+    by_shape: dict[tuple[int, int], list[int]] = {}
+    for i, posterior in enumerate(posteriors):
+        key = (posterior.problem.n_chunks, posterior.problem.n_states)
+        by_shape.setdefault(key, []).append(i)
+    for indices in by_shape.values():
+        for start in range(0, len(indices), _MAX_STACK):
+            block = indices[start : start + _MAX_STACK]
+            if len(block) == 1:
+                i = block[0]
+                out[i] = posteriors[i].sample_traces(count, seed=seeds[i])
+                continue
+            states = np.stack([posteriors[i].viterbi.states for i in block])
+            base = getattr(posteriors[block[0]], "_stack_xi", None)
+            if (
+                base is not None
+                and base.shape[0] == len(block)
+                and all(
+                    getattr(posteriors[i], "_stack_xi", None) is base
+                    and getattr(posteriors[i], "_stack_slot", -1) == t
+                    for t, i in enumerate(block)
+                )
+            ):
+                # The whole block is one solve_batch stack in order: reuse
+                # its contiguous xi tensor instead of re-copying tens of MB.
+                xi = base
+            else:
+                xi = np.stack([posteriors[i].smoothing.xi for i in block])
+            paths = sample_state_paths_stack(
+                states, xi, count, [seeds[i] for i in block]
+            )
+            for t, i in enumerate(block):
+                posterior = posteriors[i]
+                out[i] = [
+                    posterior._path_to_trace(path) for path in paths[t]
+                ]
+    return out

@@ -18,7 +18,7 @@ from .grid import CapacityGrid
 from .interpolation import window_gaps
 from .transitions import TransitionModel
 
-__all__ = ["EHMMProblem", "build_problem"]
+__all__ = ["EHMMProblem", "build_problem", "build_problems_batch"]
 
 
 @dataclass(frozen=True)
@@ -82,3 +82,67 @@ def build_problem(
         observed_mbps=observed,
         session_end_s=float(log.end_times_s()[-1]),
     )
+
+
+def build_problems_batch(
+    logs: "list[SessionLog]",
+    grid: CapacityGrid,
+    transitions: TransitionModel,
+    emission: EmissionModel,
+    delta_s: float,
+) -> "list[EHMMProblem]":
+    """Assemble EHMM problems for several logs with one emission evaluation.
+
+    The chunks of every session are concatenated and the emission matrix
+    is evaluated in a single batched call — emission rows depend only on
+    their own ``(observation, tcp_state, size)`` triple, so each row is
+    bit-identical to the per-log :func:`build_problem` build — then split
+    back into per-session ``(n_chunks, K)`` views.  Logs may have
+    different chunk counts.
+    """
+    if not logs:
+        raise ValueError("need at least one session log")
+    if transitions.n_states != grid.n_states:
+        raise ValueError(
+            f"transition model has {transitions.n_states} states but grid "
+            f"has {grid.n_states}"
+        )
+    if emission.grid is not grid:
+        raise ValueError("emission model must share the problem's grid")
+
+    observed_per_log = []
+    starts_per_log = []
+    sizes_per_log = []
+    tcp_states_all: list = []
+    for log in logs:
+        if log.n_chunks == 0:
+            raise ValueError("cannot build an EHMM problem from an empty log")
+        observed_per_log.append(log.throughputs_mbps())
+        starts_per_log.append(log.start_times_s())
+        sizes_per_log.append(log.sizes_bytes())
+        tcp_states_all.extend(log.tcp_states())
+
+    log_b_all = emission.log_prob_matrix(
+        np.concatenate(observed_per_log),
+        tcp_states_all,
+        np.concatenate(sizes_per_log),
+    )
+
+    problems = []
+    pos = 0
+    for log, observed, starts in zip(logs, observed_per_log, starts_per_log):
+        count = log.n_chunks
+        problems.append(
+            EHMMProblem(
+                grid=grid,
+                transitions=transitions,
+                delta_s=delta_s,
+                log_emissions=log_b_all[pos : pos + count],
+                deltas=window_gaps(starts, delta_s),
+                start_times_s=starts,
+                observed_mbps=observed,
+                session_end_s=float(log.end_times_s()[-1]),
+            )
+        )
+        pos += count
+    return problems

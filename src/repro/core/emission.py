@@ -199,6 +199,12 @@ class EmissionModel:
         and the Gaussian/outlier mixture is evaluated with array ops.
         Produces exactly what stacking :meth:`log_prob_row` (the scalar
         reference) row by row would.
+
+        Rows are chunk-independent — row ``n`` depends only on its own
+        ``(observation, tcp_state, size)`` triple — so concatenating the
+        chunks of several sessions into one call yields rows bit-identical
+        to the per-session calls.  The corpus-batched abduction pipeline
+        (``build_problems_batch``) relies on this contract.
         """
         observed = np.asarray(list(observed_mbps), dtype=float)
         states = list(tcp_states)

@@ -15,7 +15,12 @@ import numpy as np
 from ..net.trace import PiecewiseConstantTrace
 from .grid import CapacityGrid
 
-__all__ = ["window_index", "window_gaps", "interpolate_capacity_trace"]
+__all__ = [
+    "window_index",
+    "window_gaps",
+    "CapacityTracePlan",
+    "interpolate_capacity_trace",
+]
 
 
 def window_index(time_s: float, delta_s: float) -> int:
@@ -48,6 +53,85 @@ def window_gaps(start_times_s: np.ndarray, delta_s: float) -> np.ndarray:
     return gaps
 
 
+class CapacityTracePlan:
+    """Shared window structure for interpolating many capacity paths.
+
+    The mapping from chunk start times onto δ-windows (which windows are
+    observed, how many chunks share each one, where the interpolation
+    centers sit) depends only on the start times — not on the sampled
+    capacities — so one abduction's K posterior samples and its MAP path
+    can all reuse it.  :meth:`trace_for` performs the per-path remainder
+    with exactly the operations :func:`interpolate_capacity_trace` always
+    ran, so traces built through a plan are bit-identical to the one-shot
+    function (which now delegates here).
+    """
+
+    __slots__ = (
+        "_delta_s",
+        "_grid",
+        "_n_chunks",
+        "_window_centers",
+        "_unique_windows",
+        "_sample_points",
+        "_inverse",
+        "_counts",
+    )
+
+    def __init__(
+        self,
+        start_times_s: np.ndarray,
+        delta_s: float,
+        grid: CapacityGrid,
+        duration_s: float | None = None,
+    ):
+        starts = np.asarray(start_times_s, dtype=float)
+        if starts.ndim != 1 or starts.size == 0:
+            raise ValueError(
+                "start times and capacities must be matching 1-D arrays"
+            )
+        if np.any(np.diff(starts) < 0):
+            raise ValueError("start times must be non-decreasing")
+        if starts[0] < 0:
+            raise ValueError(f"time must be non-negative, got {starts[0]}")
+
+        last_window = window_index(float(starts[-1]), delta_s)
+        if duration_s is not None:
+            last_window = max(
+                last_window, window_index(max(duration_s - 1e-9, 0.0), delta_s)
+            )
+        n_windows = last_window + 1
+
+        chunk_windows = (starts // delta_s).astype(int)
+        # np.interp wants strictly increasing sample points; chunks sharing
+        # a window are collapsed to their mean capacity in that window.
+        unique_windows, inverse = np.unique(chunk_windows, return_inverse=True)
+        counts = np.zeros(unique_windows.size)
+        np.add.at(counts, inverse, 1.0)
+
+        self._delta_s = delta_s
+        self._grid = grid
+        self._n_chunks = starts.size
+        self._window_centers = np.arange(n_windows) + 0.5
+        self._unique_windows = unique_windows
+        self._sample_points = unique_windows + 0.5
+        self._inverse = inverse
+        self._counts = counts
+
+    def trace_for(self, capacities_mbps: np.ndarray) -> PiecewiseConstantTrace:
+        """Interpolate one per-chunk capacity path into a full trace."""
+        caps = np.asarray(capacities_mbps, dtype=float)
+        if caps.shape != (self._n_chunks,):
+            raise ValueError(
+                "start times and capacities must be matching 1-D arrays"
+            )
+        window_caps = np.zeros(self._unique_windows.size)
+        np.add.at(window_caps, self._inverse, caps)
+        window_caps /= self._counts
+        values = np.interp(self._window_centers, self._sample_points, window_caps)
+        quantized = self._grid.quantize_many(values)
+        return PiecewiseConstantTrace.from_uniform(quantized, self._delta_s)
+
+
 def interpolate_capacity_trace(
     start_times_s: np.ndarray,
     capacities_mbps: np.ndarray,
@@ -61,34 +145,10 @@ def interpolate_capacity_trace(
     chunk starts are linearly interpolated (then ε-quantized); windows
     after the last chunk hold its capacity until ``duration_s``.
     """
-    starts = np.asarray(start_times_s, dtype=float)
     caps = np.asarray(capacities_mbps, dtype=float)
-    if starts.shape != caps.shape or starts.ndim != 1 or starts.size == 0:
+    starts = np.asarray(start_times_s, dtype=float)
+    if starts.shape != caps.shape:
         raise ValueError("start times and capacities must be matching 1-D arrays")
-    if np.any(np.diff(starts) < 0):
-        raise ValueError("start times must be non-decreasing")
-    if starts[0] < 0:
-        raise ValueError(f"time must be non-negative, got {starts[0]}")
-
-    last_window = window_index(float(starts[-1]), delta_s)
-    if duration_s is not None:
-        last_window = max(last_window, window_index(max(duration_s - 1e-9, 0.0), delta_s))
-    n_windows = last_window + 1
-
-    chunk_windows = (starts // delta_s).astype(int)
-    window_centers = np.arange(n_windows) + 0.5
-
-    # np.interp wants strictly increasing sample points; chunks sharing a
-    # window are collapsed to their mean capacity in that window.
-    unique_windows, inverse = np.unique(chunk_windows, return_inverse=True)
-    window_caps = np.zeros(unique_windows.size)
-    counts = np.zeros(unique_windows.size)
-    np.add.at(window_caps, inverse, caps)
-    np.add.at(counts, inverse, 1.0)
-    window_caps /= counts
-
-    values = np.interp(
-        window_centers, unique_windows + 0.5, window_caps
-    )
-    quantized = grid.quantize_many(values)
-    return PiecewiseConstantTrace.from_uniform(quantized, delta_s)
+    return CapacityTracePlan(
+        starts, delta_s, grid, duration_s=duration_s
+    ).trace_for(caps)

@@ -19,6 +19,7 @@ from ..util.rng import SeedLike, ensure_rng
 __all__ = [
     "sample_state_path",
     "sample_state_paths",
+    "sample_state_paths_stack",
     "sample_state_paths_reference",
 ]
 
@@ -157,6 +158,76 @@ def sample_state_paths(
             # posterior) fall back to the always-consistent Viterbi state.
             paths[:, n] = np.where(reachable[n][successors], drawn, states[n])
     return list(paths)
+
+
+def sample_state_paths_stack(
+    viterbi_states: np.ndarray,
+    xi: np.ndarray,
+    count: int,
+    seeds: "list",
+) -> np.ndarray:
+    """Draw ``count`` posterior paths for ``T`` stacked sessions at once.
+
+    ``viterbi_states`` is ``(T, N)`` and ``xi`` ``(T, N-1, K, K)`` — the
+    stacked output of ``forward_backward_batch``.  Session ``t`` consumes
+    exactly one ``rng.random((N-1, count))`` block from ``seeds[t]``
+    (anything :func:`~repro.util.rng.ensure_rng` accepts), so its
+    ``count`` paths in the returned ``(T, count, N)`` array are
+    bit-identical to ``sample_state_paths(states[t], xi[t], count,
+    seed=seeds[t])`` — the backward pass just advances every session's
+    samples together, one gather per chunk instead of one per session per
+    chunk.  Degenerate columns fall back to the per-session Viterbi state
+    exactly as the scalar sampler does.
+    """
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    states = np.asarray(viterbi_states, dtype=int)
+    if states.ndim != 2:
+        raise ValueError("viterbi_states must be 2-D (sessions x chunks)")
+    n_sessions, n_chunks = states.shape
+    if n_sessions == 0 or n_chunks == 0:
+        raise ValueError("cannot sample an empty path stack")
+    if xi.ndim != 4 or xi.shape[:2] != (n_sessions, max(n_chunks - 1, 0)):
+        raise ValueError(
+            f"xi must be (sessions, pairs, K, K) matching {states.shape}, "
+            f"got {xi.shape}"
+        )
+    if len(seeds) != n_sessions:
+        raise ValueError(f"need one seed per session, got {len(seeds)}")
+
+    paths = np.empty((n_sessions, count, n_chunks), dtype=int)
+    paths[:, :, -1] = states[:, -1][:, None]
+
+    n_pairs = n_chunks - 1
+    if n_pairs:
+        # Same precomputation as the single-session sampler, with a
+        # leading session axis; the cumulative sums overwrite the weights
+        # buffer in place (the totals are already banked).
+        weights = np.maximum(xi, 0.0)
+        totals = weights.sum(axis=2)
+        reachable = totals > 0
+        cdfs = np.cumsum(weights, axis=2, out=weights)
+        cdfs /= np.where(reachable, totals, 1.0)[:, :, None, :]
+        tops = cdfs[:, :, -1, :]
+        tops[reachable] = 1.0
+        all_reachable = reachable.all(axis=2)
+        uniforms = np.stack(
+            [ensure_rng(seed).random((n_pairs, count)) for seed in seeds]
+        )
+        session_rows = np.arange(n_sessions)[:, None]
+        session_cube = session_rows[:, :, None]
+        state_cols = np.arange(cdfs.shape[2])[None, :, None]
+
+    for n in range(n_pairs - 1, -1, -1):
+        successors = paths[:, :, n + 1]
+        columns = cdfs[:, n][session_cube, state_cols, successors[:, None, :]]
+        drawn = (columns <= uniforms[:, n][:, None, :]).sum(axis=1)
+        if all_reachable[:, n].all():
+            paths[:, :, n] = drawn
+        else:
+            ok = reachable[:, n][session_rows, successors]
+            paths[:, :, n] = np.where(ok, drawn, states[:, n][:, None])
+    return paths
 
 
 def sample_state_paths_reference(

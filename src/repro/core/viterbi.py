@@ -13,9 +13,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .forward_backward import check_batch_inputs, unique_power_stack
 from .transitions import TransitionModel
 
-__all__ = ["ViterbiResult", "viterbi_path"]
+__all__ = ["ViterbiResult", "ViterbiBatchResult", "viterbi_path", "viterbi_path_batch"]
 
 
 @dataclass(frozen=True)
@@ -80,3 +81,70 @@ def viterbi_path(
         path[n - 1] = backpointers[n, path[n]]
 
     return ViterbiResult(states=path, log_probability=float(np.max(score)))
+
+
+@dataclass(frozen=True)
+class ViterbiBatchResult:
+    """Maximum-likelihood paths for ``T`` same-length sessions."""
+
+    states: np.ndarray
+    """(T, N) state index paths."""
+    log_probabilities: np.ndarray
+    """(T,) log joint probabilities."""
+
+    @property
+    def n_sessions(self) -> int:
+        return int(self.states.shape[0])
+
+    def session(self, t: int) -> ViterbiResult:
+        """Session ``t``'s path as an ordinary :class:`ViterbiResult`."""
+        return ViterbiResult(
+            states=self.states[t],
+            log_probability=float(self.log_probabilities[t]),
+        )
+
+
+def viterbi_path_batch(
+    log_emissions: np.ndarray,
+    transitions: TransitionModel,
+    deltas: np.ndarray,
+) -> ViterbiBatchResult:
+    """Run :func:`viterbi_path` for ``T`` same-length sessions in lockstep.
+
+    ``log_emissions`` is ``(T, N, K)`` and ``deltas`` ``(T, N)``; each
+    session keeps its own window gaps.  Per chunk the ``(T, K, K)``
+    candidate tensor is built with one broadcast add and reduced with one
+    ``argmax`` instead of ``T`` separate passes.  Session ``t`` of the
+    result is bit-identical to the scalar path: the scoring arithmetic is
+    elementwise and ``argmax`` resolves ties to the lowest index on both
+    paths.
+    """
+    log_b, gaps = check_batch_inputs(log_emissions, transitions, deltas)
+    n_sessions, n_chunks, n_states = log_b.shape
+
+    score = transitions.log_initial + log_b[:, 0]
+    backpointers = np.zeros((n_sessions, n_chunks, n_states), dtype=np.intp)
+
+    if n_chunks > 1:
+        # log A^Δ gathered per chunk from the cached per-Δ logs (a full
+        # (T, N-1, K, K) tensor is never materialized here — unlike the
+        # forward-backward, Viterbi only reads one chunk slice at a time).
+        log_stack, slots = unique_power_stack(transitions, gaps[:, 1:], log=True)
+
+    for n in range(1, n_chunks):
+        candidate = score[:, :, None] + log_stack[slots[:, n - 1]]
+        best = candidate.argmax(axis=1)
+        backpointers[:, n] = best
+        score = np.take_along_axis(candidate, best[:, None, :], axis=1)[:, 0, :]
+        score += log_b[:, n]
+
+    path = np.empty((n_sessions, n_chunks), dtype=int)
+    path[:, -1] = score.argmax(axis=1)
+    for n in range(n_chunks - 1, 0, -1):
+        path[:, n - 1] = np.take_along_axis(
+            backpointers[:, n], path[:, n, None], axis=1
+        )[:, 0]
+
+    return ViterbiBatchResult(
+        states=path, log_probabilities=score.max(axis=1)
+    )

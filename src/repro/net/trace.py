@@ -28,10 +28,21 @@ import numpy as np
 
 from ..util.units import mbps_to_bytes_per_sec
 
-__all__ = ["PiecewiseConstantTrace", "TraceBatch"]
+__all__ = ["PiecewiseConstantTrace", "TraceBatch", "boundary_key"]
 
 _EPS_TIME = 1e-12
 _EPS_BYTES = 1e-9
+
+
+def boundary_key(trace: "PiecewiseConstantTrace") -> tuple:
+    """Hashable fingerprint of a trace's boundary grid.
+
+    Traces with equal keys share an identical boundary array and can stack
+    into one :class:`TraceBatch`; the replay and preparation engines group
+    lanes by this key before fusing them into lockstep sessions.
+    """
+    bounds = trace.boundaries
+    return (bounds.size, bounds.tobytes())
 
 
 class PiecewiseConstantTrace:

@@ -29,9 +29,11 @@ This relies on three facts:
 * the RTT estimator sees the same constant RTT once per chunk on every
   lane, so its state is a shared scalar, not a column;
 * ABR decisions either come from an exact vectorised
-  ``choose_quality_batch`` (BBA, BOLA — pure threshold/index arithmetic)
-  or fall back to per-lane scalar ``choose_quality`` calls on per-lane
-  contexts (MPC and custom ABRs) while downloads and logging stay batched.
+  ``choose_quality_batch`` (BBA, BOLA — pure threshold/index arithmetic;
+  MPC — per-lane predictor state advanced in lockstep from column
+  observation histories) or fall back to per-lane scalar
+  ``choose_quality`` calls on per-lane contexts (custom ABRs) while
+  downloads and logging stay batched.
 
 ABRs with an ``observe_download`` feedback hook (e.g. the
 Veritas-in-the-loop ABR) need materialized per-chunk records mid-session
@@ -119,6 +121,7 @@ class _Partition:
         "lane_abrs",
         "lane_contexts",
         "name",
+        "wants_history",
     )
 
     def __init__(self, start: int, stop: int, group: LaneGroup, video: Video):
@@ -141,14 +144,21 @@ class _Partition:
                 last_quality=None,
                 video=video,
             )
+            # History-driven vectorised deciders (MPC's throughput
+            # predictor) get per-chunk (K,) observation rows appended
+            # after each download; threshold deciders skip the cost.
+            self.wants_history = bool(
+                getattr(abr, "uses_throughput_history", False)
+            )
             self.lane_abrs = None
             self.lane_contexts = None
         else:
-            # Automatic per-lane scalar fallback (MPC, custom ABRs): one
+            # Automatic per-lane scalar fallback (custom ABRs): one
             # independent algorithm instance and context per lane, as
             # serial replay would create, with downloads and logging still
             # batched.
             self.context = None
+            self.wants_history = False
             self.lane_abrs = [abr] + [
                 group.abr_factory() for _ in range(stop - start - 1)
             ]
@@ -391,6 +401,29 @@ class BatchStreamingSession:
                         )
                         ctx.download_time_history_s.append(d)
                         ctx.last_quality = int(quality[j])
+                elif part.wants_history:
+                    # Column observation rows for history-driven vectorised
+                    # deciders; same (size / duration) * 8 / 1e6 operation
+                    # order as the scalar throughput_mbps helper, so lane
+                    # values match the serial histories bit for bit —
+                    # including its loud failure on non-positive durations
+                    # (always an upstream logging bug).
+                    if single is not None:
+                        d_rows = duration
+                        s_rows = sizes
+                    else:
+                        d_rows = duration[part.start : part.stop]
+                        s_rows = sizes[part.start : part.stop]
+                    if np.any(d_rows <= 0):
+                        bad = float(d_rows[d_rows <= 0][0])
+                        raise ValueError(
+                            f"duration must be positive, got {bad!r}"
+                        )
+                    context = part.context
+                    context.throughput_history_mbps.append(
+                        s_rows / d_rows * 8 / 1e6
+                    )
+                    context.download_time_history_s.append(d_rows)
 
         return SessionLogBatch(
             abr_names=abr_names,

@@ -257,29 +257,54 @@ class SessionLogBatch:
         """Materialize lane ``k`` as an ordinary :class:`SessionLog`."""
         if not 0 <= k < self.n_lanes:
             raise IndexError(f"lane {k} out of range for {self.n_lanes} lanes")
+        # One .tolist() per column up front: the record loop then handles
+        # plain Python scalars, ~3x cheaper than casting 0-d numpy values
+        # field by field (corpus preparation materializes every lane).
+        qualities = self.qualities[:, k].tolist()
+        sizes = self.size_bytes[:, k].tolist()
+        starts = self.start_times_s[:, k].tolist()
+        ends = self.end_times_s[:, k].tolist()
+        before = self.buffer_before_s[:, k].tolist()
+        after = self.buffer_after_s[:, k].tolist()
+        rebuffer = self.rebuffer_s[:, k].tolist()
+        ssim = self.ssim[:, k].tolist()
+        bitrate = self.bitrate_mbps[:, k].tolist()
+        cwnd = self.cwnd_segments[:, k].tolist()
+        ssthresh = self.ssthresh_segments[:, k].tolist()
+        idle = self.time_since_last_send_s[:, k].tolist()
+        # The RTT-estimator columns are lane-independent: convert once and
+        # share across all K lane() materializations of this batch.
+        shared = getattr(self, "_shared_rtt_lists", None)
+        if shared is None:
+            shared = self._shared_rtt_lists = (
+                self.srtt_s.tolist(),
+                self.min_rtt_s.tolist(),
+                self.rto_s.tolist(),
+            )
+        srtt, min_rtt, rto = shared
         records = []
         for n in range(self.n_chunks):
             snapshot = TCPStateSnapshot(
-                cwnd_segments=int(self.cwnd_segments[n, k]),
-                ssthresh_segments=int(self.ssthresh_segments[n, k]),
-                srtt_s=float(self.srtt_s[n]),
-                min_rtt_s=float(self.min_rtt_s[n]),
-                rto_s=float(self.rto_s[n]),
-                time_since_last_send_s=float(self.time_since_last_send_s[n, k]),
+                cwnd_segments=cwnd[n],
+                ssthresh_segments=ssthresh[n],
+                srtt_s=srtt[n],
+                min_rtt_s=min_rtt[n],
+                rto_s=rto[n],
+                time_since_last_send_s=idle[n],
             )
             records.append(
                 ChunkRecord(
                     index=n,
-                    quality=int(self.qualities[n, k]),
-                    size_bytes=float(self.size_bytes[n, k]),
-                    start_time_s=float(self.start_times_s[n, k]),
-                    end_time_s=float(self.end_times_s[n, k]),
+                    quality=qualities[n],
+                    size_bytes=sizes[n],
+                    start_time_s=starts[n],
+                    end_time_s=ends[n],
                     tcp_state=snapshot,
-                    buffer_before_s=float(self.buffer_before_s[n, k]),
-                    buffer_after_s=float(self.buffer_after_s[n, k]),
-                    rebuffer_s=float(self.rebuffer_s[n, k]),
-                    ssim=float(self.ssim[n, k]),
-                    bitrate_mbps=float(self.bitrate_mbps[n, k]),
+                    buffer_before_s=before[n],
+                    buffer_after_s=after[n],
+                    rebuffer_s=rebuffer[n],
+                    ssim=ssim[n],
+                    bitrate_mbps=bitrate[n],
                 )
             )
         return SessionLog(

@@ -8,7 +8,7 @@ replay at every layer:
   the stacked cumulative-bytes integrals),
 * ``BatchStreamingSession`` (lockstep chunk loop + ``BatchTCPConnection``)
   vs per-lane ``StreamingSession`` runs — exact vectorised ABR decisions
-  for BBA/BOLA, the automatic per-lane scalar fallback for MPC, and fused
+  for BBA/BOLA/MPC, the automatic per-lane scalar fallback, and fused
   multi-setting batches (different ABRs / buffer capacities in one loop),
 * ``compute_metrics_batch`` vs per-lane ``compute_metrics`` — without ever
   materializing ``ChunkRecord`` objects,
@@ -44,7 +44,7 @@ from repro import (
     run_setting_batch,
 )
 from repro.abr import BBAAlgorithm, BOLAAlgorithm, MPCAlgorithm
-from repro.causal.engine import _boundary_key
+from repro.net.trace import boundary_key
 from repro.net.trace import PiecewiseConstantTrace
 from repro.player.batch_session import LaneGroup, abr_supports_batch_replay
 
@@ -170,12 +170,42 @@ class TestBatchSessionParity:
             serial = StreamingSession(video, abr_factory(), trace, config).run()
             assert_logs_identical(serial, batch_log.lane(k))
 
-    def test_mpc_scalar_fallback_bit_identical(self, video):
+    def test_mpc_vectorised_bit_identical(self, video):
+        """MPC's history-driven vectorised decider matches serial replay."""
         traces = lane_traces(4, seed=2)
         config = SessionConfig(buffer_capacity_s=8.0)
         batch_log = BatchStreamingSession(video, MPCAlgorithm, traces, config).run()
         for k, trace in enumerate(traces):
             serial = StreamingSession(video, MPCAlgorithm(), trace, config).run()
+            assert_logs_identical(serial, batch_log.lane(k))
+
+    def test_mpc_non_robust_bit_identical(self, video):
+        """The plain-harmonic-mean branch (robust=False) must also match
+        serial replay bitwise — its window sum uses a different reduction
+        than the robust predictor's sequential accumulation."""
+        factory = lambda: MPCAlgorithm(robust=False)  # noqa: E731
+        traces = lane_traces(5, seed=7)
+        config = SessionConfig(buffer_capacity_s=8.0)
+        batch_log = BatchStreamingSession(video, factory, traces, config).run()
+        for k, trace in enumerate(traces):
+            serial = StreamingSession(video, factory(), trace, config).run()
+            assert_logs_identical(serial, batch_log.lane(k))
+
+    def test_history_fallback_abr_bit_identical(self, video):
+        """An ABR without choose_quality_batch that reads throughput history
+        exercises the per-lane fallback contexts (and their history
+        feeding) now that MPC decides vectorised."""
+        from repro.abr import RateBasedAlgorithm
+
+        traces = lane_traces(4, seed=3)
+        config = SessionConfig(buffer_capacity_s=6.0)
+        batch_log = BatchStreamingSession(
+            video, RateBasedAlgorithm, traces, config
+        ).run()
+        for k, trace in enumerate(traces):
+            serial = StreamingSession(
+                video, RateBasedAlgorithm(), trace, config
+            ).run()
             assert_logs_identical(serial, batch_log.lane(k))
 
     def test_k1_batch_bit_identical(self, video):
@@ -290,7 +320,7 @@ class TestEnginePaths:
             change_abr(setting_a, "bba"),
             change_abr(setting_a, "bola"),
             change_buffer(setting_a, 15.0),
-            change_abr(setting_a, "mpc"),  # scalar-fallback partition
+            change_abr(setting_a, "mpc"),  # history-driven vectorised partition
         ]
         batch_engine = CounterfactualEngine(
             paper_veritas_config(), n_samples=3, seed=0
@@ -325,7 +355,7 @@ class TestEnginePaths:
         setting_b = change_abr(setting_a, "bola")
         horizon = max(corpus[0].end_time, 3.0 * setting_b.video.duration_s)
         lanes = [t.extended(horizon) for t in corpus]
-        assert len({_boundary_key(t) for t in lanes}) == 1
+        assert len({boundary_key(t) for t in lanes}) == 1
         batch_log = run_setting_batch(setting_b, lanes)
         for k, lane in enumerate(lanes):
             assert_logs_identical(
