@@ -411,6 +411,95 @@ def test_perf_batch_replay(benchmark):
     assert ok
 
 
+def test_perf_kernel_tiers(benchmark):
+    """Replay kernel tiers on evaluate_many (PR 6).
+
+    The same bench-scale query sweep as ``test_perf_batch_replay``, run
+    once per selectable kernel tier: ``analytic`` (the PR-5 path),
+    ``scratch`` (preallocated-scratch batch kernels, the default) and
+    ``compiled`` (whole-batch njit/cc kernel, when a backend is
+    buildable).  All tiers are bit-identical (``tests/test_batch_replay.py``,
+    ``tests/test_compiled_kernel.py``); the interleaved A/B cancels
+    container CPU noise out of the ratios.  Acceptance: the best
+    available tier is >= 1.5x over the PR-5 analytic path.
+    """
+    from repro import change_abr, paper_corpus
+    from repro.tcp import _compiled
+
+    setting_a = bench_setting_a()
+    queries = ["bba", "bola", "bba", "bola", "bba"]
+    settings_b = [change_abr(setting_a, q) for q in queries]
+    corpus = paper_corpus(
+        count=min(N_TRACES, 4), duration_s=TRACE_DURATION_S, seed=CORPUS_SEED
+    )
+    tiers = ["analytic", "scratch"]
+    if _compiled.available():
+        tiers.append("compiled")
+    engines = {
+        tier: CounterfactualEngine(
+            paper_veritas_config(), n_samples=N_SAMPLES, seed=ENGINE_SEED,
+            kernel=tier,
+        )
+        for tier in tiers
+    }
+    prepared = engines["scratch"].prepare_corpus(corpus, setting_a)
+
+    for engine in engines.values():  # warm caches (and the compiled build)
+        engine.evaluate_many(prepared, settings_b)
+
+    times: dict[str, list[float]] = {tier: [] for tier in tiers}
+    for _ in range(3):
+        for tier in tiers:
+            start = time.perf_counter()
+            results = engines[tier].evaluate_many(prepared, settings_b)
+            times[tier].append(time.perf_counter() - start)
+    run_once(
+        benchmark, lambda: engines["scratch"].evaluate_many(prepared, settings_b)
+    )
+
+    # 2 (truth + baseline) + K sample replays per (setting, trace) pair,
+    # each replaying every chunk of the bench video.
+    n_replays = len(settings_b) * len(corpus) * (2 + N_SAMPLES)
+    n_chunks = n_replays * setting_a.video.n_chunks
+    best = {tier: min(times[tier]) for tier in tiers}
+    analytic_s = best["analytic"]
+
+    print_header(
+        "Perf — replay kernel tiers (evaluate_many, interleaved A/B)",
+        "bit-identical tiers; acceptance: best tier >= 1.5x over the PR-5 path",
+    )
+    for tier in tiers:
+        speedup = analytic_s / best[tier]
+        chunks_per_sec = n_chunks / best[tier]
+        replays_per_sec = n_replays / best[tier]
+        print(
+            f"  {tier:9s}: {best[tier] * 1e3:6.0f} ms "
+            f"({speedup:.2f}x vs analytic, {chunks_per_sec:,.0f} chunks/sec, "
+            f"{replays_per_sec:.0f} replays/sec)"
+        )
+        benchmark.extra_info.update(
+            {
+                f"{tier}_evaluate_many_ms": best[tier] * 1e3,
+                f"{tier}_chunks_per_sec": chunks_per_sec,
+                f"{tier}_batch_replays_per_sec": replays_per_sec,
+                f"{tier}_kernel_speedup": speedup,
+            }
+        )
+    benchmark.extra_info.update(
+        n_replays=n_replays, n_chunks=n_chunks, kernel_tiers=",".join(tiers)
+    )
+
+    best_speedup = analytic_s / min(best.values())
+    ok = shape_check(
+        "every query answered for every trace",
+        all(len(r.per_trace) == len(corpus) for r in results),
+    )
+    ok &= shape_check(
+        "best kernel tier >= 1.5x over the analytic path", best_speedup >= 1.5
+    )
+    assert ok
+
+
 def test_perf_prepare_corpus(benchmark):
     """Corpus-lockstep preparation vs per-trace preparation (PR 5).
 

@@ -42,6 +42,7 @@ from ..player.batch_session import (
 from ..player.logs import SessionLog, SessionLogBatch
 from ..player.metrics import QoEMetrics, compute_metrics, compute_metrics_batch
 from ..player.session import StreamingSession
+from ..tcp.connection import resolve_kernel
 from ..util.rng import SeedLike, ensure_rng, spawn_seeds
 from .queries import Setting
 
@@ -69,19 +70,23 @@ def run_setting(setting: Setting, trace: PiecewiseConstantTrace) -> SessionLog:
 
 
 def run_setting_batch(
-    setting: Setting, traces: "TraceBatch | list[PiecewiseConstantTrace]"
+    setting: Setting,
+    traces: "TraceBatch | list[PiecewiseConstantTrace]",
+    kernel: str | None = None,
 ) -> SessionLogBatch:
     """Emulate one session of ``setting`` over every trace lane in lockstep.
 
     All lanes must share a boundary grid and the setting's ABR must pass
     :func:`~repro.player.batch_session.abr_supports_batch_replay`; lane
-    ``k`` of the result is bit-identical to ``run_setting`` over lane ``k``.
+    ``k`` of the result is bit-identical to ``run_setting`` over lane ``k``
+    under every replay kernel tier (``kernel=None`` picks the default).
     """
     session = BatchStreamingSession(
         video=setting.video,
         abr_factory=setting.make_abr,
         traces=traces,
         config=setting.config,
+        kernel=kernel,
     )
     return session.run()
 
@@ -278,15 +283,19 @@ class CounterfactualEngine:
         seed: SeedLike = 0,
         n_workers: int | None = None,
         use_batch: bool = True,
+        kernel: str | None = None,
     ):
         if n_samples < 1:
             raise ValueError(f"n_samples must be >= 1, got {n_samples}")
         if n_workers is not None and n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if kernel is not None:
+            resolve_kernel(kernel)  # fail fast on unknown tier names
         self.abduction = VeritasAbduction(veritas_config)
         self.n_samples = n_samples
         self.n_workers = n_workers
         self.use_batch = use_batch
+        self.kernel = kernel
         self._seed = seed
 
     # ------------------------------------------------------------------
@@ -406,7 +415,7 @@ class CounterfactualEngine:
                 metrics[pos] = compute_metrics(log)
                 continue
             lanes = [traces[indices[pos]] for pos in positions]
-            log_batch = run_setting_batch(setting_a, lanes)
+            log_batch = run_setting_batch(setting_a, lanes, kernel=self.kernel)
             lane_metrics = compute_metrics_batch(log_batch)
             for k, pos in enumerate(positions):
                 logs[pos] = log_batch.lane(k)
@@ -500,7 +509,9 @@ class CounterfactualEngine:
                 else:
                     lane_groups[-1].traces.append(trace)
             video = tasks[indices[0]][0].video
-            log_batch = BatchStreamingSession.fused(video, lane_groups).run()
+            log_batch = BatchStreamingSession.fused(
+                video, lane_groups, kernel=self.kernel
+            ).run()
             for i, m in zip(indices, compute_metrics_batch(log_batch)):
                 metrics[i] = m
         return metrics

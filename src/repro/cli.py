@@ -45,6 +45,7 @@ from . import (
     paper_veritas_config,
     run_setting,
 )
+from .tcp.connection import KERNEL_TIERS
 
 __all__ = ["main", "build_parser"]
 
@@ -87,6 +88,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1,
         help="process-pool size for corpus evaluation (1 = serial; results "
              "are bit-identical either way)",
+    )
+    cf.add_argument(
+        "--kernel",
+        choices=list(KERNEL_TIERS),
+        default=None,
+        help="replay kernel tier for batch preparation/replay (default: "
+             "the library default, currently \"scratch\"; \"compiled\" "
+             "falls back to \"scratch\" when numba is unavailable)",
     )
     cf.add_argument(
         "--no-batch", action="store_true",
@@ -160,6 +169,7 @@ def _cmd_counterfactual(args: argparse.Namespace) -> int:
         seed=args.seed,
         n_workers=args.workers,
         use_batch=not args.no_batch,
+        kernel=args.kernel,
     )
     # Setting A is deployed and abduction solved exactly once; every query
     # is answered by replays against the shared reconstructions.

@@ -43,13 +43,14 @@ callers can route those replays through the serial engine.
 
 from __future__ import annotations
 
+import inspect
 from typing import Callable, Sequence
 
 import numpy as np
 
 from ..abr.base import ABRAlgorithm, ABRContext, BatchABRContext
 from ..net.trace import PiecewiseConstantTrace, TraceBatch
-from ..tcp.connection import BatchTCPConnection
+from ..tcp.connection import BatchTCPConnection, resolve_kernel
 from ..util.units import throughput_mbps
 from ..video.chunks import Video
 from .logs import SessionLogBatch
@@ -233,6 +234,8 @@ class BatchStreamingSession:
         )
         self.rtt_s = rtts.pop()
         self.request_overhead_s = overheads.pop()
+        # Fail at construction on unknown tier names (None = default).
+        resolve_kernel(kernel)
         self.kernel = kernel
 
     @classmethod
@@ -268,6 +271,15 @@ class BatchStreamingSession:
         connection = BatchTCPConnection(
             tb, rtt_s=self.rtt_s, start_time_s=0.0, kernel=self.kernel
         )
+        if connection._tier in ("scratch", "compiled"):
+            # The allocation-free chunk loop (bit-identical to the loop
+            # below; see _ScratchRunner).
+            runner = _ScratchRunner(
+                self, partitions, single, capacity, abr_names, connection
+            )
+            for n in range(n_chunks):
+                runner.step(n)
+            return runner.finish()
 
         # Lockstep player state (arrays over lanes).
         overhead = self.request_overhead_s
@@ -449,4 +461,278 @@ class BatchStreamingSession:
             srtt_s=col_srtt,
             min_rtt_s=col_min_rtt,
             rto_s=col_rto,
+        )
+
+
+class _ScratchRunner:
+    """Allocation-free lockstep chunk loop for the scratch/compiled tiers.
+
+    Mirrors :meth:`BatchStreamingSession.run`'s allocating loop float for
+    float — the same IEEE float64 operations in the same order, routed
+    through preallocated per-batch buffers via ``out=`` ufuncs instead of
+    fresh temporaries — so session logs stay bit-identical to the serial
+    player across every kernel tier.  In steady state a :meth:`step`
+    performs zero new array allocations (``tests/test_dispatch_budget.py``
+    pins this with tracemalloc); the object exposes per-chunk stepping
+    precisely so that test can warm the loop up and trace single steps.
+
+    Vectorised deciders that advertise ``batch_out_safe`` and accept an
+    ``out=`` buffer (BBA) decide allocation-free too; other batch deciders
+    (BOLA, MPC) and the per-lane scalar fallback keep their allocating
+    calls while the surrounding loop stays scratch-buffered.
+    """
+
+    def __init__(
+        self,
+        session: "BatchStreamingSession",
+        partitions: "list[_Partition]",
+        single: "_Partition | None",
+        capacity: np.ndarray,
+        abr_names: list,
+        connection: BatchTCPConnection,
+    ):
+        video = session.video
+        tb = session.batch
+        n_lanes = tb.n_lanes
+        n_chunks = video.n_chunks
+        self.video = video
+        self.capacity = capacity
+        self.abr_names = abr_names
+        self.connection = connection
+        self.chunk_dur = video.chunk_duration_s
+        self.overhead = session.request_overhead_s
+        self.rtt_s = session.rtt_s
+        self.n_chunks = n_chunks
+        self.n_qualities = video.n_qualities
+
+        # Lockstep player state (arrays over lanes).
+        self.level = np.zeros(n_lanes)
+        self.now = np.zeros(n_lanes)
+        self.total_rebuffer = np.zeros(n_lanes)
+        self.total_bytes = np.zeros(n_lanes)
+        self.startup_time = np.zeros(n_lanes)
+        self.playing = False
+
+        # Row views precomputed once; per-chunk gathers go through
+        # ``np.take(..., out=)`` with no fresh temporaries.
+        self.size_rows = list(video.size_matrix)
+        self.bitrates = np.asarray(
+            [video.bitrate_mbps(q) for q in range(video.n_qualities)]
+        )
+
+        shape = (n_chunks, n_lanes)
+        self.col_quality = np.empty(shape, dtype=np.int64)
+        self.col_size = np.empty(shape)
+        self.col_start = np.empty(shape)
+        self.col_end = np.empty(shape)
+        self.col_before = np.empty(shape)
+        self.col_after = np.empty(shape)
+        self.col_rebuffer = np.empty(shape)
+        self.col_cwnd = np.empty(shape, dtype=np.int64)
+        self.col_ssthresh = np.empty(shape, dtype=np.int64)
+        self.col_idle = np.empty(shape)
+        self.col_srtt = np.empty(n_chunks)
+        self.col_min_rtt = np.empty(n_chunks)
+        self.col_rto = np.empty(n_chunks)
+
+        # Per-chunk scratch buffers.
+        self.quality = np.empty(n_lanes, dtype=np.int64)
+        self.sizes = np.empty(n_lanes)
+        self.wait = np.empty(n_lanes)
+        self.tmp = np.empty(n_lanes)
+        self.buf_before = np.empty(n_lanes)
+        self.duration = np.empty(n_lanes)
+        self.stall = np.zeros(n_lanes)  # stays zero until playback starts
+        self.bmask = np.empty(n_lanes, dtype=bool)
+
+        # Per-partition decision plumbing: persistent lane-slice views into
+        # the shared buffers, bound to each partition's context once.
+        # modes: 0 = vectorised with out= (allocation-free), 1 = vectorised,
+        # 2 = per-lane scalar fallback.
+        self._decide = []
+        self._hist = []
+        self._scalar_hist = []
+        for part in partitions:
+            if single is not None:
+                q_view = self.quality
+                b_view = self.buf_before
+                s_view = self.sizes
+                d_view = self.duration
+                m_view = self.bmask
+            else:
+                sl = slice(part.start, part.stop)
+                q_view = self.quality[sl]
+                b_view = self.buf_before[sl]
+                s_view = self.sizes[sl]
+                d_view = self.duration[sl]
+                m_view = self.bmask[sl]
+            if part.choose_batch is not None:
+                context = part.context
+                context.buffer_s = b_view
+                abr = getattr(part.choose_batch, "__self__", None)
+                out_ok = getattr(abr, "batch_out_safe", False) and (
+                    "out"
+                    in inspect.signature(part.choose_batch).parameters
+                )
+                self._decide.append(
+                    (0 if out_ok else 1, part.choose_batch, context, q_view)
+                )
+                if part.wants_history:
+                    kp = part.stop - part.start
+                    thr = np.empty((n_chunks, kp))
+                    dur = np.empty((n_chunks, kp))
+                    self._hist.append(
+                        (s_view, d_view, m_view, list(thr), list(dur), context)
+                    )
+            else:
+                self._decide.append(
+                    (2, None, None, (part.lane_abrs, part.lane_contexts, part.start))
+                )
+                self._scalar_hist.append((part.start, part.lane_contexts))
+
+    def step(self, n: int) -> None:
+        """Advance every lane through chunk ``n``."""
+        level = self.level
+        now = self.now
+        tmp = self.tmp
+        wait = self.wait
+        playing = self.playing
+
+        # 1. Sleep while the buffer is over capacity.
+        np.subtract(level, self.capacity, out=wait)
+        np.maximum(wait, 0.0, out=wait)
+        if playing:
+            np.subtract(level, wait, out=tmp)
+            np.maximum(tmp, 0.0, out=level)
+        np.add(now, wait, out=now)
+        if self.overhead:
+            if playing:
+                np.subtract(self.overhead, level, out=tmp)
+                np.maximum(tmp, 0.0, out=tmp)
+                np.add(self.total_rebuffer, tmp, out=self.total_rebuffer)
+                np.subtract(level, self.overhead, out=tmp)
+                np.maximum(tmp, 0.0, out=level)
+            np.add(now, self.overhead, out=now)
+
+        # 2. ABR decisions from client-observable state only.  Contexts
+        #    hold persistent views of buf_before, refreshed in place.
+        np.copyto(self.buf_before, level)
+        quality = self.quality
+        for mode, choose, context, payload in self._decide:
+            if mode == 0:
+                context.chunk_index = n
+                choose(context, out=payload)
+                context.last_quality = payload
+            elif mode == 1:
+                context.chunk_index = n
+                chosen = choose(context)
+                np.copyto(payload, chosen)
+                context.last_quality = chosen
+            else:
+                lane_abrs, lane_contexts, start = payload
+                for k, (lane_abr, ctx) in enumerate(
+                    zip(lane_abrs, lane_contexts)
+                ):
+                    ctx.chunk_index = n
+                    ctx.buffer_s = float(self.buf_before[start + k])
+                    quality[start + k] = lane_abr.choose_quality(ctx)
+        q_min = int(quality.min())
+        q_max = int(quality.max())
+        if q_min < 0 or q_max >= self.n_qualities:
+            bad = q_min if q_min < 0 else q_max
+            raise ValueError(
+                f"batch replay chose invalid quality {bad} for chunk {n}"
+            )
+        sizes = self.sizes
+        np.take(self.size_rows[n], quality, out=sizes)
+
+        # 3. Lockstep download over all K traces.
+        result = self.connection.download_batch(sizes, now)
+        ends = result.end_times_s
+        duration = self.duration
+        np.subtract(ends, now, out=duration)
+        if playing:
+            stall = self.stall
+            np.subtract(duration, level, out=stall)
+            np.maximum(stall, 0.0, out=stall)
+            np.subtract(level, duration, out=tmp)
+            np.maximum(tmp, 0.0, out=level)
+            np.add(self.total_rebuffer, stall, out=self.total_rebuffer)
+
+        # 4. Append and log (result columns alias reusable buffers: copy
+        #    them into the log rows before the next download).
+        self.col_quality[n] = quality
+        self.col_size[n] = sizes
+        self.col_start[n] = now
+        self.col_end[n] = ends
+        self.col_before[n] = self.buf_before
+        self.col_rebuffer[n] = self.stall
+        self.col_cwnd[n] = result.cwnd_segments
+        self.col_ssthresh[n] = result.ssthresh_segments
+        self.col_idle[n] = result.time_since_last_send_s
+        self.col_srtt[n] = result.srtt_s
+        self.col_min_rtt[n] = result.min_rtt_s
+        self.col_rto[n] = result.rto_s
+        np.copyto(now, ends)
+        np.add(level, self.chunk_dur, out=level)
+        if n == 0:
+            np.copyto(self.startup_time, now)
+            self.playing = True
+        self.col_after[n] = level
+        np.add(self.total_bytes, sizes, out=self.total_bytes)
+
+        # Observation histories (same order as the allocating loop).
+        for start, lane_contexts in self._scalar_hist:
+            for k, ctx in enumerate(lane_contexts):
+                j = start + k
+                d = float(duration[j])
+                ctx.throughput_history_mbps.append(
+                    throughput_mbps(float(sizes[j]), d)
+                )
+                ctx.download_time_history_s.append(d)
+                ctx.last_quality = int(quality[j])
+        for s_view, d_view, m_view, thr_rows, dur_rows, context in self._hist:
+            np.less_equal(d_view, 0.0, out=m_view)
+            if m_view.any():
+                bad = float(d_view[m_view][0])
+                raise ValueError(f"duration must be positive, got {bad!r}")
+            row = thr_rows[n]
+            np.divide(s_view, d_view, out=row)
+            np.multiply(row, 8, out=row)
+            np.divide(row, 1e6, out=row)
+            drow = dur_rows[n]
+            np.copyto(drow, d_view)
+            context.throughput_history_mbps.append(row)
+            context.download_time_history_s.append(drow)
+
+    def finish(self) -> SessionLogBatch:
+        """Assemble the column log (quality-derived columns in one shot)."""
+        video = self.video
+        col_quality = self.col_quality
+        return SessionLogBatch(
+            abr_names=self.abr_names,
+            buffer_capacity_s=self.capacity,
+            chunk_duration_s=self.chunk_dur,
+            rtt_s=self.rtt_s,
+            startup_time_s=self.startup_time,
+            total_rebuffer_s=self.total_rebuffer,
+            total_size_bytes=self.total_bytes,
+            qualities=col_quality,
+            size_bytes=self.col_size,
+            start_times_s=self.col_start,
+            end_times_s=self.col_end,
+            buffer_before_s=self.col_before,
+            buffer_after_s=self.col_after,
+            rebuffer_s=self.col_rebuffer,
+            ssim=np.take_along_axis(video.ssim_matrix, col_quality, axis=1),
+            ssim_db=np.take_along_axis(
+                video.ssim_db_matrix, col_quality, axis=1
+            ),
+            bitrate_mbps=self.bitrates[col_quality],
+            cwnd_segments=self.col_cwnd,
+            ssthresh_segments=self.col_ssthresh,
+            time_since_last_send_s=self.col_idle,
+            srtt_s=self.col_srtt,
+            min_rtt_s=self.col_min_rtt,
+            rto_s=self.col_rto,
         )

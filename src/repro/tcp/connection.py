@@ -19,21 +19,44 @@ This produces exactly the observable biases the paper documents: small
 chunks see throughput far below GTBW (Fig. 2(c)), idle gaps reset the
 window, and only > BDP transfers observe throughput close to GTBW.
 
-Two kernels implement the window-limited phase:
+Four kernel tiers implement the replay, selected by the ``kernel=``
+argument (``None`` picks the module-level ``DEFAULT_KERNEL``):
 
-* the **analytic** kernel (the default) resolves each constant-bandwidth
-  trace interval in closed form — the slow-start/congestion-avoidance round
-  schedule is precomputed once per ``(cwnd, ssthresh)`` (the same
-  round-schedule trick the Algorithm-4 estimator uses) and the
-  rounds-until-pipe-full / rounds-until-data-exhausted within the interval
-  reduce to bisections over it, so a download costs O(intervals touched)
-  instead of O(rounds);
-* the **reference** kernel walks the per-RTT ``while`` loop round by round.
+* ``"reference"`` — the per-RTT scalar ``while`` loop, the golden parity
+  target every other tier is pinned against;
+* ``"analytic"`` — each constant-bandwidth trace interval resolved in
+  closed form: the slow-start/congestion-avoidance round schedule is
+  precomputed once per ``(cwnd, ssthresh)`` (the same round-schedule trick
+  the Algorithm-4 estimator uses) and the rounds-until-pipe-full /
+  rounds-until-data-exhausted within the interval reduce to bisections
+  over it, so a download costs O(intervals touched) instead of O(rounds);
+* ``"scratch"`` — **Tier 1, the default**: the batched analytic pass
+  rewritten over preallocated per-batch scratch buffers.  Every
+  steady-state chunk runs through ``out=``/in-place ufuncs with zero new
+  array allocations (``tests/test_dispatch_budget.py`` pins this), the
+  slow-start-restart decay runs as a masked full-width loop, and the
+  small-lane scalar fallbacks (``_VECTOR_ROUNDS_MIN``, the <8-lane
+  bisect cutoff in :meth:`TraceBatch.time_to_transfer_batch`) are
+  absorbed into the batch path so cold/ragged partitions never drop to
+  per-lane Python.  Scalar ``TCPConnection`` has no batch to amortise
+  over, so ``"scratch"`` (and ``"compiled"``) map to the analytic kernel
+  there.
+* ``"compiled"`` — **Tier 2, optional**: a compiled kernel
+  (:mod:`repro.tcp._compiled`) advancing a whole lane batch through one
+  chunk in a single call with no per-lane NumPy dispatch at all.  Two
+  backends are feature-detected at first use: a numba-njit build of the
+  Python mirror when numba is importable, else a cc + cffi build of a
+  line-for-line C transcription (compiled once with FMA contraction and
+  fast-math disabled, cached on disk).  When neither backend is
+  available the tier falls back to ``"scratch"`` silently
+  (``BatchTCPConnection._tier`` records the effective tier).
 
-Both kernels evaluate the same float predicates in the same order, so they
-produce bit-identical :class:`DownloadResult`s and session logs (see
-``tests/test_replay_parity.py``).  Select with ``TCPConnection(...,
-kernel="reference")`` or by setting the module-level ``DEFAULT_KERNEL``.
+All tiers evaluate the same float predicates in the same order, so they
+produce bit-identical :class:`DownloadResult`s / batch columns and session
+logs (see ``tests/test_replay_parity.py``, ``tests/test_batch_replay.py``;
+the compiled tier is pinned at a documented ``rtol=1e-12`` tolerance,
+bit-identical in practice on every backend we test).  Unknown kernel names raise
+``ValueError`` at construction time, listing the available tiers.
 """
 
 from __future__ import annotations
@@ -44,8 +67,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..net.trace import PiecewiseConstantTrace, TraceBatch
+from ..net.trace import (
+    _EPS_BYTES,
+    PiecewiseConstantTrace,
+    TraceBatch,
+    TransferScratch,
+)
 from ..util.units import mbps_to_bytes_per_sec, throughput_mbps
+from . import _compiled
 from .constants import (
     INIT_CWND_SEGMENTS,
     INITIAL_SSTHRESH_SEGMENTS,
@@ -57,16 +86,37 @@ from .state import MutableTCPState, TCPStateSnapshot, apply_slow_start_restart
 
 __all__ = [
     "DEFAULT_KERNEL",
+    "KERNEL_TIERS",
     "BatchDownloadResult",
     "BatchTCPConnection",
     "DownloadResult",
     "TCPConnection",
+    "resolve_kernel",
 ]
 
-DEFAULT_KERNEL = "analytic"
-"""Kernel used when ``TCPConnection`` is constructed without an explicit one."""
+DEFAULT_KERNEL = "scratch"
+"""Kernel used when a connection is constructed without an explicit one."""
 
-_KERNELS = ("analytic", "reference")
+KERNEL_TIERS = ("reference", "analytic", "scratch", "compiled")
+"""All selectable kernel tiers, slowest (golden reference) first."""
+
+_KERNELS = KERNEL_TIERS  # backwards-compatible alias
+
+
+def resolve_kernel(kernel: str | None) -> str:
+    """Resolve ``kernel`` against the tier registry or raise ``ValueError``.
+
+    ``None`` picks the module-level ``DEFAULT_KERNEL``.  All construction
+    paths (scalar and batch connections, sessions, the engine, the CLI)
+    funnel through here so an unknown name fails loudly with the list of
+    available tiers instead of silently running a default.
+    """
+    resolved = DEFAULT_KERNEL if kernel is None else kernel
+    if resolved not in KERNEL_TIERS:
+        raise ValueError(
+            f"unknown kernel {resolved!r}; available tiers: {KERNEL_TIERS}"
+        )
+    return resolved
 
 
 def _grow_window(cwnd: int, ssthresh: int) -> int:
@@ -118,6 +168,111 @@ def _extend_schedule_for(
         cwnds.append(nxt)
         cwnd_bytes.append(float(nxt * MSS_BYTES))
     return True
+
+
+class _ScheduleTable:
+    """Padded 2D mirrors of the window schedules for the scratch kernel.
+
+    One row per distinct ``(cwnd0, ssthresh)`` pair, every row populated
+    out to a fixed ``HORIZON`` of rounds: ``cb[p, r]`` is the congestion
+    window in bytes at the start of round ``r`` (the same
+    ``float(cwnd * MSS)`` values the list schedules hold), ``cum_mss`` the
+    bytes sent over rounds ``0..r-1``, and ``cover = cb + cum_mss`` — all
+    exact in float64, so ``cwnd_bytes[r] >= size - cum[r] * MSS`` and the
+    countable ``cover[r] >= size`` agree bit for bit.  ``cwnds`` keeps one
+    extra column so round ``r``'s post-growth window is a plain gather.
+
+    Row lookup is a single ``searchsorted`` over the packed sorted keys,
+    so a whole lane batch resolves its per-lane schedules without any
+    per-group Python loop.  Rows build lazily on first sight of a pair —
+    a whole miss batch at once through the same vectorised recurrence the
+    round loop uses (:func:`_grow_window_batch`), appended into
+    capacity-doubled stores with the sorted key index rebuilt per batch,
+    so the table never pays per-row ``np.insert`` reallocation.
+    """
+
+    HORIZON = 32
+    _INIT_CAP = 256
+
+    def __init__(self):
+        h = self.HORIZON
+        self._cap = self._INIT_CAP
+        self._n = 0
+        self._keys = np.empty(self._cap, dtype=np.int64)
+        self._cb = np.empty((self._cap, h))
+        self._cover = np.empty((self._cap, h))
+        self._cum_mss = np.empty((self._cap, h))
+        self._cwnds = np.empty((self._cap, h + 1), dtype=np.int64)
+        self._refresh()
+
+    def _refresh(self) -> None:
+        n = self._n
+        self.cb = self._cb[:n]
+        self.cover = self._cover[:n]
+        self.cum_mss = self._cum_mss[:n]
+        self.cwnds = self._cwnds[:n]
+        # Flat views (leading slices of C-contiguous stores, so reshape
+        # is a view) for `np.take(flat, row * width + col)` gathers.
+        self.cum_mss_flat = self.cum_mss.reshape(-1)
+        self.cwnds_flat = self.cwnds.reshape(-1)
+        order = np.argsort(self._keys[:n], kind="stable")
+        self.sorted_keys = self._keys[:n][order]
+        self.order = order
+
+    def _grow(self, need: int) -> None:
+        cap = self._cap
+        while cap < need:
+            cap *= 2
+        for name in ("_keys", "_cb", "_cover", "_cum_mss", "_cwnds"):
+            old = getattr(self, name)
+            new = np.empty((cap,) + old.shape[1:], dtype=old.dtype)
+            new[: self._n] = old[: self._n]
+            setattr(self, name, new)
+        self._cap = cap
+
+    def _build_rows(self, missing: np.ndarray) -> None:
+        p = missing.size
+        if self._n + p > self._cap:
+            self._grow(self._n + p)
+        h = self.HORIZON
+        s = slice(self._n, self._n + p)
+        cb = self._cb[s]
+        cover = self._cover[s]
+        cum_mss = self._cum_mss[s]
+        cwnds = self._cwnds[s]
+        c = (missing >> 21).copy()
+        ssthresh = missing & ((1 << 21) - 1)
+        cum = np.zeros(p, dtype=np.int64)
+        # All quantities are integers below 2**53, so the float columns
+        # hold exactly the values the scalar schedule lists hold.
+        for r in range(h):
+            cwnds[:, r] = c
+            cb[:, r] = c * MSS_BYTES
+            cum_mss[:, r] = cum * MSS_BYTES
+            cover[:, r] = cb[:, r] + cum_mss[:, r]
+            cum += c
+            c = _grow_window_batch(c, ssthresh)
+        cwnds[:, h] = c
+        self._keys[s] = missing
+        self._n += p
+        self._refresh()
+
+    def rows_for(self, keys: np.ndarray) -> np.ndarray:
+        """Row index per packed key, building unseen rows on demand."""
+        sk = self.sorted_keys
+        if sk.size:
+            pos = np.searchsorted(sk, keys)
+            np.minimum(pos, sk.size - 1, out=pos)
+            if (sk[pos] == keys).all():
+                return self.order[pos]
+            missing = np.unique(keys[sk[pos] != keys])
+        else:
+            missing = np.unique(keys)
+        self._build_rows(missing)
+        return self.order[np.searchsorted(self.sorted_keys, keys)]
+
+
+_SCHED_TABLE = _ScheduleTable()
 
 
 # The two download kernels, shared between the scalar TCPConnection and the
@@ -307,10 +462,12 @@ class TCPConnection:
     start_time_s:
         Wall-clock time at which the connection is established.
     kernel:
-        ``"analytic"`` (interval-wise closed form, the default) or
-        ``"reference"`` (per-RTT scalar loop); ``None`` picks the
-        module-level ``DEFAULT_KERNEL``.  Both produce bit-identical
-        results — the reference exists as the golden parity target.
+        A tier from ``KERNEL_TIERS``; ``None`` picks the module-level
+        ``DEFAULT_KERNEL``.  All tiers produce bit-identical results —
+        the reference exists as the golden parity target.  The batch-only
+        tiers (``"scratch"``, ``"compiled"``) have nothing to amortise
+        over on a single scalar connection, so they run the analytic
+        kernel here.
     """
 
     def __init__(
@@ -322,11 +479,7 @@ class TCPConnection:
     ):
         if rtt_s <= 0:
             raise ValueError(f"rtt must be positive, got {rtt_s}")
-        resolved = DEFAULT_KERNEL if kernel is None else kernel
-        if resolved not in _KERNELS:
-            raise ValueError(
-                f"unknown kernel {resolved!r}; available: {_KERNELS}"
-            )
+        resolved = resolve_kernel(kernel)
         self.trace = trace
         self.rtt_s = rtt_s
         self.kernel = resolved
@@ -514,6 +667,45 @@ class BatchDownloadResult:
     rto_s: float
 
 
+class _BatchScratch:
+    """Per-batch scratch buffers for the allocation-free kernel tiers."""
+
+    __slots__ = (
+        "idle", "t0", "bdp", "fluid", "f3", "rem", "tf",
+        "cwnd_pre", "ssthresh_pre", "i1", "ti", "ti2", "dec",
+        "trig", "act", "m", "pf",
+    )
+
+    def __init__(self, n_lanes: int):
+        for name in ("idle", "t0", "bdp", "fluid", "f3", "rem", "tf"):
+            setattr(self, name, np.empty(n_lanes))
+        for name in ("cwnd_pre", "ssthresh_pre", "i1", "ti", "ti2", "dec"):
+            setattr(self, name, np.empty(n_lanes, dtype=np.int64))
+        for name in ("trig", "act", "m", "pf"):
+            setattr(self, name, np.empty(n_lanes, dtype=bool))
+
+
+class _MutableBatchResult:
+    """Reusable mutable mirror of :class:`BatchDownloadResult`.
+
+    The scratch/compiled tiers hand the same instance back on every
+    ``download_batch`` call with its columns aliasing per-batch buffers —
+    valid only until the next call; callers copy what they keep.
+    """
+
+    __slots__ = (
+        "start_times_s",
+        "end_times_s",
+        "size_bytes",
+        "cwnd_segments",
+        "ssthresh_segments",
+        "time_since_last_send_s",
+        "srtt_s",
+        "min_rtt_s",
+        "rto_s",
+    )
+
+
 class BatchTCPConnection:
     """K persistent TCP connections advanced in lockstep over a trace batch.
 
@@ -542,12 +734,16 @@ class BatchTCPConnection:
     ):
         if rtt_s <= 0:
             raise ValueError(f"rtt must be positive, got {rtt_s}")
-        resolved = DEFAULT_KERNEL if kernel is None else kernel
-        if resolved not in _KERNELS:
-            raise ValueError(f"unknown kernel {resolved!r}; available: {_KERNELS}")
+        resolved = resolve_kernel(kernel)
         self.batch = batch
         self.rtt_s = rtt_s
         self.kernel = resolved
+        # Effective tier: "compiled" quietly degrades to "scratch" when no
+        # compiled backend (numba or cc+cffi) is buildable — the parity
+        # contract is unchanged either way.
+        if resolved == "compiled" and not _compiled.available():
+            resolved = "scratch"
+        self._tier = resolved
         self._scalar_run = (
             _reference_download if resolved == "reference" else _analytic_download
         )
@@ -558,6 +754,16 @@ class BatchTCPConnection:
         self._ssthresh = np.full(n, INITIAL_SSTHRESH_SEGMENTS, dtype=np.int64)
         self._last_send = np.full(n, float(start_time_s))
         self._lane_idx = np.arange(n)
+        if self._tier in ("scratch", "compiled"):
+            self._ws = batch.make_transfer_scratch()
+            self._scratch = _BatchScratch(n)
+            self._result = _MutableBatchResult()
+        if self._tier == "scratch":
+            self._download = self._download_scratch
+        elif self._tier == "compiled":
+            self._download = self._download_compiled
+        else:
+            self._download = self._download_numpy
 
     @property
     def n_lanes(self) -> int:
@@ -567,7 +773,18 @@ class BatchTCPConnection:
         self, size_bytes: np.ndarray, start_times_s: np.ndarray
     ) -> BatchDownloadResult:
         """Download ``size_bytes[k]`` on every lane ``k`` starting at
-        ``start_times_s[k]``; advances all K congestion states."""
+        ``start_times_s[k]``; advances all K congestion states.
+
+        The scratch/compiled tiers return a reusable mutable result whose
+        columns alias per-batch buffers: copy anything you keep before the
+        next ``download_batch`` call.
+        """
+        return self._download(size_bytes, start_times_s)
+
+    def _download_numpy(
+        self, size_bytes: np.ndarray, start_times_s: np.ndarray
+    ) -> BatchDownloadResult:
+        """The allocating NumPy pass (the analytic/reference tiers)."""
         shared = self._shared
         rtt = self.rtt_s
         starts = np.asarray(start_times_s, dtype=float)
@@ -660,6 +877,7 @@ class BatchTCPConnection:
         cwnd: np.ndarray,
         ssthresh: np.ndarray,
         lanes: np.ndarray,
+        force_vector: bool = False,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Lockstep window-limited rounds for the lane subset ``lanes``.
 
@@ -724,8 +942,317 @@ class BatchTCPConnection:
                 fcwnd = np.concatenate([p[3] for p in fluid_parts])
                 fi = np.concatenate([p[4] for p in fluid_parts])
             fluid_s = tb.time_to_transfer_batch(
-                ft, frem, lanes=lanes[fpos], interval_hint=fi
+                ft, frem, lanes=lanes[fpos], interval_hint=fi,
+                force_vector=force_vector,
             )
             ends[fpos] = ft + fluid_s
             new_cwnd[fpos] = _fluid_grow_batch(fcwnd, fluid_s, rtt)
         return ends, new_cwnd
+
+    # ------------------------------------------------------------------
+    # Tier 1: the scratch kernel (allocation-free steady state)
+    # ------------------------------------------------------------------
+    def _restart_scratch(self, idle: np.ndarray, rto: float) -> None:
+        """In-place masked slow-start-restart decay of ``_cwnd``/``_ssthresh``.
+
+        Element-wise identical to :func:`_batch_slow_start_restart` (and so
+        to the scalar halving loop): untriggered lanes carry inert values
+        through the masked iterations and are never written back.
+        """
+        b = self._scratch
+        cwnd = self._cwnd
+        np.greater(idle, rto, out=b.m)
+        np.greater(cwnd, INIT_CWND_SEGMENTS, out=b.act)
+        np.logical_and(b.m, b.act, out=b.trig)
+        if not np.count_nonzero(b.trig):
+            return
+        np.copyto(b.rem, idle)
+        np.copyto(b.dec, cwnd)
+        np.copyto(b.act, b.trig)
+        while True:
+            # ``rem`` may decay unconditionally: lanes only ever leave the
+            # active set (the loop mask is a monotone AND) and ``rem`` is
+            # never read after the loop, so inactive lanes' values are
+            # inert.  ``dec`` IS read after the loop and must freeze at
+            # each lane's exit iteration, hence the masked write-back.
+            np.subtract(b.rem, rto, out=b.rem)
+            np.right_shift(b.dec, 1, out=b.ti)
+            np.copyto(b.dec, b.ti, where=b.act)
+            np.greater(b.rem, rto, out=b.m)
+            np.logical_and(b.act, b.m, out=b.act)
+            np.greater(b.dec, INIT_CWND_SEGMENTS, out=b.m)
+            np.logical_and(b.act, b.m, out=b.act)
+            if not np.count_nonzero(b.act):
+                break
+        np.maximum(b.dec, INIT_CWND_SEGMENTS, out=b.dec)
+        np.copyto(cwnd, b.dec, where=b.trig)
+        np.right_shift(b.dec, 1, out=b.ti)
+        np.right_shift(b.dec, 2, out=b.ti2)
+        np.add(b.ti, b.ti2, out=b.ti)
+        np.maximum(b.ti, self._ssthresh, out=b.ti)
+        np.maximum(b.ti, 2, out=b.ti)
+        np.copyto(self._ssthresh, b.ti, where=b.trig)
+
+    def _download_scratch(
+        self, size_bytes: np.ndarray, start_times_s: np.ndarray
+    ) -> "_MutableBatchResult":
+        """Preallocated-scratch mirror of :meth:`_download_numpy`.
+
+        Steady-state chunks (every lane pipe-full and finishing inside its
+        current trace interval — the overwhelmingly common case once
+        windows have opened) run entirely through ``out=`` ufuncs on
+        per-batch buffers: zero new array allocations
+        (``tests/test_dispatch_budget.py``).  Ragged chunks fall back to
+        the allocating helpers but stay on the batch path —
+        ``force_vector=True`` absorbs the ``_VECTOR_ROUNDS_MIN`` and
+        <8-lane scalar cutoffs.
+        """
+        b = self._scratch
+        ws = self._ws
+        tb = self.batch
+        rtt = self.rtt_s
+        shared = self._shared
+        starts = np.asarray(start_times_s, dtype=float)
+        sizes = np.asarray(size_bytes, dtype=float)
+
+        idle = b.idle
+        np.subtract(starts, self._last_send, out=idle)
+        np.maximum(idle, 0.0, out=idle)
+        srtt = shared.srtt_s
+        min_rtt = shared.min_rtt_s
+        rto = shared.rto_s
+        np.copyto(b.cwnd_pre, self._cwnd)
+        np.copyto(b.ssthresh_pre, self._ssthresh)
+
+        self._restart_scratch(idle, rto)
+
+        t0 = b.t0
+        np.add(starts, rtt, out=t0)
+        # Chunk start times are monotone per lane, so the interval cursor
+        # only ever advances — no searchsorted needed.
+        tb.advance_indices(t0, ws)
+        bdp = b.bdp
+        tb.values_at_indices(ws, out=bdp)
+        np.multiply(bdp, 1_000_000, out=bdp)
+        np.divide(bdp, 8, out=bdp)
+        np.multiply(bdp, rtt, out=bdp)
+        # Compare in float64 (exact: cwnd*MSS < 2**53) — an int64 operand
+        # would make the ufunc buffer a casted temporary every chunk.
+        np.copyto(b.f3, self._cwnd, casting="unsafe")
+        np.multiply(b.f3, float(MSS_BYTES), out=b.f3)
+        np.greater_equal(b.f3, bdp, out=b.pf)
+
+        # ``ends`` aliases the live last-send state: idle (above) was the
+        # only reader of the previous chunk's values.
+        ends = self._last_send
+        if np.count_nonzero(b.pf) == b.pf.size:
+            if tb.transfer_hot(t0, sizes, ws, out=b.fluid):
+                fluid_s = b.fluid
+            else:
+                fluid_s = b.fluid
+                np.copyto(
+                    fluid_s,
+                    tb.transfer_drain(t0, sizes, self._lane_idx, ws.idx),
+                )
+            np.add(t0, fluid_s, out=ends)
+            # _fluid_grow_batch via out=: min(cwnd + max(0, int(f/rtt)), MAX)
+            np.divide(fluid_s, rtt, out=b.f3)
+            np.copyto(b.i1, b.f3, casting="unsafe")
+            np.maximum(b.i1, 0, out=b.i1)
+            np.add(self._cwnd, b.i1, out=self._cwnd)
+            np.minimum(self._cwnd, MAX_CWND_SEGMENTS, out=self._cwnd)
+        else:
+            self._skip_rounds_scratch(t0, sizes, ends)
+
+        shared.observe_rtt(rtt)
+        return self._fill_result(starts, ends, sizes, srtt, min_rtt, rto)
+
+    def _skip_rounds_scratch(
+        self, t0: np.ndarray, sizes: np.ndarray, ends: np.ndarray
+    ) -> None:
+        """Vectorised analytic round skip for a ragged chunk (all lanes).
+
+        The batch mirror of :func:`_analytic_download`'s no-crossing fast
+        case: within one constant-bandwidth interval the BDP is constant,
+        so the first pipe-full round (``kf``) and the data-exhaustion
+        round (``kd``) are bisections of the per-lane window schedule —
+        no per-RTT loop.  Per-lane schedules resolve through the shared
+        :class:`_ScheduleTable` (one ``searchsorted`` row lookup, then a
+        broadcast count against the padded rows — bisect_left as a
+        monotone-predicate sum), pipe-full-at-round-0 lanes fall out with
+        ``k == 0``, and all fluid drains merge into one batched
+        :meth:`~repro.net.trace.TraceBatch.transfer_drain` call.
+        Lanes whose window-limited phase would cross an interval boundary
+        or outrun the table horizon fall back to the scalar kernel per
+        lane, exactly as the analytic tier does.
+        """
+        b = self._scratch
+        ws = self._ws
+        tb = self.batch
+        rtt = self.rtt_s
+        cwnd = self._cwnd
+        ssthresh = self._ssthresh
+        bounds = tb._bounds
+        last = tb.n_intervals - 1
+        bdp = b.bdp
+        idx0 = ws.idx
+        table = _SCHED_TABLE
+        h = table.HORIZON
+
+        # ssthresh only ever rises toward (and never beyond) max(initial,
+        # 3/4 * MAX_CWND), so the packed key is collision-free.
+        rows = table.rows_for(cwnd * (1 << 21) + ssthresh)
+        kf = np.add.reduce(table.cb[rows] < bdp[:, None], axis=1)
+        kd = np.add.reduce(table.cover[rows] < sizes[:, None], axis=1)
+        k = np.minimum(kf, kd)
+        tk = t0 + k * rtt
+        # Valid while round k stays within the table horizon and its BDP
+        # probe still lands in the starting interval (the final interval's
+        # value holds forever, mirroring value_at's clamp).
+        ok = (k < h) & ((idx0 == last) | (tk < bounds[idx0 + 1]))
+        if np.count_nonzero(ok) != ok.size:
+            # Interval crossing mid-phase (or a horizon overrun): per-lane
+            # scalar kernel, identical to the analytic tier's fallbacks.
+            for j in np.flatnonzero(~ok):
+                e, _, grown = _analytic_download(
+                    tb.lane(int(j)),
+                    rtt,
+                    float(sizes[j]),
+                    float(t0[j]),
+                    int(cwnd[j]),
+                    int(ssthresh[j]),
+                )
+                ends[j] = e
+                cwnd[j] = grown
+        fl = ok & (kf <= kd)
+        if np.count_nonzero(fl):
+            # Pipe full at round k: drain the remainder at the link rate
+            # (ties between the checks go to the fluid branch, mirroring
+            # the reference loop's per-round order).  The dominant hot
+            # case — the drain completes inside the interval containing
+            # round k, or past the trace end where the final rate holds —
+            # runs full-width under the mask with the same float
+            # expressions the scalar kernel evaluates; spill-over lanes
+            # compact into one :meth:`TraceBatch.transfer_drain` call.
+            kc = np.minimum(k, h - 1)
+            rows1 = rows * (h + 1)
+            np.add(rows1, kc, out=rows1)  # flat index of cwnds[rows, kc]
+            rowh = rows * h
+            np.add(rowh, kc, out=rowh)  # flat index of cum_mss[rows, kc]
+            frem = b.rem
+            table.cum_mss_flat.take(rowh, out=frem, mode="clip")
+            np.subtract(sizes, frem, out=frem)
+            rate0 = ws.rate0
+            np.add(idx0, tb._row_off, out=ws.flat_idx)
+            tb._rates_flat.take(ws.flat_idx, out=rate0, mode="clip")
+            np.add(idx0, 1, out=ws.idx1)
+            bounds.take(ws.idx1, out=ws.f1, mode="clip")
+            np.subtract(ws.f1, tk, out=ws.f1)
+            np.multiply(rate0, ws.f1, out=ws.f1)  # interval capacity
+            np.subtract(frem, _EPS_BYTES, out=ws.f2)
+            hot = ws.b1
+            np.greater_equal(ws.f1, ws.f2, out=hot)
+            np.greater_equal(tk, bounds[-1], out=ws.b2)
+            np.logical_or(hot, ws.b2, out=hot)
+            np.greater(rate0, 0.0, out=ws.b2)
+            np.logical_and(hot, ws.b2, out=hot)
+            np.greater_equal(tk, bounds[0], out=ws.b2)
+            np.logical_and(hot, ws.b2, out=hot)
+            np.logical_and(hot, fl, out=hot)
+            if np.count_nonzero(hot):
+                q = b.fluid
+                q.fill(0.0)
+                np.divide(frem, rate0, out=q, where=hot)
+                np.add(tk, q, out=b.tf)
+                np.subtract(b.tf, tk, out=q)  # fluid seconds, hot lanes
+                np.add(tk, q, out=b.tf)
+                np.copyto(ends, b.tf, where=hot)
+                # _fluid_grow_batch under the mask: min(cwnd_k +
+                # max(0, int(fluid/rtt)), MAX).
+                np.divide(q, rtt, out=b.f3)
+                np.copyto(b.i1, b.f3, casting="unsafe")
+                np.maximum(b.i1, 0, out=b.i1)
+                table.cwnds_flat.take(rows1, out=b.ti, mode="clip")
+                np.add(b.ti, b.i1, out=b.i1)
+                np.minimum(b.i1, MAX_CWND_SEGMENTS, out=b.i1)
+                np.copyto(cwnd, b.i1, where=hot)
+            np.logical_not(hot, out=ws.b2)
+            np.logical_and(ws.b2, fl, out=ws.b2)
+            cold = np.flatnonzero(ws.b2)
+            if cold.size:
+                ft = tk[cold]
+                fluid_s = tb.transfer_drain(
+                    ft, frem[cold], cold, idx0[cold], known_cold=True
+                )
+                ends[cold] = ft + fluid_s
+                cwnd[cold] = _fluid_grow_batch(
+                    table.cwnds_flat.take(rows1[cold]), fluid_s, rtt
+                )
+        gd = ok & (kf > kd)
+        if np.count_nonzero(gd):
+            # Data exhausted first: round kd is the final window-limited
+            # round; the post-growth window is the next schedule column.
+            kk = np.minimum(kd + 1, h)
+            np.multiply(kk, rtt, out=b.f3)
+            np.add(b.f3, t0, out=b.f3)
+            np.copyto(ends, b.f3, where=gd)
+            rowk = rows * (h + 1)
+            np.add(rowk, kk, out=rowk)
+            table.cwnds_flat.take(rowk, out=b.ti, mode="clip")
+            np.copyto(cwnd, b.ti, where=gd)
+
+    # ------------------------------------------------------------------
+    # Tier 2: the compiled kernel
+    # ------------------------------------------------------------------
+    def _download_compiled(
+        self, size_bytes: np.ndarray, start_times_s: np.ndarray
+    ) -> "_MutableBatchResult":
+        """One compiled-kernel call advances every lane through the chunk."""
+        b = self._scratch
+        tb = self.batch
+        rtt = self.rtt_s
+        shared = self._shared
+        starts = np.asarray(start_times_s, dtype=float)
+        sizes = np.asarray(size_bytes, dtype=float)
+        srtt = shared.srtt_s
+        min_rtt = shared.min_rtt_s
+        rto = shared.rto_s
+        ends = self._last_send  # read-before-write per lane in the kernel
+        status = _compiled.download_chunk(
+            tb._bounds,
+            tb._values2d,
+            tb._rates2d,
+            tb._cum2d,
+            sizes,
+            starts,
+            rtt,
+            rto,
+            self._cwnd,
+            self._ssthresh,
+            self._last_send,
+            ends,
+            b.idle,
+            b.cwnd_pre,
+            b.ssthresh_pre,
+        )
+        if status:
+            raise RuntimeError(
+                "transfer cannot complete: trailing bandwidth is zero"
+            )
+        shared.observe_rtt(rtt)
+        return self._fill_result(starts, ends, sizes, srtt, min_rtt, rto)
+
+    def _fill_result(self, starts, ends, sizes, srtt, min_rtt, rto):
+        """Populate the reusable result record (columns alias buffers)."""
+        b = self._scratch
+        res = self._result
+        res.start_times_s = starts
+        res.end_times_s = ends
+        res.size_bytes = sizes
+        res.cwnd_segments = b.cwnd_pre
+        res.ssthresh_segments = b.ssthresh_pre
+        res.time_since_last_send_s = b.idle
+        res.srtt_s = srtt if srtt > 0 else 1.0
+        res.min_rtt_s = min_rtt if min_rtt != float("inf") else (srtt or 1.0)
+        res.rto_s = rto
+        return res

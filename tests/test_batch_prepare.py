@@ -302,6 +302,21 @@ class TestPrepareCorpusParity:
             engine_serial.prepare_corpus(corpus, setting_a),
         )
 
+    def test_kernel_tiers_prepare_identically(self, setting_a):
+        """Setting-A deployment runs through the selected replay-kernel tier
+        too; every tier must produce the same ``PreparedCorpus`` bit for bit
+        (``compiled`` degrades to ``scratch`` when no backend is buildable,
+        which preserves the contract)."""
+        corpus = small_corpus(3)
+        want = CounterfactualEngine(
+            paper_veritas_config(), n_samples=2, seed=4, kernel="analytic"
+        ).prepare_corpus(corpus, setting_a)
+        for kernel in ("scratch", "compiled"):
+            got = CounterfactualEngine(
+                paper_veritas_config(), n_samples=2, seed=4, kernel=kernel
+            ).prepare_corpus(corpus, setting_a)
+            assert_prepared_equal(got, want)
+
     @pytest.mark.skipif(
         "fork" not in multiprocessing.get_all_start_methods(),
         reason="fork start method unavailable",

@@ -361,3 +361,149 @@ class TestEnginePaths:
             assert_logs_identical(
                 run_setting(setting_b, lane), batch_log.lane(k)
             )
+
+
+class TestKernelTierRegistry:
+    """Construction-time validation of ``kernel=`` names (PR 6)."""
+
+    def test_known_tiers(self):
+        from repro.tcp.connection import DEFAULT_KERNEL, KERNEL_TIERS
+
+        assert KERNEL_TIERS == ("reference", "analytic", "scratch", "compiled")
+        assert DEFAULT_KERNEL in KERNEL_TIERS
+
+    def test_batch_connection_rejects_unknown_kernel(self):
+        from repro.tcp.connection import BatchTCPConnection
+
+        batch = TraceBatch(lane_traces(2))
+        with pytest.raises(ValueError, match="available tiers"):
+            BatchTCPConnection(batch, kernel="warp-drive")
+
+    def test_batch_session_rejects_unknown_kernel(self, video):
+        with pytest.raises(ValueError, match="available tiers"):
+            BatchStreamingSession(
+                video, BBAAlgorithm, lane_traces(2), SessionConfig(),
+                kernel="warp-drive",
+            )
+
+    def test_engine_rejects_unknown_kernel(self):
+        with pytest.raises(ValueError, match="available tiers"):
+            CounterfactualEngine(
+                paper_veritas_config(), n_samples=2, seed=0, kernel="warp-drive"
+            )
+
+    def test_every_tier_constructs(self):
+        from repro.tcp.connection import KERNEL_TIERS, BatchTCPConnection
+
+        batch = TraceBatch(lane_traces(2))
+        for tier in KERNEL_TIERS:
+            conn = BatchTCPConnection(batch, kernel=tier)
+            assert conn.kernel == tier
+            # "compiled" may legitimately degrade to "scratch"; everything
+            # else serves exactly the requested tier.
+            if tier == "compiled":
+                assert conn._tier in ("compiled", "scratch")
+            else:
+                assert conn._tier == tier
+
+
+REPLAY_TIERS = ("reference", "analytic", "scratch", "compiled")
+
+
+class TestKernelTierParity:
+    """Threshold-boundary parity across every replay kernel tier (PR 6).
+
+    The scratch tier absorbs two scalar-fallback cutoffs — the <8-lane
+    bisect shortcut and the ``_VECTOR_ROUNDS_MIN`` (= 12) round-schedule
+    minimum — so lane counts 1/7/8 and downloads taking 11/12/13
+    reference rounds sit exactly on those seams.  Every case must be
+    bit-identical on every tier.
+    """
+
+    @pytest.mark.parametrize("n_lanes", [1, 7, 8])
+    @pytest.mark.parametrize("tier", REPLAY_TIERS)
+    def test_lane_count_boundaries(self, video, n_lanes, tier):
+        traces = lane_traces(n_lanes, seed=31)
+        config = SessionConfig(buffer_capacity_s=5.0)
+        batch_log = BatchStreamingSession(
+            video, BBAAlgorithm, traces, config, kernel=tier
+        ).run()
+        for k, trace in enumerate(traces):
+            serial = StreamingSession(video, BBAAlgorithm(), trace, config).run()
+            assert_logs_identical(serial, batch_log.lane(k))
+
+    @staticmethod
+    def _size_for_rounds(n_rounds: int) -> float:
+        """A chunk size whose reference loop runs exactly ``n_rounds``
+        window-limited rounds (exiting via data exhaustion) from a fresh
+        connection's (cwnd=10, default-ssthresh) schedule."""
+        from repro.tcp.connection import _grow_window
+        from repro.tcp.constants import INITIAL_SSTHRESH_SEGMENTS, MSS_BYTES
+
+        cwnd, sent = 10, 0
+        for _ in range(n_rounds - 1):
+            sent += cwnd
+            cwnd = _grow_window(cwnd, INITIAL_SSTHRESH_SEGMENTS)
+        return (sent + cwnd) * MSS_BYTES - 750.0
+
+    @pytest.mark.parametrize("tier", REPLAY_TIERS)
+    def test_round_count_boundaries(self, tier):
+        """Downloads engineered to take 3/11/12/13 reference rounds —
+        straddling ``_VECTOR_ROUNDS_MIN`` (= 12) — all bit-identical."""
+        from repro.tcp.connection import BatchTCPConnection, TCPConnection
+
+        assert BatchTCPConnection._VECTOR_ROUNDS_MIN == 12  # 11/12/13 on the seam
+        targets = [3, 11, 12, 13]
+        # 400 Mbps: the BDP (4 MB) exceeds cwnd*MSS through round 13, so
+        # the loop below never exits pipe-full before its target round.
+        trace = PiecewiseConstantTrace.from_uniform([400.0] * 4, 50.0)
+        sizes = np.array([self._size_for_rounds(r) for r in targets])
+        starts = np.zeros(len(targets))
+
+        refs = [TCPConnection(trace, kernel="reference") for _ in targets]
+        want_results = [
+            ref.download(float(sizes[k]), 0.0) for k, ref in enumerate(refs)
+        ]
+        for k, (target, want) in enumerate(zip(targets, want_results)):
+            assert want.rounds == target  # the sizes hit their targets
+
+        conn = BatchTCPConnection(TraceBatch([trace] * len(targets)), kernel=tier)
+        got = conn.download_batch(sizes, starts)
+        for k, want in enumerate(want_results):
+            assert got.end_times_s[k] == want.end_time_s
+            assert conn._cwnd[k] == refs[k].state.cwnd_segments
+            assert conn._ssthresh[k] == refs[k].state.ssthresh_segments
+
+    @pytest.mark.parametrize("tier", REPLAY_TIERS)
+    def test_zero_capacity_interval_downloads(self, tier):
+        """Transfers that must wait out mid-trace zero-capacity intervals
+        agree with the scalar kernel on every tier."""
+        from repro.tcp.connection import BatchTCPConnection, TCPConnection
+
+        vals = [4.0, 0.0, 0.0, 2.0, 6.0]
+        trace = PiecewiseConstantTrace.from_uniform(vals, 5.0)
+        n = 6
+        rng = np.random.default_rng(17)
+        conn = BatchTCPConnection(TraceBatch([trace] * n), kernel=tier)
+        serial = [TCPConnection(trace, kernel="analytic") for _ in range(n)]
+        starts = np.zeros(n)
+        for _ in range(4):
+            sizes = 10 ** rng.uniform(4.5, 6.5, n)
+            got = conn.download_batch(sizes, starts)
+            for k in range(n):
+                want = serial[k].download(float(sizes[k]), float(starts[k]))
+                assert got.end_times_s[k] == want.end_time_s
+                assert conn._cwnd[k] == serial[k].state.cwnd_segments
+            starts = got.end_times_s + rng.uniform(0.0, 0.4, n)
+
+    @pytest.mark.parametrize("abr_factory", [BBAAlgorithm, BOLAAlgorithm, MPCAlgorithm])
+    @pytest.mark.parametrize("tier", REPLAY_TIERS)
+    def test_every_abr_on_every_tier(self, video, abr_factory, tier):
+        traces = lane_traces(5, seed=33)
+        config = SessionConfig(buffer_capacity_s=8.0)
+        batch_log = BatchStreamingSession(
+            video, abr_factory, traces, config, kernel=tier
+        ).run()
+        for k, trace in enumerate(traces):
+            serial = StreamingSession(video, abr_factory(), trace, config).run()
+            assert_logs_identical(serial, batch_log.lane(k))

@@ -1,0 +1,196 @@
+"""Tests for the compiled replay kernel tier (PR 6).
+
+``repro.tcp._compiled`` keeps three interchangeable implementations of the
+whole-batch chunk-download kernel:
+
+* the pure-Python mirror (always importable — the parity oracle),
+* a numba ``njit`` build of the mirror (when numba is installed),
+* a cc + cffi build of a line-for-line C transcription (when a C
+  compiler and cffi are present, as in the offline CI image).
+
+This suite pins the active backend to the Python mirror bit-for-bit,
+exercises the feature-detection/fallback contract
+(``kernel="compiled"`` degrades to the scratch tier when no backend is
+buildable), and runs whole sessions through the compiled tier against
+serial replay.
+
+Tolerance note: both compiled backends execute the same correctly-rounded
+IEEE-754 float64 operations as the mirror in the same order (the cc build
+disables FMA contraction and fast-math), so on the platforms we test
+results are bit-identical.  The documented cross-platform tolerance for
+the compiled tier is ``rtol=1e-12``; the dedicated tolerance test below
+asserts it explicitly while the lockstep tests pin exact equality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    BatchStreamingSession,
+    SessionConfig,
+    StreamingSession,
+)
+from repro.abr import BBAAlgorithm, BOLAAlgorithm, MPCAlgorithm
+from repro.net.trace import PiecewiseConstantTrace, TraceBatch
+from repro.tcp import _compiled
+from repro.tcp.connection import BatchTCPConnection
+
+from test_batch_replay import assert_logs_identical, lane_traces, video  # noqa: F401
+
+
+def make_problem(seed: int, n_lanes: int = 13, n_intervals: int = 40):
+    """A random lane batch plus download state for the raw kernel call."""
+    rng = np.random.default_rng(seed)
+    bounds = np.concatenate(([0.0], np.cumsum(rng.uniform(0.5, 3.0, n_intervals))))
+    values2d = rng.uniform(0.0, 8.0, (n_lanes, n_intervals))
+    values2d[rng.random((n_lanes, n_intervals)) < 0.1] = 0.0
+    values2d[:, -1] = np.maximum(values2d[:, -1], 0.5)  # transfers terminate
+    widths = np.diff(bounds)
+    rates2d = values2d * 1_000_000 / 8
+    cum2d = np.concatenate(
+        [np.zeros((n_lanes, 1)), np.cumsum(rates2d * widths, axis=1)], axis=1
+    )
+    cwnd = np.full(n_lanes, 10, dtype=np.int64)
+    cwnd[n_lanes // 2] = 500  # one lane deep into a grown window
+    ssthresh = np.full(n_lanes, 100, dtype=np.int64)
+    ssthresh[n_lanes // 2] = 4
+    last_send = rng.uniform(0.0, 5.0, n_lanes)
+    sizes = 10 ** rng.uniform(4.0, 6.8, n_lanes)
+    starts = last_send + rng.uniform(0.0, 1.0, n_lanes)  # idle gaps: restarts
+    return bounds, values2d, rates2d, cum2d, cwnd, ssthresh, last_send, sizes, starts
+
+
+def run_kernel(problem, force_python: bool, monkeypatch):
+    bounds, values2d, rates2d, cum2d, cwnd, ssthresh, last_send, sizes, starts = (
+        problem
+    )
+    monkeypatch.setattr(_compiled, "FORCE_PYTHON", force_python)
+    n = sizes.shape[0]
+    cwnd, ssthresh, last_send = cwnd.copy(), ssthresh.copy(), last_send.copy()
+    ends, idle = np.empty(n), np.empty(n)
+    cwnd_pre = np.empty(n, dtype=np.int64)
+    ssthresh_pre = np.empty(n, dtype=np.int64)
+    status = _compiled.download_chunk(
+        bounds, values2d, rates2d, cum2d, sizes, starts, 0.08, 0.2,
+        cwnd, ssthresh, last_send, ends, idle, cwnd_pre, ssthresh_pre,
+    )
+    return status, cwnd, ssthresh, ends, idle, cwnd_pre, ssthresh_pre
+
+
+class TestBackendDispatch:
+    def test_backend_is_known(self):
+        assert _compiled.backend() in ("python", "numba", "cc")
+
+    def test_available_tracks_backend(self):
+        # available() must agree with the dispatcher: a non-Python backend
+        # means the tier is servable, FORCE_PYTHON means it always is.
+        if _compiled.backend() != "python":
+            assert _compiled.available()
+
+    def test_force_python_makes_tier_available(self, monkeypatch):
+        monkeypatch.setattr(_compiled, "FORCE_PYTHON", True)
+        assert _compiled.available()
+        assert _compiled.backend() == "python"
+
+    def test_unavailable_compiled_falls_back_to_scratch(self, monkeypatch):
+        monkeypatch.setattr(_compiled, "available", lambda: False)
+        batch = TraceBatch(lane_traces(3))
+        conn = BatchTCPConnection(batch, kernel="compiled")
+        assert conn.kernel == "compiled"  # the request is remembered...
+        assert conn._tier == "scratch"  # ...but the scratch tier serves it
+
+    def test_cc_build_failure_is_graceful(self, monkeypatch, tmp_path):
+        """An unusable cache dir must make the cc backend report
+        unavailable instead of raising at construction."""
+        blocked = tmp_path / "blocked"
+        blocked.write_text("not a directory")  # makedirs fails even as root
+        monkeypatch.setenv("REPRO_COMPILED_CACHE", str(blocked / "cache"))
+        monkeypatch.setattr(
+            _compiled, "_cc_state", {"tried": False, "lib": None, "ffi": None}
+        )
+        assert _compiled._cc_kernel() is None
+
+
+class TestRawKernelParity:
+    @pytest.mark.skipif(
+        _compiled.backend() == "python",
+        reason="no compiled backend on this machine",
+    )
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_backend_bit_identical_to_mirror(self, seed, monkeypatch):
+        problem = make_problem(seed)
+        mirror = run_kernel(problem, True, monkeypatch)
+        native = run_kernel(problem, False, monkeypatch)
+        assert mirror[0] == native[0] == 0
+        for got, want in zip(native[1:], mirror[1:]):
+            assert np.array_equal(got, want)
+
+    def test_zero_trailing_bandwidth_status(self, monkeypatch):
+        problem = make_problem(4)
+        bounds, values2d = problem[0], problem[1].copy()
+        values2d[2, :] = 0.0  # one dead lane
+        widths = np.diff(bounds)
+        rates2d = values2d * 1_000_000 / 8
+        cum2d = np.concatenate(
+            [np.zeros((values2d.shape[0], 1)), np.cumsum(rates2d * widths, axis=1)],
+            axis=1,
+        )
+        sizes = problem[7].copy()
+        sizes[2] = 1e12
+        doomed = (bounds, values2d, rates2d, cum2d, *problem[4:7], sizes, problem[8])
+        assert run_kernel(doomed, True, monkeypatch)[0] == 1
+        if _compiled.backend() != "python":
+            assert run_kernel(doomed, False, monkeypatch)[0] == 1
+
+    def test_batch_connection_raises_on_dead_lane(self, video):  # noqa: F811
+        dead = PiecewiseConstantTrace.from_uniform([2.0, 1.0, 0.0], 5.0)
+        conn = BatchTCPConnection(TraceBatch([dead, dead]), kernel="compiled")
+        with pytest.raises(RuntimeError, match="trailing bandwidth"):
+            conn.download_batch(np.array([1e9, 1e9]), np.array([0.0, 0.0]))
+
+
+class TestCompiledSessionParity:
+    @pytest.mark.parametrize("abr_factory", [BBAAlgorithm, BOLAAlgorithm, MPCAlgorithm])
+    def test_sessions_bit_identical_to_serial(self, video, abr_factory):  # noqa: F811
+        traces = lane_traces(6, seed=21)
+        config = SessionConfig(buffer_capacity_s=5.0)
+        batch_log = BatchStreamingSession(
+            video, abr_factory, traces, config, kernel="compiled"
+        ).run()
+        for k, trace in enumerate(traces):
+            serial = StreamingSession(video, abr_factory(), trace, config).run()
+            assert_logs_identical(serial, batch_log.lane(k))
+
+    def test_force_python_sessions_bit_identical(self, video, monkeypatch):  # noqa: F811
+        """The pure-Python mirror must satisfy the same session contract —
+        this keeps the compiled code path testable with no toolchain."""
+        monkeypatch.setattr(_compiled, "FORCE_PYTHON", True)
+        traces = lane_traces(5, seed=22)
+        config = SessionConfig(buffer_capacity_s=6.0)
+        batch_log = BatchStreamingSession(
+            video, BOLAAlgorithm, traces, config, kernel="compiled"
+        ).run()
+        for k, trace in enumerate(traces):
+            serial = StreamingSession(video, BOLAAlgorithm(), trace, config).run()
+            assert_logs_identical(serial, batch_log.lane(k))
+
+    def test_documented_tolerance(self, video):  # noqa: F811
+        """The compiled tier's cross-platform guarantee is rtol=1e-12 on
+        every logged float column (bit-exact where we can test)."""
+        traces = lane_traces(4, seed=23)
+        config = SessionConfig(buffer_capacity_s=5.0)
+        compiled_log = BatchStreamingSession(
+            video, BBAAlgorithm, traces, config, kernel="compiled"
+        ).run()
+        scratch_log = BatchStreamingSession(
+            video, BBAAlgorithm, traces, config, kernel="scratch"
+        ).run()
+        np.testing.assert_allclose(
+            compiled_log.end_times_s, scratch_log.end_times_s, rtol=1e-12, atol=0.0
+        )
+        np.testing.assert_allclose(
+            compiled_log.rebuffer_s, scratch_log.rebuffer_s, rtol=1e-12, atol=0.0
+        )
+        assert np.array_equal(compiled_log.qualities, scratch_log.qualities)

@@ -1,0 +1,98 @@
+"""Allocation budget of the scratch kernel tier (PR 6).
+
+``kernel="scratch"`` promises an **allocation-free steady state**: once a
+``BatchTCPConnection`` has warmed up, a pipe-full chunk download (every
+lane finishing inside its current trace interval — the overwhelmingly
+common case once windows have opened) runs entirely through ``out=``
+ufuncs on preallocated per-batch buffers.  This suite pins that budget
+with ``tracemalloc`` so a stray temporary (an allocating ufunc, a
+buffered ``take``, a mixed-dtype cast) fails loudly instead of silently
+regressing the hot loop.
+
+Detection works by scale separation: with ``K`` lanes, any per-call lane
+array costs at least ``K`` bytes (bool) and typically ``8 * K`` (float64
+/ int64), while the per-call Python-object noise (result handling, a few
+boxed floats in ``observe_rtt``) stays under ~1 KiB regardless of ``K``.
+At ``K = 4096`` the assertion threshold of ``K`` bytes sits far above
+the noise and far below the smallest possible lane array.
+"""
+
+from __future__ import annotations
+
+import gc
+import tracemalloc
+
+import numpy as np
+
+from repro.net.trace import PiecewiseConstantTrace, TraceBatch
+from repro.tcp.connection import BatchTCPConnection
+
+K = 4096
+WARMUP_CALLS = 10
+STEADY_CALLS = 25
+
+
+def steady_state_connection():
+    """A warmed-up scratch-tier connection in the pipe-full regime.
+
+    One long interval at 1.0 Mbps keeps the BDP (10 kB) below even the
+    initial congestion window (15 kB), so every lane is pipe-full from
+    round 0 and every download takes the hot fluid path; back-to-back
+    requests (idle == 0) keep slow-start restart inert.
+    """
+    trace = PiecewiseConstantTrace([0.0, 1e9], [1.0])
+    conn = BatchTCPConnection(TraceBatch([trace] * K), kernel="scratch")
+    assert conn._tier == "scratch"
+    rng = np.random.default_rng(0)
+    sizes = rng.uniform(2e4, 6e4, K)
+    starts = np.zeros(K)
+    for _ in range(WARMUP_CALLS):
+        result = conn.download_batch(sizes, starts)
+        np.copyto(starts, result.end_times_s)
+    return conn, sizes, starts
+
+
+class TestScratchAllocationBudget:
+    def test_steady_state_allocates_no_arrays(self):
+        conn, sizes, starts = steady_state_connection()
+        gc.collect()
+        tracemalloc.start()
+        try:
+            # One more warm call inside tracing so lazily-created
+            # Python-level caches (bound methods, interned scalars) exist
+            # before the measured window opens.
+            result = conn.download_batch(sizes, starts)
+            np.copyto(starts, result.end_times_s)
+            gc.collect()
+            base, _ = tracemalloc.get_traced_memory()
+            tracemalloc.reset_peak()
+            for _ in range(STEADY_CALLS):
+                result = conn.download_batch(sizes, starts)
+                np.copyto(starts, result.end_times_s)
+            current, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        # The high-water mark catches transient temporaries (allocated
+        # and freed within a call); the current figure catches leaks.
+        # Either way a single K-lane array (>= K bytes for bool,
+        # 8 * K for float64) blows the budget.
+        assert peak - base < K, (
+            f"steady-state download_batch transiently allocated "
+            f"{peak - base} bytes (budget: {K}); an array temporary has "
+            f"crept into the scratch kernel's hot path"
+        )
+        assert current - base < K, (
+            f"steady-state download_batch leaked {current - base} bytes "
+            f"across {STEADY_CALLS} calls"
+        )
+
+    def test_steady_state_result_reuses_buffers(self):
+        """The mutable result must alias the connection's own buffers —
+        holding a reference across calls sees the next chunk's values."""
+        conn, sizes, starts = steady_state_connection()
+        first = conn.download_batch(sizes, starts)
+        ends_buffer = first.end_times_s
+        np.copyto(starts, first.end_times_s)
+        second = conn.download_batch(sizes, starts)
+        assert second is first  # one reusable result object
+        assert second.end_times_s is ends_buffer  # same storage, new values
