@@ -570,6 +570,75 @@ def test_perf_prepare_corpus(benchmark):
     assert ok
 
 
+def test_perf_fault_overhead(benchmark):
+    """Clean-path cost of the fault-tolerant runtime (PR 7).
+
+    ``on_error="skip"`` wraps every corpus stage in isolation try/excepts
+    and threads a FaultLog through the call tree; on a healthy corpus that
+    bookkeeping must be invisible.  The same bench-scale ``evaluate_many``
+    sweep runs under ``"raise"`` (the historical fail-stop path) and
+    ``"skip"``, interleaved min-of-5 so container CPU noise cancels out of
+    the ratio.  Acceptance: < 2% overhead.
+    """
+    from repro import change_abr, paper_corpus
+
+    setting_a = bench_setting_a()
+    settings_b = [change_abr(setting_a, q) for q in ["bba", "bola"]]
+    corpus = paper_corpus(
+        count=min(N_TRACES, 4), duration_s=TRACE_DURATION_S, seed=CORPUS_SEED
+    )
+    engines = {
+        policy: CounterfactualEngine(
+            paper_veritas_config(), n_samples=N_SAMPLES, seed=ENGINE_SEED,
+            on_error=policy,
+        )
+        for policy in ["raise", "skip"]
+    }
+    prepared = engines["raise"].prepare_corpus(corpus, setting_a)
+
+    for engine in engines.values():  # warm caches
+        engine.evaluate_many(prepared, settings_b)
+
+    times = {policy: [] for policy in engines}
+    for _ in range(5):
+        for policy, engine in engines.items():
+            start = time.perf_counter()
+            results = engine.evaluate_many(prepared, settings_b)
+            times[policy].append(time.perf_counter() - start)
+    run_once(
+        benchmark, lambda: engines["skip"].evaluate_many(prepared, settings_b)
+    )
+
+    raise_s = min(times["raise"])
+    skip_s = min(times["skip"])
+    overhead_pct = (skip_s / raise_s - 1.0) * 100.0
+
+    print_header(
+        "Perf — fault-isolation overhead (evaluate_many, clean corpus)",
+        "FaultLog bookkeeping must be free on the happy path; gate < 2%",
+    )
+    print(
+        f"  on_error='raise' {raise_s * 1e3:.0f} ms vs 'skip' "
+        f"{skip_s * 1e3:.0f} ms ({overhead_pct:+.2f}% overhead)"
+    )
+    benchmark.extra_info.update(
+        raise_evaluate_many_ms=raise_s * 1e3,
+        skip_evaluate_many_ms=skip_s * 1e3,
+        fault_overhead_pct=overhead_pct,
+    )
+    ok = shape_check(
+        "every query answered for every trace",
+        all(len(r.per_trace) == len(corpus) for r in results),
+    )
+    ok &= shape_check(
+        "no faults on a clean corpus", not any(r.faults for r in results)
+    )
+    ok &= shape_check(
+        "fault bookkeeping adds < 2% to the clean path", overhead_pct < 2.0
+    )
+    assert ok
+
+
 def test_perf_corpus_evaluation(benchmark):
     """Full counterfactual corpus evaluation at bench scale."""
     setting_a = bench_setting_a()

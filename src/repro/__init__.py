@@ -73,10 +73,15 @@ from .core import (
 from .net import (
     PiecewiseConstantTrace,
     TraceBatch,
+    TraceDiagnostic,
+    TraceFormatError,
+    TraceValidationError,
     constant_trace,
     random_walk_trace,
     square_wave_trace,
     trace_corpus,
+    validate_corpus,
+    validate_trace,
 )
 from .player import (
     BatchStreamingSession,
@@ -88,6 +93,13 @@ from .player import (
     StreamingSession,
     compute_metrics,
     compute_metrics_batch,
+)
+from .runtime import (
+    CheckpointStore,
+    FaultLog,
+    PoolFault,
+    SupervisorConfig,
+    TraceFault,
 )
 from .tcp import (
     TCPConnection,
@@ -122,15 +134,18 @@ __all__ = [
     "BatchStreamingSession",
     "CapacityGrid",
     "ChunkRecord",
+    "CheckpointStore",
     "CounterfactualEngine",
     "CounterfactualResult",
     "PreparedCorpus",
     "PreparedTrace",
     "EmissionModel",
+    "FaultLog",
     "FuguPredictor",
     "MLPRegressor",
     "MPCAlgorithm",
     "PiecewiseConstantTrace",
+    "PoolFault",
     "QoEMetrics",
     "QualityLadder",
     "RandomABRAlgorithm",
@@ -140,9 +155,14 @@ __all__ = [
     "SessionLogBatch",
     "Setting",
     "StreamingSession",
+    "SupervisorConfig",
     "TCPConnection",
     "TCPStateSnapshot",
     "TraceBatch",
+    "TraceDiagnostic",
+    "TraceFault",
+    "TraceFormatError",
+    "TraceValidationError",
     "TransitionModel",
     "VeritasAbduction",
     "VeritasConfig",
@@ -180,6 +200,8 @@ __all__ = [
     "short_video",
     "square_wave_trace",
     "trace_corpus",
+    "validate_corpus",
+    "validate_trace",
     "viterbi_path",
     "wide_corpus",
 ]

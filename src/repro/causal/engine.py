@@ -20,20 +20,40 @@ the deployment, abduction and posterior sampling are amortised across
 queries, which is what makes sweeping many what-ifs over a large corpus
 cheap.  ``evaluate_corpus`` is the single-query convenience wrapper over
 the same path and stays bit-identical to evaluating each trace end to end.
+
+**Fault tolerance** (see :mod:`repro.runtime`): the corpus-level entry
+points take an ``on_error`` policy (``"raise"`` | ``"degrade"`` |
+``"skip"``).  Under ``"degrade"``/``"skip"`` a trace that fails in the
+batch fast path is deterministically retried on the scalar reference path
+with the same seeds (bit-identical when it succeeds); under ``"skip"`` a
+trace whose scalar retry also fails is dropped with a structured
+:class:`~repro.runtime.faults.TraceFault` instead of killing the run, and
+every incident lands in the :class:`~repro.runtime.faults.FaultLog`
+attached to the result.  The fork pool is supervised (per-shard timeouts,
+worker-death detection, bounded retries, in-process fallback) and
+``prepare_corpus(checkpoint_dir=...)`` persists each completed trace's
+artifacts content-addressed by (trace, Setting-A, model, seed) so a
+restart re-does zero deployment/abduction work for finished traces.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import json
 import multiprocessing
 import threading
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
 from ..baselines.observed import baseline_trace
 from ..core.abduction import VeritasAbduction, VeritasConfig, sample_traces_batch
 from ..net.trace import PiecewiseConstantTrace, TraceBatch, boundary_key
+from ..net.validation import check_corpus, validate_corpus
+from ..runtime.checkpoint import CheckpointStore, fingerprint
+from ..runtime.faults import FaultLog, TraceFault, resolve_on_error
+from ..runtime.supervisor import SupervisorConfig, run_supervised
 from ..player.batch_session import (
     BatchStreamingSession,
     LaneGroup,
@@ -145,11 +165,20 @@ class TraceCounterfactual:
 
 @dataclass
 class CounterfactualResult:
-    """Counterfactual answers across a whole trace corpus."""
+    """Counterfactual answers across a whole trace corpus.
+
+    ``faults`` reports everything an ``on_error="degrade"``/``"skip"`` run
+    survived; traces it lists as skipped are absent from ``per_trace``
+    (every surviving entry is bit-identical to a clean run's).  When one
+    :meth:`CounterfactualEngine.evaluate_many` call answers several
+    queries, its results share one :class:`~repro.runtime.faults.FaultLog`
+    instance.
+    """
 
     setting_a: str
     setting_b: str
     per_trace: list[TraceCounterfactual] = field(default_factory=list)
+    faults: FaultLog = field(default_factory=FaultLog)
 
     def metric_table(self, metric: str) -> dict[str, np.ndarray]:
         """Per-trace arrays of ``metric`` for every scheme.
@@ -218,12 +247,16 @@ class PreparedCorpus:
     """A corpus with Setting A deployed and abduction solved, ready to replay.
 
     Produced by :meth:`CounterfactualEngine.prepare_corpus`; consumed by
-    :meth:`CounterfactualEngine.evaluate_many`.
+    :meth:`CounterfactualEngine.evaluate_many`.  ``faults`` reports the
+    traces an ``on_error="skip"`` preparation dropped (they are absent
+    from ``per_trace``; surviving entries are bit-identical to a clean
+    run's) plus any pool-supervision incidents.
     """
 
     setting_a: Setting
     n_samples: int
     per_trace: list[PreparedTrace] = field(default_factory=list)
+    faults: FaultLog = field(default_factory=FaultLog)
 
     def __len__(self) -> int:
         return len(self.per_trace)
@@ -239,18 +272,91 @@ _FORK_STATE: tuple | None = None
 _FORK_LOCK = threading.Lock()
 
 
-def _prepare_shard(indices: "tuple[int, ...]") -> "list[PreparedTrace]":
-    engine, traces, setting_a, seeds = _FORK_STATE
-    return engine._prepare_traces(indices, traces, setting_a, seeds)
-
-
-def _replay_task(task: tuple[int, int]) -> tuple[int, int, TraceCounterfactual]:
-    engine, per_trace, settings_b = _FORK_STATE
-    setting_index, trace_index = task
-    outcome = engine._replay_prepared(
-        per_trace[trace_index], settings_b[setting_index]
+def _prepare_shard(
+    indices: "tuple[int, ...]",
+) -> "tuple[list[PreparedTrace], list[TraceFault]]":
+    engine, traces, setting_a, seeds, policy, checkpoint = _FORK_STATE
+    return engine._prepare_traces_safe(
+        indices, traces, setting_a, seeds, policy, checkpoint
     )
-    return setting_index, trace_index, outcome
+
+
+def _replay_task(
+    task: tuple[int, int],
+) -> "tuple[int, int, TraceCounterfactual | None, list[TraceFault]]":
+    engine, per_trace, settings_b, policy = _FORK_STATE
+    setting_index, trace_index = task
+    outcome, faults = engine._replay_one_safe(
+        per_trace[trace_index], settings_b[setting_index], policy
+    )
+    return setting_index, trace_index, outcome, faults
+
+
+# ----------------------------------------------------------------------
+# Checkpoint payloads: a PreparedTrace round-trips through a dict of numpy
+# arrays (what CheckpointStore persists as one .npz).  The session log
+# travels as JSON (repr-round-tripped floats are exact), the baseline and
+# posterior-sample traces as boundary/value arrays; metrics and the replay
+# horizon are recomputed deterministically, so a reloaded PreparedTrace is
+# bit-identical to the one that was saved.
+def _prepared_payload(prepared: PreparedTrace) -> dict:
+    arrays: dict = {
+        "log_json": np.array(json.dumps(prepared.log_a.to_dict())),
+        "baseline_boundaries": np.asarray(prepared.baseline.boundaries),
+        "baseline_values": np.asarray(prepared.baseline.values),
+        "n_samples": np.asarray(len(prepared.samples)),
+    }
+    for k, sample in enumerate(prepared.samples):
+        arrays[f"sample{k}_boundaries"] = np.asarray(sample.boundaries)
+        arrays[f"sample{k}_values"] = np.asarray(sample.values)
+    return arrays
+
+
+def _prepared_from_payload(
+    payload: dict,
+    trace_index: int,
+    ground_truth: PiecewiseConstantTrace,
+    horizon_floor: float,
+) -> PreparedTrace | None:
+    """Rebuild a PreparedTrace, or ``None`` if the payload is damaged."""
+    try:
+        log = SessionLog.from_dict(json.loads(str(payload["log_json"][()])))
+        baseline = PiecewiseConstantTrace(
+            payload["baseline_boundaries"], payload["baseline_values"]
+        )
+        samples = tuple(
+            PiecewiseConstantTrace(
+                payload[f"sample{k}_boundaries"], payload[f"sample{k}_values"]
+            )
+            for k in range(int(payload["n_samples"]))
+        )
+    except Exception:
+        return None
+    return PreparedTrace(
+        trace_index=trace_index,
+        ground_truth=ground_truth,
+        log_a=log,
+        setting_a_metrics=compute_metrics(log),
+        replay_horizon_s=max(ground_truth.end_time, horizon_floor),
+        baseline=baseline,
+        samples=samples,
+    )
+
+
+def _abr_fingerprint(abr) -> str:
+    """A stable identity string for an ABR instance.
+
+    Captures the registered name plus every scalar attribute of a freshly
+    constructed instance — enough to distinguish parameterised variants
+    (e.g. different MPC horizons) without trying to hash arbitrary
+    objects.
+    """
+    simple = {
+        key: value
+        for key, value in sorted(vars(abr).items())
+        if isinstance(value, (bool, int, float, str, type(None)))
+    }
+    return f"{abr.name}:{simple!r}"
 
 
 class CounterfactualEngine:
@@ -274,6 +380,19 @@ class CounterfactualEngine:
     loop cannot drive (``observe_download`` hooks) fall back to the
     serial path automatically, so ``use_batch=False`` is only an escape
     hatch for benchmarking the serial engine.
+
+    ``on_error`` sets the engine-wide fault policy (overridable per call):
+    ``"raise"`` fail-stops (the default), ``"degrade"`` retries failing
+    traces on the scalar reference path with the same seeds (bit-identical
+    when the retry succeeds, loud when it does not), and ``"skip"``
+    additionally drops traces whose scalar retry also fails, recording a
+    :class:`~repro.runtime.faults.TraceFault` in the result's
+    :class:`~repro.runtime.faults.FaultLog`.  ``shard_timeout_s`` /
+    ``max_retries`` / ``retry_backoff_s`` configure the pool supervisor:
+    a worker killed mid-shard or hung past the timeout is detected, its
+    shard retried on a fresh pool with the same deterministic seeds, and
+    an irrecoverable pool falls back to in-process execution — results
+    stay bit-identical to serial whenever every retry succeeds.
     """
 
     def __init__(
@@ -284,6 +403,10 @@ class CounterfactualEngine:
         n_workers: int | None = None,
         use_batch: bool = True,
         kernel: str | None = None,
+        on_error: str = "raise",
+        shard_timeout_s: float | None = None,
+        max_retries: int = 2,
+        retry_backoff_s: float = 0.05,
     ):
         if n_samples < 1:
             raise ValueError(f"n_samples must be >= 1, got {n_samples}")
@@ -296,6 +419,12 @@ class CounterfactualEngine:
         self.n_workers = n_workers
         self.use_batch = use_batch
         self.kernel = kernel
+        self.on_error = resolve_on_error(on_error)
+        self.supervisor = SupervisorConfig(
+            timeout_s=shard_timeout_s,
+            max_retries=max_retries,
+            backoff_s=retry_backoff_s,
+        )
         self._seed = seed
 
     # ------------------------------------------------------------------
@@ -584,53 +713,294 @@ class CounterfactualEngine:
         """Answer one Setting-B query from one trace's cached reconstructions."""
         return self._replay_settings([prepared], [setting_b])[0][0]
 
+    def _replay_prepared_serial(
+        self, prepared: PreparedTrace, setting_b: Setting
+    ) -> TraceCounterfactual:
+        """The scalar reference path for one (trace, setting) answer.
+
+        One :func:`run_setting` session per lane, no batching and no fast
+        kernels anywhere — the deterministic retry target the ``on_error``
+        degrade policy falls back to (bit-identical to the batch path by
+        the parity contract).
+        """
+        gt = prepared.ground_truth
+        horizon = max(gt.end_time, 3.0 * setting_b.video.duration_s)
+        lanes = [gt.extended(horizon), prepared.baseline.extended(horizon)]
+        lanes.extend(s.extended(horizon) for s in prepared.samples)
+        metrics = [
+            compute_metrics(run_setting(setting_b, lane)) for lane in lanes
+        ]
+        return TraceCounterfactual(
+            trace_index=prepared.trace_index,
+            setting_a_metrics=prepared.setting_a_metrics,
+            truth_metrics=metrics[0],
+            baseline_metrics=metrics[1],
+            veritas_metrics=tuple(metrics[2:]),
+        )
+
+    # ------------------------------------------------------------------
+    # Fault-isolation wrappers: same work as the methods they wrap, but a
+    # failure in the batch fast path degrades to the scalar reference path
+    # (same seeds, bit-identical when it succeeds) before — under "skip"
+    # only — a trace is dropped with a structured TraceFault.
+    # ------------------------------------------------------------------
+    def _prepare_traces_safe(
+        self,
+        indices: "Iterable[int]",
+        traces: "list[PiecewiseConstantTrace]",
+        setting_a: Setting,
+        seeds: "list[int]",
+        policy: str,
+        checkpoint: "tuple[CheckpointStore, dict] | None" = None,
+    ) -> "tuple[list[PreparedTrace], list[TraceFault]]":
+        """Prepare a shard under ``policy``; returns ``(prepared, faults)``.
+
+        Runs in pool workers and in-process alike.  Newly prepared traces
+        are persisted to ``checkpoint`` as soon as the shard completes, so
+        a crash later in the run never loses finished work.
+        """
+        indices = list(indices)
+        faults: "list[TraceFault]" = []
+        if policy == "raise":
+            prepared = self._prepare_traces(indices, traces, setting_a, seeds)
+        else:
+            try:
+                prepared = self._prepare_traces(
+                    indices, traces, setting_a, seeds
+                )
+            except Exception as batch_exc:
+                faults.append(
+                    TraceFault.from_exception(
+                        -1, "prepare", batch_exc, tier="batch", skipped=False
+                    )
+                )
+                prepared = []
+                for i in indices:
+                    try:
+                        prepared.append(
+                            self._prepare_trace(
+                                i, traces[i], setting_a, seeds[i]
+                            )
+                        )
+                    except Exception as exc:
+                        if policy == "degrade":
+                            raise
+                        faults.append(
+                            TraceFault.from_exception(
+                                i,
+                                "prepare",
+                                exc,
+                                tier="reference",
+                                retries=1,
+                                skipped=True,
+                            )
+                        )
+        self._checkpoint_save(checkpoint, prepared)
+        return prepared, faults
+
+    def _replay_one_safe(
+        self, prepared: PreparedTrace, setting_b: Setting, policy: str
+    ) -> "tuple[TraceCounterfactual | None, list[TraceFault]]":
+        """One (trace, setting) answer under ``policy``.
+
+        Returns ``(outcome, faults)`` where ``outcome`` is ``None`` only
+        when ``policy == "skip"`` and the scalar retry also failed.
+        """
+        if policy == "raise":
+            return self._replay_prepared(prepared, setting_b), []
+        try:
+            return self._replay_prepared(prepared, setting_b), []
+        except Exception as batch_exc:
+            try:
+                outcome = self._replay_prepared_serial(prepared, setting_b)
+            except Exception as exc:
+                if policy == "degrade":
+                    raise
+                return None, [
+                    TraceFault.from_exception(
+                        prepared.trace_index,
+                        "replay",
+                        exc,
+                        tier="reference",
+                        retries=1,
+                        skipped=True,
+                        setting=setting_b.describe(),
+                    )
+                ]
+            return outcome, [
+                TraceFault.from_exception(
+                    prepared.trace_index,
+                    "replay",
+                    batch_exc,
+                    tier="batch",
+                    retries=1,
+                    skipped=False,
+                    setting=setting_b.describe(),
+                )
+            ]
+
+    # ------------------------------------------------------------------
+    # Checkpointing: content-addressed (trace, Setting-A, model, seed)
+    # fingerprints name each prepared trace's artifact file.
+    # ------------------------------------------------------------------
+    def _checkpoint_base(self, setting_a: Setting) -> list:
+        """Fingerprint parts shared by every trace of a prepared corpus."""
+        config = self.abduction.config
+        video = setting_a.video
+        session = setting_a.config
+        return [
+            "prepared-trace",
+            _abr_fingerprint(setting_a.make_abr()),
+            session.buffer_capacity_s,
+            session.rtt_s,
+            session.request_overhead_s,
+            video.chunk_duration_s,
+            np.asarray([level.bitrate_mbps for level in video.ladder]),
+            video._sizes,
+            video._ssim,
+            repr(sorted(dataclasses.asdict(config).items())),
+            self.n_samples,
+        ]
+
+    def _checkpoint_key(self, base: list, trace, seed: int) -> str:
+        return fingerprint(
+            [*base, np.asarray(trace.boundaries), np.asarray(trace.values), seed]
+        )
+
+    @staticmethod
+    def _checkpoint_save(
+        checkpoint: "tuple[CheckpointStore, dict] | None",
+        prepared: "list[PreparedTrace]",
+    ) -> None:
+        if checkpoint is None:
+            return
+        store, keys = checkpoint
+        for item in prepared:
+            key = keys.get(item.trace_index)
+            if key is not None and key not in store:
+                store.save(key, _prepared_payload(item))
+
     # ------------------------------------------------------------------
     def prepare_corpus(
         self,
         traces: list[PiecewiseConstantTrace],
         setting_a: Setting,
         n_workers: int | None = None,
+        on_error: str | None = None,
+        checkpoint_dir: "str | Path | None" = None,
     ) -> PreparedCorpus:
         """Deploy Setting A and solve abduction for a whole corpus, once.
 
         The returned :class:`PreparedCorpus` answers any number of
         Setting-B queries through :meth:`evaluate_many` without re-running
         deployment or inference.  Per-trace seeding follows the same
-        ``spawn_seeds`` schedule as :meth:`evaluate_corpus`, so downstream
-        replays are bit-identical to the end-to-end path.
+        ``spawn_seeds`` schedule as :meth:`evaluate_corpus` — indexed by
+        *original* corpus position, so traces keep their seeds even when
+        ``on_error="skip"`` drops neighbours — and downstream replays are
+        bit-identical to the end-to-end path.
 
         With ``use_batch`` (the default) the preparation itself runs
         corpus-lockstep: same-grid traces deploy Setting A as one fused
         batch session and same-shape logs share stacked abduction and
         sampling passes (see :meth:`_prepare_traces`) — bit-identical to
         the per-trace path.  ``n_workers`` > 1 fans contiguous trace
-        shards over the fork pool; each worker batches within its shard,
-        so pooled results equal serial ones float for float.
+        shards over the supervised fork pool; each worker batches within
+        its shard, so pooled results equal serial ones float for float.
+
+        ``on_error`` (default: the engine-level policy) gates three fault
+        classes: invalid input traces (NaN/Inf bandwidths etc. — rejected
+        by validation with a ``stage="validate"`` fault under
+        ``"degrade"``/``"skip"``, raised as
+        :class:`~repro.net.validation.TraceValidationError` under
+        ``"raise"``), per-trace preparation failures (degraded to the
+        scalar path, then skipped), and pool failures (supervised
+        retries, then in-process fallback).
+
+        ``checkpoint_dir`` enables checkpoint/resume: each completed
+        trace's artifacts (Setting-A log + posterior draws) are persisted
+        as one content-addressed ``.npz`` keyed by (trace, Setting-A,
+        abduction model, seed), and traces already present are reloaded
+        bit-identically without re-running deployment or abduction.
         """
         if not traces:
             raise ValueError("need at least one ground-truth trace")
+        policy = resolve_on_error(on_error, self.on_error)
         workers = self._resolve_workers(n_workers)
-        seeds = spawn_seeds(self._seed, len(traces))
         traces = list(traces)
-        corpus = PreparedCorpus(setting_a=setting_a, n_samples=self.n_samples)
-        if self._use_pool(workers, len(traces)):
-            shard_count = min(workers, len(traces))
+        seeds = spawn_seeds(self._seed, len(traces))
+        faults = FaultLog()
+        corpus = PreparedCorpus(
+            setting_a=setting_a, n_samples=self.n_samples, faults=faults
+        )
+
+        # Input validation gate (malformed traces would otherwise send the
+        # replay kernels into undefined behaviour, NaN poisoning included).
+        if policy == "raise":
+            check_corpus(traces)
+            valid = list(range(len(traces)))
+        else:
+            diagnostics = validate_corpus(traces)
+            for i, findings in diagnostics.items():
+                faults.record_trace(
+                    TraceFault(
+                        trace_index=i,
+                        stage="validate",
+                        error_type="TraceValidationError",
+                        message="; ".join(str(d) for d in findings),
+                        tier="input",
+                        skipped=True,
+                    )
+                )
+            valid = [i for i in range(len(traces)) if i not in diagnostics]
+
+        # Checkpoint resume: reload every already-prepared trace.
+        checkpoint = None
+        loaded: "dict[int, PreparedTrace]" = {}
+        if checkpoint_dir is not None:
+            store = CheckpointStore(checkpoint_dir)
+            base = self._checkpoint_base(setting_a)
+            keys = {
+                i: self._checkpoint_key(base, traces[i], seeds[i])
+                for i in valid
+            }
+            horizon_floor = 3.0 * setting_a.video.duration_s
+            for i in valid:
+                payload = store.load(keys[i])
+                if payload is not None:
+                    prepared = _prepared_from_payload(
+                        payload, i, traces[i], horizon_floor
+                    )
+                    if prepared is not None:
+                        loaded[i] = prepared
+            checkpoint = (store, keys)
+
+        todo = [i for i in valid if i not in loaded]
+        prepared_all = list(loaded.values())
+        if todo and self._use_pool(workers, len(todo)):
+            shard_count = min(workers, len(todo))
             shards = [
                 tuple(int(i) for i in shard)
-                for shard in np.array_split(np.arange(len(traces)), shard_count)
+                for shard in np.array_split(np.asarray(todo), shard_count)
                 if shard.size
             ]
-            for prepared in self._run_pool(
+            for prepared, shard_faults in self._run_pool(
                 _prepare_shard,
                 shards,
-                (self, traces, setting_a, seeds),
+                (self, traces, setting_a, seeds, policy, checkpoint),
                 shard_count,
+                fault_log=faults,
             ):
-                corpus.per_trace.extend(prepared)
-        else:
-            corpus.per_trace.extend(
-                self._prepare_traces(range(len(traces)), traces, setting_a, seeds)
+                prepared_all.extend(prepared)
+                faults.traces.extend(shard_faults)
+        elif todo:
+            prepared, shard_faults = self._prepare_traces_safe(
+                todo, traces, setting_a, seeds, policy, checkpoint
             )
+            prepared_all.extend(prepared)
+            faults.traces.extend(shard_faults)
+
+        prepared_all.sort(key=lambda item: item.trace_index)
+        corpus.per_trace.extend(prepared_all)
         return corpus
 
     def evaluate_many(
@@ -638,23 +1008,38 @@ class CounterfactualEngine:
         prepared: PreparedCorpus,
         settings_b: "list[Setting]",
         n_workers: int | None = None,
+        on_error: str | None = None,
     ) -> "list[CounterfactualResult]":
         """Answer several Setting-B queries against one prepared corpus.
 
-        Fans the (trace × setting) replay tasks over the process pool when
-        ``n_workers`` > 1; results are bit-identical to running
-        :meth:`evaluate_corpus` once per setting (see the parity suite).
+        Fans the (trace × setting) replay tasks over the supervised
+        process pool when ``n_workers`` > 1; results are bit-identical to
+        running :meth:`evaluate_corpus` once per setting (see the parity
+        suite).
+
+        ``on_error`` (default: the engine-level policy) controls per-trace
+        replay isolation: under ``"degrade"``/``"skip"`` a replay that
+        fails in the fused batch path is retried per trace (batch first,
+        then the scalar reference path — same inputs, bit-identical when
+        it succeeds), and under ``"skip"`` a trace whose scalar retry also
+        fails is dropped from that query's ``per_trace`` with a
+        :class:`~repro.runtime.faults.TraceFault`.  All returned results
+        share one :class:`~repro.runtime.faults.FaultLog` via their
+        ``faults`` field.
         """
         if not prepared.per_trace:
             raise ValueError("prepared corpus is empty")
         if not settings_b:
             raise ValueError("need at least one Setting-B query")
+        policy = resolve_on_error(on_error, self.on_error)
         workers = self._resolve_workers(n_workers)
+        faults = FaultLog()
         results = [
             CounterfactualResult(
                 setting_a=prepared.setting_a.describe(),
                 setting_b=setting_b.describe(),
                 per_trace=[None] * len(prepared.per_trace),
+                faults=faults,
             )
             for setting_b in settings_b
         ]
@@ -667,18 +1052,43 @@ class CounterfactualEngine:
             outcomes = self._run_pool(
                 _replay_task,
                 tasks,
-                (self, list(prepared.per_trace), list(settings_b)),
+                (self, list(prepared.per_trace), list(settings_b), policy),
                 min(workers, len(tasks)),
+                fault_log=faults,
             )
-            for si, ti, outcome in outcomes:
+            for si, ti, outcome, task_faults in outcomes:
                 results[si].per_trace[ti] = outcome
+                faults.traces.extend(task_faults)
         else:
             # In-process: hand the whole (setting x trace) grid over at
             # once so the lockstep batch path can fuse replay lanes across
             # traces AND settings.
-            per_setting = self._replay_settings(prepared.per_trace, settings_b)
-            for si in range(len(settings_b)):
-                results[si].per_trace = per_setting[si]
+            try:
+                per_setting = self._replay_settings(
+                    prepared.per_trace, settings_b
+                )
+                for si in range(len(settings_b)):
+                    results[si].per_trace = per_setting[si]
+            except Exception as batch_exc:
+                if policy == "raise":
+                    raise
+                # The fused replay died: isolate per (trace, setting),
+                # degrading each casualty to the scalar reference path.
+                faults.record_trace(
+                    TraceFault.from_exception(
+                        -1, "replay", batch_exc, tier="batch", skipped=False
+                    )
+                )
+                for si, setting_b in enumerate(settings_b):
+                    for ti, item in enumerate(prepared.per_trace):
+                        outcome, task_faults = self._replay_one_safe(
+                            item, setting_b, policy
+                        )
+                        results[si].per_trace[ti] = outcome
+                        faults.traces.extend(task_faults)
+        # Skipped (trace, setting) answers leave None placeholders.
+        for result in results:
+            result.per_trace = [t for t in result.per_trace if t is not None]
         return results
 
     def evaluate_corpus(
@@ -687,16 +1097,32 @@ class CounterfactualEngine:
         setting_a: Setting,
         setting_b: Setting,
         n_workers: int | None = None,
+        on_error: str | None = None,
+        checkpoint_dir: "str | Path | None" = None,
     ) -> CounterfactualResult:
         """Answer the counterfactual across a whole corpus.
 
         ``n_workers`` overrides the engine-level setting for this call;
         values > 1 evaluate on a process pool with the same deterministic
         per-trace seeding as the serial path (the results are bit-identical,
-        only wall time changes).
+        only wall time changes).  ``on_error`` and ``checkpoint_dir`` are
+        forwarded to :meth:`prepare_corpus` / :meth:`evaluate_many`; the
+        returned result's ``faults`` log covers both stages.
         """
-        prepared = self.prepare_corpus(traces, setting_a, n_workers=n_workers)
-        return self.evaluate_many(prepared, [setting_b], n_workers=n_workers)[0]
+        prepared = self.prepare_corpus(
+            traces,
+            setting_a,
+            n_workers=n_workers,
+            on_error=on_error,
+            checkpoint_dir=checkpoint_dir,
+        )
+        result = self.evaluate_many(
+            prepared, [setting_b], n_workers=n_workers, on_error=on_error
+        )[0]
+        # One log covering both stages, preparation incidents first.
+        result.faults.traces[:0] = prepared.faults.traces
+        result.faults.pool[:0] = prepared.faults.pool
+        return result
 
     # ------------------------------------------------------------------
     def _resolve_workers(self, n_workers: int | None) -> int | None:
@@ -714,17 +1140,35 @@ class CounterfactualEngine:
             and "fork" in multiprocessing.get_all_start_methods()
         )
 
-    @staticmethod
-    def _run_pool(fn, tasks, state: tuple, workers: int) -> list:
-        """Fan ``fn`` over ``tasks`` on forked workers sharing ``state``."""
+    def _run_pool(
+        self,
+        fn,
+        tasks,
+        state: tuple,
+        workers: int,
+        fault_log: FaultLog | None = None,
+    ) -> list:
+        """Fan ``fn`` over ``tasks`` on supervised forked workers.
+
+        The supervisor (:func:`repro.runtime.supervisor.run_supervised`)
+        adds per-shard timeouts, worker-death detection, bounded retries
+        with backoff and in-process fallback; its incidents land on
+        ``fault_log``.  The in-process fallback executes ``fn`` in the
+        parent, where ``_FORK_STATE`` is also installed, so it sees the
+        exact state the workers would have inherited.
+        """
         global _FORK_STATE
         context = multiprocessing.get_context("fork")
         with _FORK_LOCK:
             _FORK_STATE = state
             try:
-                with ProcessPoolExecutor(
-                    max_workers=workers, mp_context=context
-                ) as pool:
-                    return list(pool.map(fn, tasks))
+                return run_supervised(
+                    fn,
+                    list(tasks),
+                    workers=workers,
+                    mp_context=context,
+                    config=self.supervisor,
+                    fault_log=fault_log,
+                )
             finally:
                 _FORK_STATE = None

@@ -1,12 +1,14 @@
 """Command-line interface: run the paper's workflows from a shell.
 
-Three subcommands cover the main uses of the library:
+Four subcommands cover the main uses of the library:
 
 * ``simulate``        — run Setting A over a synthetic corpus and write the
   session logs to a directory (the "deployment" step),
 * ``abduct``          — infer posterior GTBW traces from one saved log,
 * ``counterfactual``  — the full Fig.-6 pipeline: deploy, reconstruct,
-  replay a what-if Setting B, and print the oracle/Baseline/Veritas report.
+  replay a what-if Setting B, and print the oracle/Baseline/Veritas report,
+* ``validate``        — check trace files (CSV or Mahimahi) for format and
+  content problems before feeding them to a corpus run.
 
 Examples::
 
@@ -15,12 +17,21 @@ Examples::
     python -m repro.cli counterfactual --query bba --traces 5
     python -m repro.cli counterfactual --query buffer --buffer-s 30
     python -m repro.cli counterfactual --query ladder
+    python -m repro.cli validate corpus/*.csv
 
 ``counterfactual`` accepts ``--query`` repeatedly; Setting A is deployed
 and abduction solved once and every query replays against the shared
 reconstructions::
 
     python -m repro.cli counterfactual --query bba --query bola --query buffer
+
+Robustness knobs on ``counterfactual`` (see :mod:`repro.runtime`):
+``--on-error skip`` keeps a corpus run alive across malformed traces and
+per-trace failures (degrading each casualty to the scalar reference path
+first — bit-identical when the retry succeeds — and reporting every
+incident in a fault summary), ``--shard-timeout``/``--max-retries``
+configure the supervised worker pool, and ``--checkpoint-dir`` persists
+each prepared trace so a restarted run re-does zero abduction work.
 """
 
 from __future__ import annotations
@@ -45,6 +56,9 @@ from . import (
     paper_veritas_config,
     run_setting,
 )
+from .net.io import TraceFormatError, load_csv, load_mahimahi
+from .net.validation import validate_trace
+from .runtime.faults import ON_ERROR_POLICIES, FaultLog
 from .tcp.connection import KERNEL_TIERS
 
 __all__ = ["main", "build_parser"]
@@ -104,6 +118,49 @@ def build_parser() -> argparse.ArgumentParser:
              "mirroring kernel=\"reference\"; results are bit-identical "
              "either way)",
     )
+    cf.add_argument(
+        "--on-error",
+        choices=list(ON_ERROR_POLICIES),
+        default="raise",
+        help="fault policy for the corpus run: \"raise\" fail-stops "
+             "(default), \"degrade\" retries failing traces on the scalar "
+             "reference path (bit-identical when the retry succeeds), "
+             "\"skip\" additionally drops irrecoverable traces and reports "
+             "them in a fault summary",
+    )
+    cf.add_argument(
+        "--checkpoint-dir", type=Path, default=None,
+        help="persist each prepared trace to this directory "
+             "(content-addressed npz) and skip already-prepared traces on "
+             "restart",
+    )
+    cf.add_argument(
+        "--shard-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-shard watchdog for --workers pools: a shard past this "
+             "deadline is retried on a fresh pool (default: no timeout)",
+    )
+    cf.add_argument(
+        "--max-retries", type=int, default=2,
+        help="pool attempts per shard beyond the first before falling back "
+             "to in-process execution (default: 2)",
+    )
+
+    val = sub.add_parser(
+        "validate",
+        help="check trace files for format and content problems",
+    )
+    val.add_argument("paths", type=Path, nargs="+", metavar="FILE")
+    val.add_argument(
+        "--format",
+        choices=["auto", "csv", "mahimahi"],
+        default="auto",
+        help="input format; \"auto\" (default) treats *.csv as CSV and "
+             "everything else as a Mahimahi delivery schedule",
+    )
+    val.add_argument(
+        "--window-s", type=float, default=1.0,
+        help="bandwidth-averaging window for Mahimahi schedules (default 1s)",
+    )
     return parser
 
 
@@ -147,6 +204,43 @@ def _cmd_abduct(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_validate(args: argparse.Namespace) -> int:
+    bad = 0
+    for path in args.paths:
+        fmt = args.format
+        if fmt == "auto":
+            fmt = "csv" if path.suffix.lower() == ".csv" else "mahimahi"
+        try:
+            if fmt == "csv":
+                trace = load_csv(path)
+            else:
+                trace = load_mahimahi(path, window_s=args.window_s)
+        except TraceFormatError as exc:
+            bad += 1
+            print(f"FAIL {exc}")
+            for diag in exc.diagnostics[1:]:
+                print(f"     {diag}")
+            continue
+        except OSError as exc:
+            bad += 1
+            print(f"FAIL {path}: {exc}")
+            continue
+        # Loaders validate on the way in; re-check the constructed trace so
+        # "ok" means exactly "safe to feed to a corpus run".
+        diagnostics = validate_trace(trace)
+        if diagnostics:
+            bad += 1
+            print(f"FAIL {path}: " + "; ".join(str(d) for d in diagnostics))
+            continue
+        print(
+            f"ok   {path}: {len(trace.values)} intervals, "
+            f"{trace.duration:.1f}s, mean {trace.mean():.2f} Mbps"
+        )
+    if bad:
+        print(f"{bad} of {len(args.paths)} file(s) failed validation")
+    return 1 if bad else 0
+
+
 def _cmd_counterfactual(args: argparse.Namespace) -> int:
     setting_a = paper_setting_a(seed=7)
 
@@ -170,11 +264,28 @@ def _cmd_counterfactual(args: argparse.Namespace) -> int:
         n_workers=args.workers,
         use_batch=not args.no_batch,
         kernel=args.kernel,
+        on_error=args.on_error,
+        shard_timeout_s=args.shard_timeout,
+        max_retries=args.max_retries,
     )
     # Setting A is deployed and abduction solved exactly once; every query
     # is answered by replays against the shared reconstructions.
-    prepared = engine.prepare_corpus(traces, setting_a)
+    prepared = engine.prepare_corpus(
+        traces, setting_a, checkpoint_dir=args.checkpoint_dir
+    )
     results = engine.evaluate_many(prepared, settings_b)
+    all_faults = FaultLog()
+    all_faults.extend(prepared.faults)
+    seen: set[int] = set()
+    for result in results:
+        # evaluate_many shares one FaultLog across its results; dedup by id.
+        if id(result.faults) not in seen:
+            seen.add(id(result.faults))
+            all_faults.extend(result.faults)
+    if all_faults:
+        print("### faults")
+        print(all_faults.summary())
+        print()
     for query, result in zip(queries, results):
         if len(results) > 1:
             print(f"\n### query: {query}")
@@ -192,6 +303,7 @@ def main(argv: list[str] | None = None) -> int:
         "simulate": _cmd_simulate,
         "abduct": _cmd_abduct,
         "counterfactual": _cmd_counterfactual,
+        "validate": _cmd_validate,
     }
     return handlers[args.command](args)
 

@@ -9,6 +9,7 @@ from .generators import (
 )
 from .io import (
     MTU_BYTES,
+    TraceFormatError,
     from_mahimahi,
     load_csv,
     load_mahimahi,
@@ -17,11 +18,25 @@ from .io import (
     to_mahimahi,
 )
 from .trace import PiecewiseConstantTrace, TraceBatch
+from .validation import (
+    TraceDiagnostic,
+    TraceValidationError,
+    check_corpus,
+    check_trace,
+    validate_arrays,
+    validate_corpus,
+    validate_trace,
+)
 
 __all__ = [
     "MTU_BYTES",
     "PiecewiseConstantTrace",
     "TraceBatch",
+    "TraceDiagnostic",
+    "TraceFormatError",
+    "TraceValidationError",
+    "check_corpus",
+    "check_trace",
     "constant_trace",
     "from_mahimahi",
     "load_csv",
@@ -33,4 +48,7 @@ __all__ = [
     "square_wave_trace",
     "to_mahimahi",
     "trace_corpus",
+    "validate_arrays",
+    "validate_corpus",
+    "validate_trace",
 ]

@@ -9,6 +9,12 @@ Two formats are supported:
   and ``from_mahimahi`` recovers a windowed bandwidth trace from one —
   so corpora can round-trip with real Mahimahi tooling.
 * **CSV** ``time_s,bandwidth_mbps`` rows (the convenient analysis format).
+
+Malformed input files raise :class:`TraceFormatError` (a ``ValueError``
+subclass) carrying the file path and the first offending line, plus any
+:class:`~repro.net.validation.TraceDiagnostic` findings, so a corpus
+loader can report *which* file broke and *why* instead of dying on a bare
+``ValueError``/``IndexError`` deep inside float parsing.
 """
 
 from __future__ import annotations
@@ -23,9 +29,11 @@ import numpy as np
 
 from ..util.units import mbps_to_bytes_per_sec
 from .trace import PiecewiseConstantTrace
+from .validation import TraceDiagnostic, validate_arrays
 
 __all__ = [
     "MTU_BYTES",
+    "TraceFormatError",
     "to_mahimahi",
     "from_mahimahi",
     "save_mahimahi",
@@ -33,6 +41,28 @@ __all__ = [
     "save_csv",
     "load_csv",
 ]
+
+
+class TraceFormatError(ValueError):
+    """A trace file could not be parsed into a valid trace.
+
+    ``path`` is the offending file, ``line`` the 1-based line number of the
+    first problem (``None`` for whole-file problems), and ``diagnostics``
+    any validation findings for the parsed-but-invalid data.
+    """
+
+    def __init__(
+        self,
+        path,
+        message: str,
+        line: int | None = None,
+        diagnostics: tuple[TraceDiagnostic, ...] = (),
+    ):
+        where = f"{path}:{line}" if line is not None else str(path)
+        super().__init__(f"{where}: {message}")
+        self.path = Path(path)
+        self.line = line
+        self.diagnostics = tuple(diagnostics)
 
 MTU_BYTES = 1500
 """Bytes granted per Mahimahi delivery opportunity."""
@@ -91,9 +121,31 @@ def save_mahimahi(trace: PiecewiseConstantTrace, path: str | Path) -> None:
 
 
 def load_mahimahi(path: str | Path, window_s: float = 1.0) -> PiecewiseConstantTrace:
-    """Read an mm-link file into a windowed bandwidth trace."""
+    """Read an mm-link file into a windowed bandwidth trace.
+
+    Raises :class:`TraceFormatError` with file/line context on non-integer
+    lines, negative timestamps, or an empty schedule.
+    """
     text = Path(path).read_text(encoding="utf-8")
-    stamps = [int(line) for line in text.split() if line.strip()]
+    stamps: list[int] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for token in line.split():
+            try:
+                stamp = int(token)
+            except ValueError:
+                raise TraceFormatError(
+                    path,
+                    f"expected an integer millisecond timestamp, got "
+                    f"{token!r}",
+                    line=lineno,
+                ) from None
+            if stamp < 0:
+                raise TraceFormatError(
+                    path, f"negative timestamp {stamp}", line=lineno
+                )
+            stamps.append(stamp)
+    if not stamps:
+        raise TraceFormatError(path, "empty delivery schedule")
     return from_mahimahi(stamps, window_s=window_s)
 
 
@@ -110,19 +162,51 @@ def save_csv(trace: PiecewiseConstantTrace, path: str | Path) -> None:
 
 
 def load_csv(path: str | Path) -> PiecewiseConstantTrace:
-    """Read a trace written by :func:`save_csv` (or any time,Mbps CSV)."""
+    """Read a trace written by :func:`save_csv` (or any time,Mbps CSV).
+
+    Raises :class:`TraceFormatError` with file/line context on short or
+    non-numeric rows, and with the validation diagnostics attached when
+    the rows parse but do not form a valid trace (non-monotone times,
+    NaN/negative bandwidths, ...).
+    """
     rows = []
     with open(path, newline="", encoding="utf-8") as handle:
         reader = csv.reader(handle)
         header = next(reader, None)
         if header is None:
-            raise ValueError(f"{path}: empty CSV")
-        for row in reader:
+            raise TraceFormatError(path, "empty CSV")
+        for lineno, row in enumerate(reader, start=2):
             if not row:
                 continue
-            rows.append((float(row[0]), float(row[1])))
+            if len(row) < 2:
+                raise TraceFormatError(
+                    path,
+                    f"expected 'time_s,bandwidth_mbps', got {','.join(row)!r}",
+                    line=lineno,
+                )
+            try:
+                rows.append((float(row[0]), float(row[1]), lineno))
+            except ValueError:
+                raise TraceFormatError(
+                    path,
+                    f"non-numeric row {','.join(row[:2])!r}",
+                    line=lineno,
+                ) from None
     if len(rows) < 2:
-        raise ValueError(f"{path}: need at least two rows to define an interval")
-    times = [t for t, _ in rows]
-    values = [v for _, v in rows[:-1]]
+        raise TraceFormatError(
+            path, "need at least two rows to define an interval"
+        )
+    times = [t for t, _, _ in rows]
+    values = [v for _, v, _ in rows[:-1]]
+    diagnostics = validate_arrays(times, values)
+    if diagnostics:
+        first = diagnostics[0]
+        # Map the offending boundary/interval back to its source line.
+        line = rows[first.index][2] if first.index is not None else None
+        raise TraceFormatError(
+            path,
+            "; ".join(str(d) for d in diagnostics),
+            line=line,
+            diagnostics=tuple(diagnostics),
+        )
     return PiecewiseConstantTrace(times, values)

@@ -1,0 +1,188 @@
+"""Input validation for bandwidth traces, with typed diagnostics.
+
+Production trace corpora contain garbage — NaN bandwidths from broken
+collectors, negative capacities from sign bugs, non-monotone timestamps
+from clock skew, empty files.  :class:`PiecewiseConstantTrace`'s
+constructor rejects most structural problems, but NaN/Inf *values* slip
+through its non-negativity check (``NaN < 0`` is False) and would send the
+replay kernels into undefined behaviour (including non-terminating chunk
+loops).  This module is the gate:
+
+* :func:`validate_arrays` — diagnostics for raw ``(boundaries, values)``
+  arrays before a trace is even constructed (what the loaders use);
+* :func:`validate_trace` — diagnostics for a constructed trace;
+* :func:`validate_corpus` — per-trace diagnostics for a whole corpus;
+* :func:`check_trace` / :func:`check_corpus` — the raising variants.
+
+Every problem is a :class:`TraceDiagnostic` with a stable ``code`` so
+callers (the engine's ``on_error`` policy, the ``repro validate`` CLI) can
+dispatch on it without parsing messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .trace import PiecewiseConstantTrace
+
+__all__ = [
+    "TraceDiagnostic",
+    "TraceValidationError",
+    "check_corpus",
+    "check_trace",
+    "validate_arrays",
+    "validate_corpus",
+    "validate_trace",
+]
+
+
+@dataclass(frozen=True)
+class TraceDiagnostic:
+    """One validation finding.
+
+    ``code`` is one of: ``"empty-trace"``, ``"bad-shape"``,
+    ``"non-finite-boundary"``, ``"non-monotone-boundaries"``,
+    ``"non-finite-bandwidth"``, ``"negative-bandwidth"``.  ``index`` is the
+    first offending interval/boundary position when that is meaningful.
+    """
+
+    code: str
+    message: str
+    index: int | None = None
+
+    def __str__(self) -> str:
+        where = f" (index {self.index})" if self.index is not None else ""
+        return f"[{self.code}]{where} {self.message}"
+
+
+class TraceValidationError(ValueError):
+    """A trace failed validation; ``diagnostics`` holds every finding."""
+
+    def __init__(self, message: str, diagnostics: tuple[TraceDiagnostic, ...]):
+        super().__init__(message)
+        self.diagnostics = tuple(diagnostics)
+
+
+def _first_bad(mask: np.ndarray) -> int:
+    return int(np.argmax(mask))
+
+
+def validate_arrays(boundaries, values) -> list[TraceDiagnostic]:
+    """Diagnostics for raw boundary/value arrays (empty list = valid)."""
+    bounds = np.asarray(boundaries, dtype=float)
+    vals = np.asarray(values, dtype=float)
+    out: list[TraceDiagnostic] = []
+    if bounds.ndim != 1 or vals.ndim != 1:
+        out.append(
+            TraceDiagnostic(
+                "bad-shape",
+                f"boundaries and values must be one-dimensional, got "
+                f"shapes {bounds.shape} and {vals.shape}",
+            )
+        )
+        return out
+    if vals.size == 0:
+        out.append(
+            TraceDiagnostic("empty-trace", "a trace needs at least one interval")
+        )
+        return out
+    if bounds.size != vals.size + 1:
+        out.append(
+            TraceDiagnostic(
+                "bad-shape",
+                f"need len(boundaries) == len(values) + 1, got "
+                f"{bounds.size} and {vals.size}",
+            )
+        )
+        return out
+    finite_bounds = np.isfinite(bounds)
+    if not finite_bounds.all():
+        idx = _first_bad(~finite_bounds)
+        out.append(
+            TraceDiagnostic(
+                "non-finite-boundary",
+                f"boundary {idx} is {bounds[idx]!r}",
+                index=idx,
+            )
+        )
+    else:
+        steps = np.diff(bounds)
+        if not np.all(steps > 0):
+            idx = _first_bad(~(steps > 0))
+            out.append(
+                TraceDiagnostic(
+                    "non-monotone-boundaries",
+                    f"boundaries must be strictly increasing; "
+                    f"boundary {idx + 1} ({bounds[idx + 1]:g}) does not "
+                    f"follow boundary {idx} ({bounds[idx]:g})",
+                    index=idx + 1,
+                )
+            )
+    finite_vals = np.isfinite(vals)
+    if not finite_vals.all():
+        idx = _first_bad(~finite_vals)
+        out.append(
+            TraceDiagnostic(
+                "non-finite-bandwidth",
+                f"bandwidth on interval {idx} is {vals[idx]!r}",
+                index=idx,
+            )
+        )
+    negative = finite_vals & (vals < 0)
+    if negative.any():
+        idx = _first_bad(negative)
+        out.append(
+            TraceDiagnostic(
+                "negative-bandwidth",
+                f"bandwidth on interval {idx} is {vals[idx]:g} Mbps",
+                index=idx,
+            )
+        )
+    return out
+
+
+def validate_trace(trace: PiecewiseConstantTrace) -> list[TraceDiagnostic]:
+    """Diagnostics for a constructed trace (empty list = valid).
+
+    The constructor already guarantees shape, monotonicity and
+    non-negativity of *comparable* values; what this catches on live
+    objects is the NaN/Inf bandwidths that sneak past ``NaN < 0``.
+    """
+    return validate_arrays(trace.boundaries, trace.values)
+
+
+def validate_corpus(
+    traces: "list[PiecewiseConstantTrace]",
+) -> dict[int, list[TraceDiagnostic]]:
+    """Per-trace diagnostics for a corpus, keyed by index; {} = all valid."""
+    out: dict[int, list[TraceDiagnostic]] = {}
+    for i, trace in enumerate(traces):
+        diagnostics = validate_trace(trace)
+        if diagnostics:
+            out[i] = diagnostics
+    return out
+
+
+def check_trace(trace: PiecewiseConstantTrace, name: str = "trace") -> None:
+    """Raise :class:`TraceValidationError` if ``trace`` is invalid."""
+    diagnostics = validate_trace(trace)
+    if diagnostics:
+        details = "; ".join(str(d) for d in diagnostics)
+        raise TraceValidationError(
+            f"{name} failed validation: {details}", tuple(diagnostics)
+        )
+
+
+def check_corpus(traces: "list[PiecewiseConstantTrace]") -> None:
+    """Raise :class:`TraceValidationError` if any corpus trace is invalid."""
+    per_trace = validate_corpus(traces)
+    if per_trace:
+        first_index, first = next(iter(per_trace.items()))
+        details = "; ".join(str(d) for d in first)
+        raise TraceValidationError(
+            f"{len(per_trace)} of {len(traces)} corpus trace(s) failed "
+            f"validation; first: trace {first_index}: {details}",
+            tuple(d for ds in per_trace.values() for d in ds),
+        )

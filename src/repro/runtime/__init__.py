@@ -1,0 +1,36 @@
+"""Fault-tolerant corpus runtime: fault records, pool supervision, checkpoints.
+
+This package hosts the operational layer that lets corpus-scale runs
+survive partial failure instead of fail-stopping:
+
+* :mod:`repro.runtime.faults` — the ``on_error`` policy registry and the
+  structured :class:`TraceFault` / :class:`PoolFault` / :class:`FaultLog`
+  records the engine attaches to its results;
+* :mod:`repro.runtime.supervisor` — supervised process-pool execution
+  (per-shard timeouts, worker-death detection, bounded retries with
+  backoff, in-process fallback);
+* :mod:`repro.runtime.checkpoint` — the content-addressed on-disk store
+  behind ``prepare_corpus(checkpoint_dir=...)``.
+"""
+
+from .checkpoint import CheckpointStore, fingerprint
+from .faults import (
+    ON_ERROR_POLICIES,
+    FaultLog,
+    PoolFault,
+    TraceFault,
+    resolve_on_error,
+)
+from .supervisor import SupervisorConfig, run_supervised
+
+__all__ = [
+    "ON_ERROR_POLICIES",
+    "CheckpointStore",
+    "FaultLog",
+    "PoolFault",
+    "SupervisorConfig",
+    "TraceFault",
+    "fingerprint",
+    "resolve_on_error",
+    "run_supervised",
+]

@@ -1,0 +1,183 @@
+"""Structured fault records for corpus-scale runs.
+
+A production corpus is messy: individual traces are malformed, pool
+workers die or hang, optional kernel backends fail to build.  The engine's
+``on_error`` policy decides what happens, and everything that *did* go
+wrong is reported here instead of being swallowed:
+
+* :class:`TraceFault` — one per-trace incident (validation rejection, a
+  prepare/replay failure, a recovered batch→scalar degrade), carrying the
+  trace id, pipeline stage, exception, execution tier and retry count.
+* :class:`PoolFault` — one pool-supervision incident (a worker killed
+  mid-shard, a shard past its timeout, a broken pool), carrying how it was
+  recovered (pool retry or in-process fallback).
+* :class:`FaultLog` — the ordered collection of both, attached to
+  :class:`~repro.causal.engine.PreparedCorpus` /
+  :class:`~repro.causal.engine.CounterfactualResult` so a 10k-trace run
+  reports its casualties instead of dying on the first one.
+
+The three ``on_error`` policies (validated by :func:`resolve_on_error`):
+
+* ``"raise"``   — fail-stop (the historical behaviour, still the default);
+* ``"degrade"`` — a failure in the batch/compiled fast path retries the
+  trace on the scalar reference path with the same seeds (bit-identical
+  when it succeeds); if the scalar retry *also* fails, raise;
+* ``"skip"``    — like ``"degrade"``, but a trace whose scalar retry also
+  fails is dropped with a :class:`TraceFault` instead of killing the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "ON_ERROR_POLICIES",
+    "FaultLog",
+    "PoolFault",
+    "TraceFault",
+    "resolve_on_error",
+]
+
+ON_ERROR_POLICIES = ("raise", "degrade", "skip")
+"""Accepted ``on_error`` policies, strictest first."""
+
+
+def resolve_on_error(policy: str | None, default: str = "raise") -> str:
+    """Resolve an ``on_error`` policy name or raise ``ValueError``.
+
+    ``None`` picks ``default`` (the engine-level setting).  Mirrors
+    :func:`repro.tcp.connection.resolve_kernel`: every entry point funnels
+    through here so typos fail loudly with the list of policies.
+    """
+    resolved = default if policy is None else policy
+    if resolved not in ON_ERROR_POLICIES:
+        raise ValueError(
+            f"unknown on_error policy {resolved!r}; "
+            f"available policies: {ON_ERROR_POLICIES}"
+        )
+    return resolved
+
+
+@dataclass(frozen=True)
+class TraceFault:
+    """One per-trace incident.
+
+    ``trace_index`` is the trace's position in the *original* corpus (the
+    per-trace seed schedule is indexed the same way, so surviving traces
+    keep their seeds).  ``stage`` is where it happened (``"validate"``,
+    ``"prepare"`` or ``"replay"``); ``tier`` is the execution path that
+    failed or recovered (``"batch"`` / ``"reference"``); ``retries`` counts
+    deterministic scalar retries performed; ``skipped`` says whether the
+    trace was dropped (False = recovered by degrading, results intact).
+    A shard-level batch failure that triggered per-trace retries is
+    recorded once with ``trace_index=-1``.
+    """
+
+    trace_index: int
+    stage: str
+    error_type: str
+    message: str
+    tier: str = "batch"
+    retries: int = 0
+    skipped: bool = True
+    setting: str | None = None
+
+    @classmethod
+    def from_exception(
+        cls,
+        trace_index: int,
+        stage: str,
+        exc: BaseException,
+        *,
+        tier: str = "batch",
+        retries: int = 0,
+        skipped: bool = True,
+        setting: str | None = None,
+    ) -> "TraceFault":
+        return cls(
+            trace_index=trace_index,
+            stage=stage,
+            error_type=type(exc).__name__,
+            message=str(exc),
+            tier=tier,
+            retries=retries,
+            skipped=skipped,
+            setting=setting,
+        )
+
+
+@dataclass(frozen=True)
+class PoolFault:
+    """One pool-supervision incident.
+
+    ``kind`` is ``"worker-death"`` (BrokenProcessPool), ``"timeout"`` (a
+    shard past its deadline) or ``"pool-unavailable"`` (the pool could not
+    be created).  ``tasks`` are the indices of the affected submissions;
+    ``recovered`` records the path that eventually produced their results
+    (``"pool-retry"`` or ``"in-process"``).
+    """
+
+    kind: str
+    tasks: tuple[int, ...]
+    error_type: str
+    message: str
+    retries: int = 0
+    recovered: str = "pool-retry"
+
+
+@dataclass
+class FaultLog:
+    """Every fault a corpus-level call survived, in arrival order."""
+
+    traces: list[TraceFault] = field(default_factory=list)
+    pool: list[PoolFault] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.traces) + len(self.pool)
+
+    def __bool__(self) -> bool:
+        return bool(self.traces) or bool(self.pool)
+
+    def record_trace(self, fault: TraceFault) -> None:
+        self.traces.append(fault)
+
+    def record_pool(self, fault: PoolFault) -> None:
+        self.pool.append(fault)
+
+    def extend(self, other: "FaultLog") -> None:
+        self.traces.extend(other.traces)
+        self.pool.extend(other.pool)
+
+    def skipped_trace_indices(self) -> set[int]:
+        """Original corpus indices of traces dropped from the results."""
+        return {f.trace_index for f in self.traces if f.skipped and f.trace_index >= 0}
+
+    def summary(self) -> str:
+        """A one-paragraph operator-facing report."""
+        if not self:
+            return "no faults"
+        lines = []
+        skipped = self.skipped_trace_indices()
+        recovered = sum(1 for f in self.traces if not f.skipped)
+        if self.traces:
+            lines.append(
+                f"{len(self.traces)} trace fault(s): "
+                f"{len(skipped)} trace(s) skipped, {recovered} recovered"
+            )
+            for f in self.traces:
+                where = f"trace {f.trace_index}" if f.trace_index >= 0 else "shard"
+                what = "skipped" if f.skipped else "recovered"
+                extra = f", setting={f.setting}" if f.setting else ""
+                lines.append(
+                    f"  [{f.stage}/{f.tier}] {where} {what} after "
+                    f"{f.retries} retr{'y' if f.retries == 1 else 'ies'}: "
+                    f"{f.error_type}: {f.message}{extra}"
+                )
+        if self.pool:
+            lines.append(f"{len(self.pool)} pool fault(s):")
+            for p in self.pool:
+                lines.append(
+                    f"  [{p.kind}] tasks {list(p.tasks)} -> {p.recovered} "
+                    f"(retry {p.retries}): {p.error_type}: {p.message}"
+                )
+        return "\n".join(lines)

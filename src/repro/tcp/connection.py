@@ -48,8 +48,9 @@ argument (``None`` picks the module-level ``DEFAULT_KERNEL``):
   Python mirror when numba is importable, else a cc + cffi build of a
   line-for-line C transcription (compiled once with FMA contraction and
   fast-math disabled, cached on disk).  When neither backend is
-  available the tier falls back to ``"scratch"`` silently
-  (``BatchTCPConnection._tier`` records the effective tier).
+  available the tier falls back to ``"scratch"`` with a once-per-process
+  ``RuntimeWarning`` (``BatchTCPConnection._tier`` records the effective
+  tier).
 
 All tiers evaluate the same float predicates in the same order, so they
 produce bit-identical :class:`DownloadResult`s / batch columns and session
@@ -62,6 +63,7 @@ bit-identical in practice on every backend we test).  Unknown kernel names raise
 from __future__ import annotations
 
 import math
+import warnings
 from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
 
@@ -101,6 +103,32 @@ KERNEL_TIERS = ("reference", "analytic", "scratch", "compiled")
 """All selectable kernel tiers, slowest (golden reference) first."""
 
 _KERNELS = KERNEL_TIERS  # backwards-compatible alias
+
+
+_COMPILED_FALLBACK_WARNED = False
+
+
+def _warn_compiled_fallback() -> None:
+    """Warn (once per process) that ``kernel="compiled"`` degraded.
+
+    The degrade itself is by design — the parity contract is unchanged on
+    the scratch tier — but operators asking for the compiled tier should
+    see the effective tier in their logs instead of having to poke
+    ``BatchTCPConnection._tier``.  Reset the module flag in tests to
+    re-arm the warning.
+    """
+    global _COMPILED_FALLBACK_WARNED
+    if _COMPILED_FALLBACK_WARNED:
+        return
+    _COMPILED_FALLBACK_WARNED = True
+    warnings.warn(
+        'kernel="compiled" requested but no compiled backend (numba or '
+        "cc+cffi) is available; falling back to the \"scratch\" tier "
+        "(bit-identical results, reduced throughput). This warning is "
+        "emitted once per process.",
+        RuntimeWarning,
+        stacklevel=3,
+    )
 
 
 def resolve_kernel(kernel: str | None) -> str:
@@ -738,10 +766,12 @@ class BatchTCPConnection:
         self.batch = batch
         self.rtt_s = rtt_s
         self.kernel = resolved
-        # Effective tier: "compiled" quietly degrades to "scratch" when no
+        # Effective tier: "compiled" degrades to "scratch" when no
         # compiled backend (numba or cc+cffi) is buildable — the parity
-        # contract is unchanged either way.
+        # contract is unchanged either way, and a once-per-process
+        # RuntimeWarning surfaces the effective tier to operators.
         if resolved == "compiled" and not _compiled.available():
+            _warn_compiled_fallback()
             resolved = "scratch"
         self._tier = resolved
         self._scalar_run = (

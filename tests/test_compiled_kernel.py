@@ -95,9 +95,13 @@ class TestBackendDispatch:
         assert _compiled.backend() == "python"
 
     def test_unavailable_compiled_falls_back_to_scratch(self, monkeypatch):
+        from repro.tcp import connection
+
         monkeypatch.setattr(_compiled, "available", lambda: False)
+        monkeypatch.setattr(connection, "_COMPILED_FALLBACK_WARNED", False)
         batch = TraceBatch(lane_traces(3))
-        conn = BatchTCPConnection(batch, kernel="compiled")
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            conn = BatchTCPConnection(batch, kernel="compiled")
         assert conn.kernel == "compiled"  # the request is remembered...
         assert conn._tier == "scratch"  # ...but the scratch tier serves it
 
