@@ -416,14 +416,19 @@ def test_perf_kernel_tiers(benchmark):
 
     The same bench-scale query sweep as ``test_perf_batch_replay``, run
     once per selectable kernel tier: ``analytic`` (the PR-5 path),
-    ``scratch`` (preallocated-scratch batch kernels, the default) and
-    ``compiled`` (whole-batch njit/cc kernel, when a backend is
-    buildable).  All tiers are bit-identical (``tests/test_batch_replay.py``,
+    ``scratch`` (preallocated-scratch batch kernels, the default),
+    ``compiled`` (whole-batch njit/cc download kernel, when a backend is
+    buildable) and ``fused`` (the PR-8 whole-session kernel: downloads,
+    ABR decisions and buffer accounting in one compiled call per
+    session).  All tiers are bit-identical (``tests/test_batch_replay.py``,
     ``tests/test_compiled_kernel.py``); the interleaved A/B cancels
     container CPU noise out of the ratios.  Acceptance: the best
-    available tier is >= 1.5x over the PR-5 analytic path.
+    available tier is >= 1.5x over the PR-5 analytic path, and the fused
+    tier beats the PR-6 compiled tier by >= 1.5x when both have a real
+    backend.
     """
     from repro import change_abr, paper_corpus
+    from repro.player import _fused
     from repro.tcp import _compiled
 
     setting_a = bench_setting_a()
@@ -435,6 +440,8 @@ def test_perf_kernel_tiers(benchmark):
     tiers = ["analytic", "scratch"]
     if _compiled.available():
         tiers.append("compiled")
+    if _fused.backend() != "python":
+        tiers.append("fused")
     engines = {
         tier: CounterfactualEngine(
             paper_veritas_config(), n_samples=N_SAMPLES, seed=ENGINE_SEED,
@@ -496,6 +503,148 @@ def test_perf_kernel_tiers(benchmark):
     )
     ok &= shape_check(
         "best kernel tier >= 1.5x over the analytic path", best_speedup >= 1.5
+    )
+    if "compiled" in best and "fused" in best:
+        fused_vs_compiled = best["compiled"] / best["fused"]
+        print(
+            f"  fused vs compiled: {fused_vs_compiled:.2f}x "
+            f"(PR-8 acceptance: >= 1.5x)"
+        )
+        benchmark.extra_info.update(fused_vs_compiled_speedup=fused_vs_compiled)
+        ok &= shape_check(
+            "fused tier >= 1.5x over the compiled tier",
+            fused_vs_compiled >= 1.5,
+        )
+    assert ok
+
+
+def test_perf_decision_kernels(benchmark):
+    """Compiled ABR decision kernels (PR 8).
+
+    Per-decision throughput of the BBA / BOLA / MPC batch deciders over a
+    full session-shaped sweep (every chunk of the bench video, K lanes,
+    MPC's predictor state advancing chunk to chunk), on the production
+    path — the compiled kernels when a backend (numba or cc+cffi) is
+    live — and on the vectorised NumPy path they replace
+    (``FORCE_PYTHON`` routes the deciders back to NumPy).  Both paths are
+    bit-identical (``tests/test_compiled_kernel.py``); the interleaved
+    min-of-3 cancels container CPU noise out of the ratios.
+    """
+    from repro.abr import BBAAlgorithm, BOLAAlgorithm, MPCAlgorithm, _decisions
+    from repro.abr.base import BatchABRContext
+
+    video = bench_setting_a().video
+    # A session-length sweep at a bounded cost: the NumPy MPC reference
+    # sweep is ~50x slower than the kernel, so oversized shapes here
+    # starve the rest of the suite of quiet CPU time.
+    n_chunks = min(video.n_chunks, 120)
+    k = 1024
+    capacity = 15.0
+    rng = np.random.default_rng(9)
+    buffers = rng.uniform(0.0, capacity, (n_chunks, k))
+    throughputs = rng.uniform(0.3, 30.0, (n_chunks, k))
+
+    def sweep(abr):
+        abr.reset()
+        # MPC's decider allocates its own output (its kernel gate sits on
+        # use_kernel() alone); BBA/BOLA take the engine's out= buffer.
+        out = (
+            np.empty(k, dtype=np.int64)
+            if getattr(abr, "batch_out_safe", False)
+            else None
+        )
+        last = None
+        history: list[np.ndarray] = []
+        for n in range(n_chunks):
+            context = BatchABRContext(
+                chunk_index=n,
+                buffer_s=buffers[n],
+                buffer_capacity_s=capacity,
+                last_quality=last,
+                video=video,
+                throughput_history_mbps=history,
+            )
+            if out is None:
+                result = abr.choose_quality_batch(context)
+            else:
+                result = abr.choose_quality_batch(context, out=out)
+            last = np.array(result, dtype=np.int64)
+            history.append(throughputs[n])
+        return last
+
+    def time_sweep(abr) -> float:
+        start = time.perf_counter()
+        sweep(abr)
+        return time.perf_counter() - start
+
+    abrs = {"bba": BBAAlgorithm(), "bola": BOLAAlgorithm(), "mpc": MPCAlgorithm()}
+    kernel_live = _decisions.use_kernel()
+    n_decisions = n_chunks * k
+
+    for abr in abrs.values():  # warm plan/table caches on both paths
+        sweep(abr)
+    run_once(benchmark, lambda: sweep(abrs["bba"]))
+
+    kernel_s = {name: time_sweep(abr) for name, abr in abrs.items()}
+    _decisions.FORCE_PYTHON = True
+    try:
+        for abr in abrs.values():
+            sweep(abr)  # warm the NumPy path's scratch caches
+        numpy_s = {name: time_sweep(abr) for name, abr in abrs.items()}
+        # One interleaved re-measurement per path (min-of-2): the NumPy
+        # MPC sweep is expensive enough that more rounds cost more noise
+        # elsewhere in the suite than they remove here.
+        _decisions.FORCE_PYTHON = False
+        for name, abr in abrs.items():
+            kernel_s[name] = min(kernel_s[name], time_sweep(abr))
+        _decisions.FORCE_PYTHON = True
+        for name, abr in abrs.items():
+            numpy_s[name] = min(numpy_s[name], time_sweep(abr))
+    finally:
+        _decisions.FORCE_PYTHON = False
+
+    print_header(
+        "Perf — compiled ABR decision kernels (session-shaped sweep)",
+        f"backend: {_decisions.backend()}; bit-identical to the NumPy "
+        f"deciders they replace",
+    )
+    ok = True
+    for name in abrs:
+        per_sec = n_decisions / kernel_s[name]
+        speedup = numpy_s[name] / kernel_s[name]
+        print(
+            f"  {name:4s}: {kernel_s[name] * 1e3:6.1f} ms for "
+            f"{n_decisions:,} decisions ({per_sec:,.0f} decisions/sec, "
+            f"{speedup:.2f}x vs numpy)"
+        )
+        benchmark.extra_info.update(
+            {
+                f"{name}_decisions_per_sec": per_sec,
+                f"{name}_decision_kernel_ms": kernel_s[name] * 1e3,
+                f"{name}_decision_speedup": speedup,
+            }
+        )
+    benchmark.extra_info.update(
+        n_decisions=n_decisions,
+        n_decision_lanes=k,
+        decision_backend=_decisions.backend(),
+    )
+    if kernel_live:
+        # The kernels must not lose to the NumPy deciders they replace
+        # (gate at 0.8x for container CPU noise; typical wins are larger,
+        # dominated by MPC's in-kernel horizon search).
+        worst = min(numpy_s[n] / kernel_s[n] for n in abrs)
+        ok &= shape_check(
+            "decision kernels at least match the NumPy path (>= 0.8x)",
+            worst >= 0.8,
+        )
+    finals = [sweep(abr) for abr in abrs.values()]
+    ok &= shape_check(
+        "every lane decided a valid ladder index",
+        all(
+            final.min() >= 0 and final.max() < video.n_qualities
+            for final in finals
+        ),
     )
     assert ok
 

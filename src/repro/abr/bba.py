@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from . import _decisions
 from .base import ABRAlgorithm, ABRContext, BatchABRContext
 
 __all__ = ["BBAAlgorithm"]
@@ -76,6 +77,14 @@ class BBAAlgorithm(ABRAlgorithm):
             )
         return plan
 
+    def decision_kernel_plan(self, video, capacity: float) -> tuple:
+        """Scalar plan consumed by the compiled decision / fused session
+        kernels: ``(reservoir, upper, lowest, highest, r_min, r_max,
+        rates)``."""
+        plan = self._ensure_plan(video, capacity)
+        _, _, reservoir, upper, lowest, highest, r_min, r_max, rates = plan
+        return reservoir, upper, lowest, highest, r_min, r_max, rates
+
     def choose_quality(self, context: ABRContext) -> int:
         video = context.video
         plan = self._ensure_plan(video, context.buffer_capacity_s)
@@ -105,11 +114,19 @@ class BBAAlgorithm(ABRAlgorithm):
         per-instance scratch buffers: the ``searchsorted`` becomes one
         broadcast ``target >= rate`` table plus a row reduction
         (identical index arithmetic — both count the rates at or below
-        target)."""
+        target).  When a compiled decision backend is live
+        (:mod:`repro.abr._decisions`) the whole decision is one kernel
+        call with zero NumPy dispatches."""
         plan = self._ensure_plan(context.video, context.buffer_capacity_s)
         _, _, reservoir, upper, lowest, highest, r_min, r_max, rates = plan
 
         buffer_s = context.buffer_s
+        if out is not None and _decisions.use_kernel():
+            _decisions.bba_decide(
+                buffer_s, reservoir, upper, lowest, highest, r_min, r_max,
+                rates, out,
+            )
+            return out
         if out is None:
             fraction = (buffer_s - reservoir) / (upper - reservoir)
             target_rate = r_min + fraction * (r_max - r_min)

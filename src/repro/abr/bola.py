@@ -26,6 +26,7 @@ import math
 import numpy as np
 
 from ..video.chunks import Video
+from . import _decisions
 from .base import ABRAlgorithm, ABRContext, BatchABRContext
 
 __all__ = ["BOLAAlgorithm"]
@@ -42,6 +43,11 @@ class BOLAAlgorithm(ABRAlgorithm):
     """
 
     name = "bola"
+
+    # The score argmax reads only buffer_s and session-constant weights —
+    # never last_quality or observation histories — so the batch replay
+    # loop may pass its live quality buffer as ``out=``.
+    batch_out_safe = True
 
     def __init__(self, upper_fraction: float = 0.9):
         if not 0 < upper_fraction <= 1:
@@ -124,16 +130,37 @@ class BOLAAlgorithm(ABRAlgorithm):
                 best_q = q
         return best_q
 
-    def choose_quality_batch(self, context: BatchABRContext) -> np.ndarray:
+    def decision_kernel_weights(self, video: Video, capacity: float) -> np.ndarray:
+        """Per-quality objective weights ``v * (utility + gp)`` consumed by
+        the compiled decision / fused session kernels."""
+        self._calibrate(video, capacity)
+        return self._weights_arr
+
+    def choose_quality_batch(
+        self, context: BatchABRContext, out: np.ndarray | None = None
+    ) -> np.ndarray:
         """Vectorised :meth:`choose_quality` over K lockstep lanes.
 
         One ``(K, Q)`` drift-plus-penalty score matrix per chunk; the
         row-wise ``argmax`` keeps the first maximum, matching the scalar
-        loop's strict-improvement tie rule."""
+        loop's strict-improvement tie rule.  When a compiled decision
+        backend is live the score loop runs as one kernel call instead
+        of the ``(K, Q)`` matrix."""
         video = context.video
         self._calibrate(video, context.buffer_capacity_s)
         sizes = video.sizes_for_chunk(context.chunk_index)
+        if _decisions.use_kernel():
+            if out is None:
+                out = np.empty(context.n_lanes, dtype=np.int64)
+            _decisions.bola_decide(
+                context.buffer_s, self._weights_arr, sizes, out
+            )
+            return out
         scores = (self._weights_arr[None, :] - context.buffer_s[:, None]) / sizes[
             None, :
         ]
-        return np.argmax(scores, axis=1)
+        result = np.argmax(scores, axis=1)
+        if out is not None:
+            out[:] = result
+            return out
+        return result

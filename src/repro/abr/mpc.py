@@ -23,6 +23,7 @@ from weakref import WeakKeyDictionary
 import numpy as np
 
 from ..video.ladder import ssim_to_db
+from . import _decisions
 from .base import (
     ABRAlgorithm,
     ABRContext,
@@ -84,6 +85,80 @@ def _video_tables(video, sequences: np.ndarray, n_qualities: int, horizon: int):
     return None if tables[0] is None else tables
 
 
+# Flattened per-chunk horizon-search workspaces for the compiled decision
+# and fused session kernels, keyed by the Video object (dies with it).
+# The entry for a (video, horizon) pair is ``None`` when the QoE tables
+# exceed the precomputation budget — callers then keep the NumPy path.
+_KERNEL_PACKS: "WeakKeyDictionary" = WeakKeyDictionary()
+
+
+def _kernel_pack(video, horizon: int):
+    """Per-chunk flattened sequence/QoE tables for the compiled kernels.
+
+    Returns ``(meta, seq_flat, dbsum_flat, switch_flat, size_flat,
+    db_flat)`` or ``None``.  ``meta[n]`` is ``[h_n, n_seq, seq_off,
+    row_off]`` for chunk ``n``: the end-of-video-truncated horizon, the
+    sequence count at that horizon, the offset of the ``(n_seq, h_n)``
+    row-major sequence table inside ``seq_flat``, and the offset of this
+    chunk's precomputed SSIM-dB / switch-penalty rows inside
+    ``dbsum_flat`` / ``switch_flat``.  ``size_flat`` / ``db_flat`` are
+    the raveled ``(n_chunks, n_qualities)`` video matrices.
+    """
+    per_video = _KERNEL_PACKS.get(video)
+    if per_video is None:
+        per_video = {}
+        _KERNEL_PACKS[video] = per_video
+    if horizon in per_video:
+        return per_video[horizon]
+
+    n_chunks = video.n_chunks
+    n_qualities = video.n_qualities
+    meta = np.empty((n_chunks, 4), dtype=np.int64)
+    seq_tables: dict[int, tuple[int, np.ndarray]] = {}
+    seq_parts: list[np.ndarray] = []
+    seq_total = 0
+    dbsum_parts: list[np.ndarray] = []
+    switch_parts: list[np.ndarray] = []
+    row_off = 0
+    pack = None
+    complete = True
+    for n in range(n_chunks):
+        h = min(horizon, n_chunks - n)
+        cached = seq_tables.get(h)
+        if cached is None:
+            sequences = _enumerate_sequences(n_qualities, h)
+            cached = seq_tables[h] = (seq_total, sequences)
+            seq_parts.append(
+                np.ascontiguousarray(sequences, dtype=np.int64).ravel()
+            )
+            seq_total += sequences.size
+        seq_off, sequences = cached
+        tables = _video_tables(video, sequences, n_qualities, h)
+        if tables is None:
+            complete = False
+            break
+        db_sum, switch_sum = tables
+        n_seq = sequences.shape[0]
+        meta[n, 0] = h
+        meta[n, 1] = n_seq
+        meta[n, 2] = seq_off
+        meta[n, 3] = row_off
+        dbsum_parts.append(db_sum[n])
+        switch_parts.append(switch_sum[n])
+        row_off += n_seq
+    if complete:
+        pack = (
+            meta,
+            np.concatenate(seq_parts),
+            np.concatenate(dbsum_parts),
+            np.concatenate(switch_parts),
+            np.ascontiguousarray(video.size_matrix, dtype=np.float64).ravel(),
+            np.ascontiguousarray(video.ssim_db_matrix, dtype=np.float64).ravel(),
+        )
+    per_video[horizon] = pack
+    return pack
+
+
 def _enumerate_sequences(n_qualities: int, horizon: int) -> np.ndarray:
     """All quality sequences: first step free, then ±1 moves per step."""
     sequences = [[q] for q in range(n_qualities)]
@@ -139,10 +214,14 @@ class MPCAlgorithm(ABRAlgorithm):
         self._sequence_cache: dict[tuple[int, int], np.ndarray] = {}
         self._plan_cache: dict[tuple[int, int], tuple] = {}
         self._batch_scratch_cache: dict[tuple[int, int, int], tuple] = {}
+        # Predictor ring buffers + scratch for the compiled decision
+        # kernels, sized per lane count (see _choose_batch_kernel).
+        self._kernel_state: tuple | None = None
 
     def reset(self) -> None:
         self._predictor.reset()
         self._batch_predictor = None
+        self._kernel_state = None
 
     # ------------------------------------------------------------------
     def _sequences(self, n_qualities: int, horizon: int) -> np.ndarray:
@@ -288,6 +367,17 @@ class MPCAlgorithm(ABRAlgorithm):
             raise ValueError(f"chunk index {n} beyond video end")
         n_lanes = context.n_lanes
 
+        if self.robust and _decisions.use_kernel():
+            # RobustMPC through the compiled decision kernels: the
+            # predictor's observe/predict and the whole horizon search
+            # run per lane with zero NumPy dispatches.  (Plain MPC keeps
+            # the NumPy path: its un-discounted harmonic mean uses
+            # np.sum's pairwise reduction, which a sequential kernel
+            # loop cannot reproduce bit-for-bit at window 8.)
+            pack = _kernel_pack(video, self.horizon)
+            if pack is not None:
+                return self._choose_batch_kernel(context, pack, n)
+
         predictor = self._batch_predictor
         if predictor is None or predictor.n_lanes != n_lanes:
             scalar = self._predictor
@@ -387,3 +477,78 @@ class MPCAlgorithm(ABRAlgorithm):
                 qoe -= switches
 
         return sequences[qoe.argmax(axis=1), 0]
+
+    # ------------------------------------------------------------------
+    def decision_kernel_pack(self, video):
+        """Flattened horizon-search tables consumed by the compiled
+        decision / fused session kernels, or ``None`` when this instance
+        cannot run in-kernel (plain MPC, or QoE tables over budget)."""
+        if not self.robust:
+            return None
+        return _kernel_pack(video, self.horizon)
+
+    def _choose_batch_kernel(
+        self, context: BatchABRContext, pack: tuple, n: int
+    ) -> np.ndarray:
+        """One lockstep decision through :mod:`repro.abr._decisions`.
+
+        Predictor state lives in flat per-lane ring buffers updated
+        inside the kernel: ``hist`` (observation window; slot
+        ``i % window`` holds observation ``i``), ``errs`` (error window;
+        slot ``(i - 1) % error_window`` holds the error recorded at
+        decision ``i``) and ``last_pred`` (the previous *unclamped*
+        prediction, ``-1`` before the first).  Every counter derives
+        from the observation count, so the state needs no side channel
+        — the fused session kernel advances the same buffers across a
+        whole session in one call.
+        """
+        video = context.video
+        meta, seq_flat, dbsum_flat, switch_flat, size_flat, db_flat = pack
+        n_lanes = context.n_lanes
+        scalar = self._predictor
+        window = scalar.window
+        error_window = scalar.error_window
+
+        state = self._kernel_state
+        if state is None or state[0] != n_lanes:
+            state = self._kernel_state = (
+                n_lanes,
+                np.empty((n_lanes, window)),
+                np.zeros((n_lanes, error_window)),
+                np.full(n_lanes, -1.0),
+                np.empty(n_lanes),
+                np.empty(n_lanes, dtype=np.int64),
+                np.full(n_lanes, -1, dtype=np.int64),
+            )
+        _, hist, errs, last_pred, pred, out, lastq_none = state
+
+        history = context.throughput_history_mbps
+        n_obs = len(history)
+        if n_obs:
+            hist[:, (n_obs - 1) % window] = history[-1]
+        _decisions.mpc_observe_predict(
+            hist, errs, last_pred, n_obs, window, error_window,
+            scalar.cold_start_mbps, pred,
+        )
+
+        if context.last_quality is None:
+            last_q = lastq_none
+        else:
+            last_q = np.ascontiguousarray(context.last_quality, dtype=np.int64)
+        h = int(meta[n, 0])
+        n_seq = int(meta[n, 1])
+        seq_off = int(meta[n, 2])
+        row_off = int(meta[n, 3])
+        _decisions.mpc_decide(
+            n, h, n_seq,
+            seq_flat[seq_off : seq_off + n_seq * h],
+            size_flat, db_flat, video.n_qualities,
+            dbsum_flat[row_off : row_off + n_seq],
+            switch_flat[row_off : row_off + n_seq],
+            np.ascontiguousarray(context.buffer_s), pred, last_q,
+            context.buffer_capacity_s, video.chunk_duration_s,
+            self.rebuffer_penalty, self.switch_penalty, out,
+        )
+        # The runner keeps the returned array as context.last_quality;
+        # hand it a copy so the reused scratch stays private.
+        return out.copy()

@@ -381,6 +381,13 @@ class CounterfactualEngine:
     serial path automatically, so ``use_batch=False`` is only an escape
     hatch for benchmarking the serial engine.
 
+    ``kernel`` selects the replay kernel tier for every batch session the
+    engine runs (see ``repro.tcp.connection.KERNEL_TIERS``; ``None``
+    picks the default).  All tiers are bit-identical; ``"compiled"``
+    batches each chunk download into one compiled call and ``"fused"``
+    additionally runs whole sessions — decisions included — in a single
+    call for the shipped BBA/BOLA/RobustMPC algorithms.
+
     ``on_error`` sets the engine-wide fault policy (overridable per call):
     ``"raise"`` fail-stops (the default), ``"degrade"`` retries failing
     traces on the scalar reference path with the same seeds (bit-identical

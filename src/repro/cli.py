@@ -59,7 +59,7 @@ from . import (
 from .net.io import TraceFormatError, load_csv, load_mahimahi
 from .net.validation import validate_trace
 from .runtime.faults import ON_ERROR_POLICIES, FaultLog
-from .tcp.connection import KERNEL_TIERS
+from .tcp.connection import DEFAULT_KERNEL, KERNEL_TIERS
 
 __all__ = ["main", "build_parser"]
 
@@ -107,9 +107,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--kernel",
         choices=list(KERNEL_TIERS),
         default=None,
-        help="replay kernel tier for batch preparation/replay (default: "
-             "the library default, currently \"scratch\"; \"compiled\" "
-             "falls back to \"scratch\" when numba is unavailable)",
+        # Generated from the tier registry so a new tier cannot drift
+        # out of this message (results are bit-identical on every tier).
+        help="replay kernel tier for batch preparation/replay: "
+             f"{', '.join(KERNEL_TIERS)} (default: the library default, "
+             f"currently \"{DEFAULT_KERNEL}\"; compiled/fused tiers fall "
+             "back to slower tiers when no compiled backend is available)",
     )
     cf.add_argument(
         "--no-batch", action="store_true",

@@ -49,10 +49,14 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..abr.base import ABRAlgorithm, ABRContext, BatchABRContext
+from ..abr.bba import BBAAlgorithm
+from ..abr.bola import BOLAAlgorithm
+from ..abr.mpc import MPCAlgorithm
 from ..net.trace import PiecewiseConstantTrace, TraceBatch
 from ..tcp.connection import BatchTCPConnection, resolve_kernel
 from ..util.units import throughput_mbps
 from ..video.chunks import Video
+from . import _fused
 from .logs import SessionLogBatch
 from .session import SessionConfig
 
@@ -271,7 +275,19 @@ class BatchStreamingSession:
         connection = BatchTCPConnection(
             tb, rtt_s=self.rtt_s, start_time_s=0.0, kernel=self.kernel
         )
-        if connection._tier in ("scratch", "compiled"):
+        if connection._tier == "fused":
+            plan = _fused_plan(partitions, video, n_lanes)
+            if plan is not None:
+                # The whole (lane-batch x session) loop in one compiled
+                # call (bit-identical to the loops below).
+                return _FusedRunner(
+                    self, capacity, abr_names, connection, plan
+                ).run()
+            # Some partition cannot run in-kernel (custom ABR, per-lane
+            # scalar fallback, plain MPC, QoE tables over budget): the
+            # per-chunk scratch loop below drives this session, with
+            # downloads on the compiled kernel.
+        if connection._tier in ("scratch", "compiled", "fused"):
             # The allocation-free chunk loop (bit-identical to the loop
             # below; see _ScratchRunner).
             runner = _ScratchRunner(
@@ -735,4 +751,227 @@ class _ScratchRunner:
             srtt_s=self.col_srtt,
             min_rtt_s=self.col_min_rtt,
             rto_s=self.col_rto,
+        )
+
+
+def _fused_plan(partitions: "list[_Partition]", video: Video, n_lanes: int):
+    """Per-lane routing + per-partition parameter tables for the fused
+    session kernel, or ``None`` when some partition cannot run in-kernel.
+
+    Eligible partitions are exactly the shipped algorithm classes —
+    ``type(abr)`` must *be* :class:`BBAAlgorithm` / :class:`BOLAAlgorithm`
+    / :class:`MPCAlgorithm`, not a subclass: a subclass may override any
+    method the kernels do not see, the same reasoning behind
+    :func:`_vectorised_decider`'s MRO check.  MPC additionally needs its
+    flattened horizon-search pack (robust mode, QoE tables within
+    budget), and every MPC partition must share one video/horizon pack
+    and predictor configuration, since the kernel carries a single table
+    set and one ``(window, error_window)`` ring-buffer geometry.
+    """
+    n_parts = len(partitions)
+    n_qualities = video.n_qualities
+    kind = np.empty(n_lanes, dtype=np.int64)
+    part = np.empty(n_lanes, dtype=np.int64)
+    bba_f = np.zeros((n_parts, 4))
+    bba_i = np.zeros((n_parts, 2), dtype=np.int64)
+    bola_w = np.zeros((n_parts, n_qualities))
+    mpc_pen = np.zeros((n_parts, 2))
+    pack = None
+    pred_key = None
+    for i, p in enumerate(partitions):
+        abr = getattr(p.choose_batch, "__self__", None)
+        if abr is None:
+            return None
+        cap = p.context.buffer_capacity_s
+        cls = type(abr)
+        if cls is BBAAlgorithm:
+            k = 0
+            reservoir, upper, lowest, highest, r_min, r_max, _ = (
+                abr.decision_kernel_plan(video, cap)
+            )
+            bba_f[i, 0] = reservoir
+            bba_f[i, 1] = upper
+            bba_f[i, 2] = r_min
+            bba_f[i, 3] = r_max
+            bba_i[i, 0] = lowest
+            bba_i[i, 1] = highest
+        elif cls is BOLAAlgorithm:
+            k = 1
+            bola_w[i] = abr.decision_kernel_weights(video, cap)
+        elif cls is MPCAlgorithm:
+            kp = abr.decision_kernel_pack(video)
+            if kp is None:
+                return None
+            predictor = abr._predictor
+            key = (
+                predictor.window,
+                predictor.error_window,
+                predictor.cold_start_mbps,
+            )
+            if pack is None:
+                pack = kp
+                pred_key = key
+            elif kp is not pack or key != pred_key:
+                return None
+            k = 2
+            mpc_pen[i, 0] = abr.rebuffer_penalty
+            mpc_pen[i, 1] = abr.switch_penalty
+        else:
+            return None
+        kind[p.start : p.stop] = k
+        part[p.start : p.stop] = i
+    return kind, part, bba_f, bba_i, bola_w, mpc_pen, pack, pred_key
+
+
+class _FusedRunner:
+    """One fused-kernel call replaces the whole per-chunk session loop.
+
+    Everything per-chunk — buffer/stall accounting, the ABR decision
+    (with MPC's predictor ring buffers driven inside the kernel), the
+    download and the column writes — happens inside a single
+    :func:`repro.player._fused.run_session` call; only the shared RTT
+    estimator sequence (a per-chunk scalar, identical across lanes) and
+    the quality-derived log columns are produced in Python, before and
+    after the call.  ``tests/test_dispatch_budget.py`` pins the single
+    kernel entry; the parity suites pin the columns bit-identical to the
+    per-chunk tiers.
+    """
+
+    def __init__(
+        self,
+        session: "BatchStreamingSession",
+        capacity: np.ndarray,
+        abr_names: list,
+        connection: BatchTCPConnection,
+        plan: tuple,
+    ):
+        self.session = session
+        self.capacity = capacity
+        self.abr_names = abr_names
+        self.connection = connection
+        self.plan = plan
+
+    def run(self) -> SessionLogBatch:
+        session = self.session
+        video = session.video
+        tb = session.batch
+        connection = self.connection
+        n_lanes = tb.n_lanes
+        n_chunks = video.n_chunks
+        n_qualities = video.n_qualities
+        kind, part, bba_f, bba_i, bola_w, mpc_pen, pack, pred_key = self.plan
+
+        if pack is not None:
+            meta, seq_flat, dbsum_flat, switch_flat, size_flat, db_flat = pack
+            window, error_window, cold_start = pred_key
+            hist = np.empty((n_lanes, window))
+            errs = np.zeros((n_lanes, error_window))
+            last_pred = np.full(n_lanes, -1.0)
+        else:
+            # No MPC lanes: 1-element placeholders the kernel never reads.
+            meta = np.zeros((1, 4), dtype=np.int64)
+            seq_flat = np.zeros(1, dtype=np.int64)
+            dbsum_flat = np.zeros(1)
+            switch_flat = np.zeros(1)
+            size_flat = np.ascontiguousarray(
+                video.size_matrix, dtype=np.float64
+            ).ravel()
+            db_flat = np.zeros(1)
+            window = error_window = 1
+            cold_start = 0.0
+            hist = np.zeros((1, 1))
+            errs = np.zeros((1, 1))
+            last_pred = np.zeros(1)
+        rates = np.ascontiguousarray(
+            video.ladder.bitrates_mbps, dtype=np.float64
+        )
+
+        # The shared RTT estimator sees the same constant RTT once per
+        # chunk, so its per-chunk column values (pre-observe snapshots,
+        # with the same guards the per-chunk tiers apply) and the rto the
+        # restart decay uses are a precomputed sequence.  Advancing the
+        # connection's shared state here leaves it exactly as n_chunks
+        # download_batch calls would.
+        shared = connection._shared
+        rtt = session.rtt_s
+        col_srtt = np.empty(n_chunks)
+        col_min_rtt = np.empty(n_chunks)
+        col_rto = np.empty(n_chunks)
+        rto_seq = np.empty(n_chunks)
+        for n in range(n_chunks):
+            srtt = shared.srtt_s
+            min_rtt = shared.min_rtt_s
+            col_srtt[n] = srtt if srtt > 0 else 1.0
+            col_min_rtt[n] = (
+                min_rtt if min_rtt != float("inf") else (srtt or 1.0)
+            )
+            rto_seq[n] = col_rto[n] = shared.rto_s
+            shared.observe_rtt(rtt)
+
+        shape = (n_chunks, n_lanes)
+        col_quality = np.empty(shape, dtype=np.int64)
+        col_size = np.empty(shape)
+        col_start = np.empty(shape)
+        col_end = np.empty(shape)
+        col_before = np.empty(shape)
+        col_after = np.empty(shape)
+        col_rebuffer = np.empty(shape)
+        col_cwnd = np.empty(shape, dtype=np.int64)
+        col_ssthresh = np.empty(shape, dtype=np.int64)
+        col_idle = np.empty(shape)
+        total_rebuffer = np.empty(n_lanes)
+        total_bytes = np.empty(n_lanes)
+        startup_time = np.empty(n_lanes)
+
+        status = _fused.run_session(
+            tb._bounds, tb._values2d, tb._rates2d, tb._cum2d,
+            size_flat, db_flat, n_qualities, video.chunk_duration_s,
+            self.capacity, session.request_overhead_s, rtt, rto_seq,
+            kind, part, bba_f, bba_i, rates, bola_w, mpc_pen,
+            meta, seq_flat, dbsum_flat, switch_flat,
+            hist, errs, last_pred, window, error_window, cold_start,
+            connection._cwnd, connection._ssthresh, connection._last_send,
+            col_quality, col_size, col_start, col_end, col_before,
+            col_after, col_rebuffer, col_cwnd, col_ssthresh, col_idle,
+            total_rebuffer, total_bytes, startup_time,
+        )
+        if status == 1:
+            raise RuntimeError(
+                "transfer cannot complete: trailing bandwidth is zero"
+            )
+        if status == 2:
+            raise ValueError(
+                "duration must be positive (non-positive download "
+                "duration observed in the fused session kernel)"
+            )
+
+        bitrates = np.asarray(
+            [video.bitrate_mbps(q) for q in range(n_qualities)]
+        )
+        return SessionLogBatch(
+            abr_names=self.abr_names,
+            buffer_capacity_s=self.capacity,
+            chunk_duration_s=video.chunk_duration_s,
+            rtt_s=rtt,
+            startup_time_s=startup_time,
+            total_rebuffer_s=total_rebuffer,
+            total_size_bytes=total_bytes,
+            qualities=col_quality,
+            size_bytes=col_size,
+            start_times_s=col_start,
+            end_times_s=col_end,
+            buffer_before_s=col_before,
+            buffer_after_s=col_after,
+            rebuffer_s=col_rebuffer,
+            ssim=np.take_along_axis(video.ssim_matrix, col_quality, axis=1),
+            ssim_db=np.take_along_axis(
+                video.ssim_db_matrix, col_quality, axis=1
+            ),
+            bitrate_mbps=bitrates[col_quality],
+            cwnd_segments=col_cwnd,
+            ssthresh_segments=col_ssthresh,
+            time_since_last_send_s=col_idle,
+            srtt_s=col_srtt,
+            min_rtt_s=col_min_rtt,
+            rto_s=col_rto,
         )

@@ -170,6 +170,69 @@ def _grow_window(cwnd, ssthresh):
 
 
 @_maybe_jit
+def _download_one(
+    bounds, values2d, rates2d, cum2d, n_intervals, j, start, size, idle,
+    rtt, rto, c, st,
+):
+    """One lane's chunk download: restart decay plus the per-RTT loop.
+
+    Returns ``(end, cwnd, ssthresh)`` — ``end < 0.0`` signals a transfer
+    that can never complete (zero trailing bandwidth).  Shared per-lane
+    scalar core of both the batch download kernel and the fused session
+    kernel, so the two tiers stay float-for-float identical.
+    """
+    # RFC 2861 slow-start restart (mirrors apply_slow_start_restart).
+    if idle > rto and c > INIT_CWND_SEGMENTS:
+        remaining_gap = idle
+        while remaining_gap > rto and c > INIT_CWND_SEGMENTS:
+            remaining_gap -= rto
+            c >>= 1
+        if c < INIT_CWND_SEGMENTS:
+            c = INIT_CWND_SEGMENTS
+        s34 = (c >> 1) + (c >> 2)
+        if s34 > st:
+            st = s34
+        if st < 2:
+            st = 2
+
+    # Per-RTT reference loop (mirrors _reference_download).
+    t0 = start + rtt
+    rounds = 0
+    sent_segments = 0
+    end = 0.0
+    while True:
+        t = t0 + rounds * rtt
+        remaining = size - sent_segments * MSS_BYTES
+        bandwidth = values2d[j, _interval_index(bounds, n_intervals, t)]
+        bdp_bytes = bandwidth * 1_000_000 / 8 * rtt
+        cwnd_bytes = c * MSS_BYTES
+        if cwnd_bytes >= bdp_bytes:
+            # Pipe full: drain at the link rate (mirrors _fluid_finish).
+            fluid_s = _transfer_time(
+                bounds, rates2d, cum2d, n_intervals, j, t, remaining
+            )
+            if fluid_s < 0.0:
+                return -1.0, c, st
+            extra = int(fluid_s / rtt)
+            if extra < 0:
+                extra = 0
+            c = c + extra
+            if c > MAX_CWND_SEGMENTS:
+                c = MAX_CWND_SEGMENTS
+            end = t + fluid_s
+            break
+        if cwnd_bytes >= remaining:
+            # Final window-limited round: one RTT moves the rest.
+            end = t0 + (rounds + 1) * rtt
+            c = _grow_window(c, st)
+            break
+        sent_segments += c
+        c = _grow_window(c, st)
+        rounds += 1
+    return end, c, st
+
+
+@_maybe_jit
 def _download_chunk_mirror(
     bounds,
     values2d,
@@ -205,59 +268,15 @@ def _download_chunk_mirror(
         if idle < 0.0:
             idle = 0.0
         idle_out[j] = idle
-        c = cwnd[j]
-        st = ssthresh[j]
-        cwnd_pre[j] = c
-        ssthresh_pre[j] = st
+        cwnd_pre[j] = cwnd[j]
+        ssthresh_pre[j] = ssthresh[j]
 
-        # RFC 2861 slow-start restart (mirrors apply_slow_start_restart).
-        if idle > rto and c > INIT_CWND_SEGMENTS:
-            remaining_gap = idle
-            while remaining_gap > rto and c > INIT_CWND_SEGMENTS:
-                remaining_gap -= rto
-                c >>= 1
-            if c < INIT_CWND_SEGMENTS:
-                c = INIT_CWND_SEGMENTS
-            s34 = (c >> 1) + (c >> 2)
-            if s34 > st:
-                st = s34
-            if st < 2:
-                st = 2
-
-        # Per-RTT reference loop (mirrors _reference_download).
-        t0 = start + rtt
-        rounds = 0
-        sent_segments = 0
-        end = 0.0
-        while True:
-            t = t0 + rounds * rtt
-            remaining = size - sent_segments * MSS_BYTES
-            bandwidth = values2d[j, _interval_index(bounds, n_intervals, t)]
-            bdp_bytes = bandwidth * 1_000_000 / 8 * rtt
-            cwnd_bytes = c * MSS_BYTES
-            if cwnd_bytes >= bdp_bytes:
-                # Pipe full: drain at the link rate (mirrors _fluid_finish).
-                fluid_s = _transfer_time(
-                    bounds, rates2d, cum2d, n_intervals, j, t, remaining
-                )
-                if fluid_s < 0.0:
-                    return 1
-                extra = int(fluid_s / rtt)
-                if extra < 0:
-                    extra = 0
-                c = c + extra
-                if c > MAX_CWND_SEGMENTS:
-                    c = MAX_CWND_SEGMENTS
-                end = t + fluid_s
-                break
-            if cwnd_bytes >= remaining:
-                # Final window-limited round: one RTT moves the rest.
-                end = t0 + (rounds + 1) * rtt
-                c = _grow_window(c, st)
-                break
-            sent_segments += c
-            c = _grow_window(c, st)
-            rounds += 1
+        end, c, st = _download_one(
+            bounds, values2d, rates2d, cum2d, n_intervals, j, start, size,
+            idle, rtt, rto, cwnd[j], ssthresh[j],
+        )
+        if end < 0.0:
+            return 1
 
         cwnd[j] = c
         ssthresh[j] = st
@@ -280,7 +299,12 @@ long long download_chunk(
     double *idle_out, long long *cwnd_pre, long long *ssthresh_pre);
 """
 
-_C_SOURCE = (
+# The C transcription is kept in reusable fragments: C_DEFINES + C_HELPERS
+# form the shared per-lane download core that the fused session kernel
+# (repro.player._fused) concatenates into its own source, so both shared
+# libraries are compiled from the exact same scalar code.
+
+C_DEFINES = (
     r"""
 /* Compiled replay kernel: C transcription of the Python mirror in
  * repro/tcp/_compiled.py.  Must be compiled WITHOUT fast-math or FMA
@@ -294,7 +318,16 @@ _C_SOURCE = (
 #define MSS %(mss)dLL
 #define GROWTH %(growth)s
 #define EPS_BYTES 1e-9
+"""
+    % {
+        "init": INIT_CWND_SEGMENTS,
+        "maxc": MAX_CWND_SEGMENTS,
+        "mss": MSS_BYTES,
+        "growth": repr(SLOW_START_GROWTH),
+    }
+)
 
+C_HELPERS = r"""
 static int64_t interval_index(const double *bounds, int64_t n_intervals,
                               double t) {
     int64_t lo = 0, hi = n_intervals + 1;
@@ -363,6 +396,68 @@ static int64_t grow_window(int64_t cwnd, int64_t ssthresh) {
     return grown;
 }
 
+/* One lane's chunk download: restart decay plus the per-RTT loop.
+ * Returns the end time, or -1.0 when the transfer can never complete
+ * (zero trailing bandwidth).  cwnd/ssthresh are updated through the
+ * io pointers. */
+static double download_one(const double *bounds, const double *values,
+                           const double *rates, const double *cum,
+                           int64_t n_intervals, double start, double size,
+                           double idle, double rtt, double rto,
+                           int64_t *c_io, int64_t *st_io) {
+    int64_t c = *c_io;
+    int64_t st = *st_io;
+
+    if (idle > rto && c > INIT_CWND) {
+        double remaining_gap = idle;
+        while (remaining_gap > rto && c > INIT_CWND) {
+            remaining_gap -= rto;
+            c >>= 1;
+        }
+        if (c < INIT_CWND) c = INIT_CWND;
+        int64_t s34 = (c >> 1) + (c >> 2);
+        if (s34 > st) st = s34;
+        if (st < 2) st = 2;
+    }
+
+    double t0 = start + rtt;
+    int64_t rounds = 0;
+    int64_t sent_segments = 0;
+    double end = 0.0;
+    for (;;) {
+        double t = t0 + (double)rounds * rtt;
+        double remaining = size - (double)(sent_segments * MSS);
+        double bandwidth =
+            values[interval_index(bounds, n_intervals, t)];
+        double bdp_bytes = bandwidth * 1000000.0 / 8.0 * rtt;
+        double cwnd_bytes = (double)(c * MSS);
+        if (cwnd_bytes >= bdp_bytes) {
+            double fluid_s = transfer_time(
+                bounds, rates, cum, n_intervals, t, remaining);
+            if (fluid_s < 0.0) return -1.0;
+            int64_t extra = (int64_t)(fluid_s / rtt);
+            if (extra < 0) extra = 0;
+            c += extra;
+            if (c > MAX_CWND) c = MAX_CWND;
+            end = t + fluid_s;
+            break;
+        }
+        if (cwnd_bytes >= remaining) {
+            end = t0 + (double)(rounds + 1) * rtt;
+            c = grow_window(c, st);
+            break;
+        }
+        sent_segments += c;
+        c = grow_window(c, st);
+        rounds += 1;
+    }
+    *c_io = c;
+    *st_io = st;
+    return end;
+}
+"""
+
+_C_DOWNLOAD = r"""
 long long download_chunk(
     long long n_lanes, long long n_intervals,
     const double *bounds, const double *values2d, const double *rates2d,
@@ -384,49 +479,10 @@ long long download_chunk(
         cwnd_pre[j] = c;
         ssthresh_pre[j] = st;
 
-        if (idle > rto && c > INIT_CWND) {
-            double remaining_gap = idle;
-            while (remaining_gap > rto && c > INIT_CWND) {
-                remaining_gap -= rto;
-                c >>= 1;
-            }
-            if (c < INIT_CWND) c = INIT_CWND;
-            int64_t s34 = (c >> 1) + (c >> 2);
-            if (s34 > st) st = s34;
-            if (st < 2) st = 2;
-        }
+        double end = download_one(bounds, values, rates, cum, n_intervals,
+                                  start, size, idle, rtt, rto, &c, &st);
+        if (end < 0.0) return 1;
 
-        double t0 = start + rtt;
-        int64_t rounds = 0;
-        int64_t sent_segments = 0;
-        double end = 0.0;
-        for (;;) {
-            double t = t0 + (double)rounds * rtt;
-            double remaining = size - (double)(sent_segments * MSS);
-            double bandwidth =
-                values[interval_index(bounds, n_intervals, t)];
-            double bdp_bytes = bandwidth * 1000000.0 / 8.0 * rtt;
-            double cwnd_bytes = (double)(c * MSS);
-            if (cwnd_bytes >= bdp_bytes) {
-                double fluid_s = transfer_time(
-                    bounds, rates, cum, n_intervals, t, remaining);
-                if (fluid_s < 0.0) return 1;
-                int64_t extra = (int64_t)(fluid_s / rtt);
-                if (extra < 0) extra = 0;
-                c += extra;
-                if (c > MAX_CWND) c = MAX_CWND;
-                end = t + fluid_s;
-                break;
-            }
-            if (cwnd_bytes >= remaining) {
-                end = t0 + (double)(rounds + 1) * rtt;
-                c = grow_window(c, st);
-                break;
-            }
-            sent_segments += c;
-            c = grow_window(c, st);
-            rounds += 1;
-        }
         cwnd[j] = c;
         ssthresh[j] = st;
         ends[j] = end;
@@ -434,13 +490,8 @@ long long download_chunk(
     return 0;
 }
 """
-    % {
-        "init": INIT_CWND_SEGMENTS,
-        "maxc": MAX_CWND_SEGMENTS,
-        "mss": MSS_BYTES,
-        "growth": repr(SLOW_START_GROWTH),
-    }
-)
+
+_C_SOURCE = C_DEFINES + C_HELPERS + _C_DOWNLOAD
 
 _CC_FLAGS = [
     "-O2",
@@ -460,6 +511,45 @@ def _cache_dir() -> str:
     return os.path.join(os.path.dirname(os.path.abspath(__file__)), "_ccache")
 
 
+def build_cc_lib(stem: str, cdef: str, source: str):
+    """Compile ``source`` once per content hash and dlopen it via cffi.
+
+    Shared build helper for every cc+cffi kernel in the package (the
+    replay kernel here, the decision kernels in ``repro.abr._decisions``
+    and the fused session kernel in ``repro.player._fused``).  Returns
+    ``(lib, ffi)`` or ``None``; any failure — no compiler, no cffi, an
+    unwritable cache dir, a compile error — is swallowed so callers can
+    fall back to their Python mirrors.
+    """
+    if not _HAVE_CFFI:
+        return None
+    cc = shutil.which("cc") or shutil.which("gcc")
+    if cc is None:
+        return None
+    try:
+        tag = hashlib.sha256(source.encode()).hexdigest()[:16]
+        cache = _cache_dir()
+        os.makedirs(cache, exist_ok=True)
+        so_path = os.path.join(cache, f"{stem}_{tag}.so")
+        if not os.path.exists(so_path):
+            src_path = os.path.join(cache, f"{stem}_{tag}.c")
+            with open(src_path, "w", encoding="utf-8") as f:
+                f.write(source)
+            tmp_path = f"{so_path}.tmp{os.getpid()}"
+            subprocess.run(
+                [cc, *_CC_FLAGS, "-o", tmp_path, src_path],
+                check=True,
+                capture_output=True,
+                timeout=120,
+            )
+            os.replace(tmp_path, so_path)  # atomic under concurrent builds
+        ffi = cffi.FFI()
+        ffi.cdef(cdef)
+        return ffi.dlopen(so_path), ffi
+    except Exception:
+        return None
+
+
 def _cc_kernel():
     """Build (once per source hash) and load the C kernel, or ``None``.
 
@@ -471,35 +561,9 @@ def _cc_kernel():
     if st["tried"]:
         return st["lib"]
     st["tried"] = True
-    if not _HAVE_CFFI:
-        return None
-    cc = shutil.which("cc") or shutil.which("gcc")
-    if cc is None:
-        return None
-    try:
-        tag = hashlib.sha256(_C_SOURCE.encode()).hexdigest()[:16]
-        cache = _cache_dir()
-        os.makedirs(cache, exist_ok=True)
-        so_path = os.path.join(cache, f"_replay_{tag}.so")
-        if not os.path.exists(so_path):
-            src_path = os.path.join(cache, f"_replay_{tag}.c")
-            with open(src_path, "w", encoding="utf-8") as f:
-                f.write(_C_SOURCE)
-            tmp_path = f"{so_path}.tmp{os.getpid()}"
-            subprocess.run(
-                [cc, *_CC_FLAGS, "-o", tmp_path, src_path],
-                check=True,
-                capture_output=True,
-                timeout=120,
-            )
-            os.replace(tmp_path, so_path)  # atomic under concurrent builds
-        ffi = cffi.FFI()
-        ffi.cdef(_CDEF)
-        st["ffi"] = ffi
-        st["lib"] = ffi.dlopen(so_path)
-    except Exception:
-        st["ffi"] = None
-        st["lib"] = None
+    built = build_cc_lib("_replay", _CDEF, _C_SOURCE)
+    if built is not None:
+        st["lib"], st["ffi"] = built
     return st["lib"]
 
 

@@ -19,7 +19,7 @@ This produces exactly the observable biases the paper documents: small
 chunks see throughput far below GTBW (Fig. 2(c)), idle gaps reset the
 window, and only > BDP transfers observe throughput close to GTBW.
 
-Four kernel tiers implement the replay, selected by the ``kernel=``
+Five kernel tiers implement the replay, selected by the ``kernel=``
 argument (``None`` picks the module-level ``DEFAULT_KERNEL``):
 
 * ``"reference"`` — the per-RTT scalar ``while`` loop, the golden parity
@@ -51,6 +51,20 @@ argument (``None`` picks the module-level ``DEFAULT_KERNEL``):
   available the tier falls back to ``"scratch"`` with a once-per-process
   ``RuntimeWarning`` (``BatchTCPConnection._tier`` records the effective
   tier).
+* ``"fused"`` — **Tier 3, optional**: the whole (lane-batch × session)
+  chunk → decision → chunk loop in one compiled call
+  (:mod:`repro.player._fused`): download, BBA/BOLA/RobustMPC decision
+  (including the harmonic-mean predictor's ring-buffer state, via the
+  decision kernels in :mod:`repro.abr._decisions`), buffer/stall
+  accounting and the session-log column writes, with zero per-chunk
+  Python re-entry.  Same backend detection as the compiled tier
+  (numba njit, else cc + cffi, built from the same scalar helper
+  fragments).  Sessions whose ABR mix cannot run in-kernel (custom
+  algorithms, the per-lane scalar fallback, plain non-robust MPC, QoE
+  tables over budget) transparently use the per-chunk loop on this
+  connection — ``BatchStreamingSession`` decides per session — and when
+  no backend is available the tier degrades to ``"compiled"`` (or
+  ``"scratch"``) with a once-per-process ``RuntimeWarning``.
 
 All tiers evaluate the same float predicates in the same order, so they
 produce bit-identical :class:`DownloadResult`s / batch columns and session
@@ -99,13 +113,14 @@ __all__ = [
 DEFAULT_KERNEL = "scratch"
 """Kernel used when a connection is constructed without an explicit one."""
 
-KERNEL_TIERS = ("reference", "analytic", "scratch", "compiled")
+KERNEL_TIERS = ("reference", "analytic", "scratch", "compiled", "fused")
 """All selectable kernel tiers, slowest (golden reference) first."""
 
 _KERNELS = KERNEL_TIERS  # backwards-compatible alias
 
 
 _COMPILED_FALLBACK_WARNED = False
+_FUSED_FALLBACK_WARNED = False
 
 
 def _warn_compiled_fallback() -> None:
@@ -124,6 +139,22 @@ def _warn_compiled_fallback() -> None:
     warnings.warn(
         'kernel="compiled" requested but no compiled backend (numba or '
         "cc+cffi) is available; falling back to the \"scratch\" tier "
+        "(bit-identical results, reduced throughput). This warning is "
+        "emitted once per process.",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
+def _warn_fused_fallback(effective: str) -> None:
+    """Warn (once per process) that ``kernel="fused"`` degraded."""
+    global _FUSED_FALLBACK_WARNED
+    if _FUSED_FALLBACK_WARNED:
+        return
+    _FUSED_FALLBACK_WARNED = True
+    warnings.warn(
+        'kernel="fused" requested but no compiled backend (numba or '
+        f'cc+cffi) is available; falling back to the "{effective}" tier '
         "(bit-identical results, reduced throughput). This warning is "
         "emitted once per process.",
         RuntimeWarning,
@@ -766,10 +797,18 @@ class BatchTCPConnection:
         self.batch = batch
         self.rtt_s = rtt_s
         self.kernel = resolved
-        # Effective tier: "compiled" degrades to "scratch" when no
-        # compiled backend (numba or cc+cffi) is buildable — the parity
-        # contract is unchanged either way, and a once-per-process
-        # RuntimeWarning surfaces the effective tier to operators.
+        # Effective tier: "compiled" degrades to "scratch" (and "fused"
+        # to "compiled", then "scratch") when no compiled backend (numba
+        # or cc+cffi) is buildable — the parity contract is unchanged
+        # either way, and a once-per-process RuntimeWarning surfaces the
+        # effective tier to operators.
+        if resolved == "fused":
+            from ..player import _fused  # deferred: player imports tcp
+
+            if not _fused.available():
+                effective = "compiled" if _compiled.available() else "scratch"
+                _warn_fused_fallback(effective)
+                resolved = effective
         if resolved == "compiled" and not _compiled.available():
             _warn_compiled_fallback()
             resolved = "scratch"
@@ -784,13 +823,16 @@ class BatchTCPConnection:
         self._ssthresh = np.full(n, INITIAL_SSTHRESH_SEGMENTS, dtype=np.int64)
         self._last_send = np.full(n, float(start_time_s))
         self._lane_idx = np.arange(n)
-        if self._tier in ("scratch", "compiled"):
+        if self._tier in ("scratch", "compiled", "fused"):
             self._ws = batch.make_transfer_scratch()
             self._scratch = _BatchScratch(n)
             self._result = _MutableBatchResult()
         if self._tier == "scratch":
             self._download = self._download_scratch
-        elif self._tier == "compiled":
+        elif self._tier in ("compiled", "fused"):
+            # Per-chunk downloads on a fused connection (the session-level
+            # fallback for in-kernel-ineligible ABR mixes) run the
+            # compiled download kernel.
             self._download = self._download_compiled
         else:
             self._download = self._download_numpy

@@ -369,7 +369,9 @@ class TestKernelTierRegistry:
     def test_known_tiers(self):
         from repro.tcp.connection import DEFAULT_KERNEL, KERNEL_TIERS
 
-        assert KERNEL_TIERS == ("reference", "analytic", "scratch", "compiled")
+        assert KERNEL_TIERS == (
+            "reference", "analytic", "scratch", "compiled", "fused"
+        )
         assert DEFAULT_KERNEL in KERNEL_TIERS
 
     def test_batch_connection_rejects_unknown_kernel(self):
@@ -399,15 +401,18 @@ class TestKernelTierRegistry:
         for tier in KERNEL_TIERS:
             conn = BatchTCPConnection(batch, kernel=tier)
             assert conn.kernel == tier
-            # "compiled" may legitimately degrade to "scratch"; everything
-            # else serves exactly the requested tier.
+            # "compiled" may legitimately degrade to "scratch" and "fused"
+            # to "compiled"/"scratch"; everything else serves exactly the
+            # requested tier.
             if tier == "compiled":
                 assert conn._tier in ("compiled", "scratch")
+            elif tier == "fused":
+                assert conn._tier in ("fused", "compiled", "scratch")
             else:
                 assert conn._tier == tier
 
 
-REPLAY_TIERS = ("reference", "analytic", "scratch", "compiled")
+REPLAY_TIERS = ("reference", "analytic", "scratch", "compiled", "fused")
 
 
 class TestKernelTierParity:

@@ -1,4 +1,4 @@
-"""Allocation budget of the scratch kernel tier (PR 6).
+"""Allocation and dispatch budgets of the replay kernel tiers (PR 6, PR 8).
 
 ``kernel="scratch"`` promises an **allocation-free steady state**: once a
 ``BatchTCPConnection`` has warmed up, a pipe-full chunk download (every
@@ -15,6 +15,13 @@ array costs at least ``K`` bytes (bool) and typically ``8 * K`` (float64
 boxed floats in ``observe_rtt``) stays under ~1 KiB regardless of ``K``.
 At ``K = 4096`` the assertion threshold of ``K`` bytes sits far above
 the noise and far below the smallest possible lane array.
+
+``kernel="fused"`` (PR 8) makes a stronger promise: the entire session —
+every chunk's download, ABR decision and buffer/stall accounting — runs
+inside **one** compiled call, eliminating per-chunk Python re-entry.
+The dispatch-count test below pins that to exactly one
+``_fused.run_session`` invocation per session, with zero per-chunk
+``download_batch`` dispatches.
 """
 
 from __future__ import annotations
@@ -96,3 +103,57 @@ class TestScratchAllocationBudget:
         second = conn.download_batch(sizes, starts)
         assert second is first  # one reusable result object
         assert second.end_times_s is ends_buffer  # same storage, new values
+
+
+class TestFusedDispatchBudget:
+    """``kernel="fused"``: one compiled call per session, no per-chunk
+    Python re-entry (PR 8 acceptance criterion)."""
+
+    def test_single_kernel_call_per_session(self, monkeypatch):
+        from repro import BatchStreamingSession, SessionConfig, Video, default_ladder
+        from repro.abr import BBAAlgorithm, BOLAAlgorithm, MPCAlgorithm
+        from repro.player import _fused
+        from repro.player.batch_session import LaneGroup
+
+        video = Video.generate(default_ladder(), duration_s=60.0, seed=7)
+        rng = np.random.default_rng(3)
+        traces = [
+            PiecewiseConstantTrace.from_uniform(rng.uniform(0.3, 8.0, 40), 5.0)
+            for _ in range(6)
+        ]
+        groups = [
+            LaneGroup(BBAAlgorithm, SessionConfig(buffer_capacity_s=15.0), traces[:2]),
+            LaneGroup(BOLAAlgorithm, SessionConfig(buffer_capacity_s=8.0), traces[2:4]),
+            LaneGroup(MPCAlgorithm, SessionConfig(buffer_capacity_s=15.0), traces[4:]),
+        ]
+
+        kernel_calls = {"n": 0}
+        real_run_session = _fused.run_session
+
+        def counting_run_session(*args, **kwargs):
+            kernel_calls["n"] += 1
+            return real_run_session(*args, **kwargs)
+
+        monkeypatch.setattr(_fused, "run_session", counting_run_session)
+
+        chunk_dispatches = {"n": 0}
+        real_download_batch = BatchTCPConnection.download_batch
+
+        def counting_download_batch(self, *args, **kwargs):
+            chunk_dispatches["n"] += 1
+            return real_download_batch(self, *args, **kwargs)
+
+        monkeypatch.setattr(
+            BatchTCPConnection, "download_batch", counting_download_batch
+        )
+
+        log = BatchStreamingSession.fused(video, groups, kernel="fused").run()
+        assert log.n_chunks == video.n_chunks  # the session actually ran
+        assert kernel_calls["n"] == 1, (
+            f"fused session entered the kernel {kernel_calls['n']} times; "
+            f"the whole chunk->decision->chunk loop must be one call"
+        )
+        assert chunk_dispatches["n"] == 0, (
+            f"fused session made {chunk_dispatches['n']} per-chunk "
+            f"download_batch dispatches; Python re-entry has crept back in"
+        )
