@@ -1,13 +1,15 @@
 """Legacy setup shim.
 
 The offline environment lacks the ``wheel`` package, so PEP 517 editable
-installs fail with ``invalid command 'bdist_wheel'``.  This shim keeps the
-legacy install routes working — ``pip install -e . --no-build-isolation
---no-use-pep517`` (where pip's wheel prerequisite is met) and plain
-``python setup.py develop`` (fully offline) — with all metadata read from
-pyproject.toml's ``[project]`` table by setuptools >= 61.  pyproject.toml
-intentionally omits a ``[build-system]`` backend declaration: pip rejects
-``--no-use-pep517`` for projects that pin one.
+installs fail with ``invalid command 'bdist_wheel'`` and pip refuses
+``--no-use-pep517`` outright ("not possible ... without setuptools and
+wheel installed").  This shim keeps ``python setup.py develop`` working
+fully offline — the only editable route there — with all metadata read
+from pyproject.toml's ``[project]`` table by setuptools >= 61.
+pyproject.toml intentionally omits a ``[build-system]`` backend
+declaration (see the comment there for the probe results); where
+``wheel`` is available, plain ``pip install -e .`` works without this
+shim being exercised.
 """
 
 from setuptools import setup

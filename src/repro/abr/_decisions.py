@@ -35,7 +35,12 @@ loop so one compiled call advances chunk → decision → chunk.
 
 from __future__ import annotations
 
-from ..tcp._compiled import build_cc_lib
+from ..util.compiled import (
+    HAVE_NUMBA,
+    CcLibrary,
+    maybe_jit as _maybe_jit,
+    resolve_backend,
+)
 
 __all__ = [
     "HAVE_NUMBA",
@@ -49,22 +54,8 @@ __all__ = [
     "mpc_decide",
 ]
 
-try:  # pragma: no cover - exercised only when numba is installed
-    from numba import njit
-
-    HAVE_NUMBA = True
-except ImportError:  # pragma: no cover - the offline image lacks numba
-    njit = None
-    HAVE_NUMBA = False
-
 FORCE_PYTHON = False
 """Test hook: route every decision kernel through the Python mirror."""
-
-
-def _maybe_jit(fn):
-    if HAVE_NUMBA:  # pragma: no cover - exercised only when numba is installed
-        return njit(cache=True)(fn)
-    return fn
 
 
 # ----------------------------------------------------------------------
@@ -436,39 +427,24 @@ long long mpc_decide(long long n_lanes, long long n, long long h,
 
 _C_SOURCE = "#include <stdint.h>\n" + C_HELPERS + _C_ENTRY
 
-_cc_state: dict = {"tried": False, "lib": None, "ffi": None}
+_CC_LIB = CcLibrary("_decisions", _CDEF, _C_SOURCE)
 
 
 def _cc_kernel():
     """Build (once per source hash) and load the C kernels, or ``None``."""
-    st = _cc_state
-    if st["tried"]:
-        return st["lib"]
-    st["tried"] = True
-    built = build_cc_lib("_decisions", _CDEF, _C_SOURCE)
-    if built is not None:
-        st["lib"], st["ffi"] = built
-    return st["lib"]
+    return _CC_LIB.load()
 
 
 def backend() -> str:
     """Which implementation serves the decision kernels right now."""
-    if FORCE_PYTHON:
-        return "python"
-    if HAVE_NUMBA:  # pragma: no cover - exercised only when numba is installed
-        return "numba"
-    if _cc_kernel() is not None:
-        return "cc"
-    return "python"
+    return resolve_backend(FORCE_PYTHON, _CC_LIB)
 
 
 def available() -> bool:
     """Whether a decision-kernel implementation (incl. the mirror) is live."""
     if FORCE_PYTHON:
         return True
-    if HAVE_NUMBA:  # pragma: no cover - exercised only when numba is installed
-        return True
-    return _cc_kernel() is not None
+    return backend() != "python"
 
 
 def use_kernel() -> bool:
@@ -482,7 +458,7 @@ def use_kernel() -> bool:
 
 
 def _cc():
-    return _cc_state["lib"], _cc_state["ffi"]
+    return _CC_LIB.lib, _CC_LIB.ffi
 
 
 def bba_decide(buffer_s, reservoir, upper, lowest, highest, r_min, r_max,

@@ -388,6 +388,18 @@ class CounterfactualEngine:
     additionally runs whole sessions — decisions included — in a single
     call for the shipped BBA/BOLA/RobustMPC algorithms.
 
+    ``abduction_kernel`` independently selects the abduction tier for the
+    batched solve/sampling paths (see
+    ``repro.core.abduction.ABDUCTION_TIERS``; ``None`` picks the NumPy
+    default, which is bit-identical to the scalar reference).
+    ``"compiled"`` runs each same-length stack's emission build,
+    forward-backward, Viterbi and FFBS as single compiled-kernel calls —
+    Viterbi paths and sampled traces stay bit-identical, float posteriors
+    are within ``rtol=1e-12`` — and degrades to NumPy with a
+    once-per-process warning when no compiled backend exists.  Checkpoint
+    fingerprints do not include the tier: a corpus prepared on one tier
+    reloads cleanly on another.
+
     ``on_error`` sets the engine-wide fault policy (overridable per call):
     ``"raise"`` fail-stops (the default), ``"degrade"`` retries failing
     traces on the scalar reference path with the same seeds (bit-identical
@@ -410,6 +422,7 @@ class CounterfactualEngine:
         n_workers: int | None = None,
         use_batch: bool = True,
         kernel: str | None = None,
+        abduction_kernel: str | None = None,
         on_error: str = "raise",
         shard_timeout_s: float | None = None,
         max_retries: int = 2,
@@ -421,7 +434,8 @@ class CounterfactualEngine:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
         if kernel is not None:
             resolve_kernel(kernel)  # fail fast on unknown tier names
-        self.abduction = VeritasAbduction(veritas_config)
+        self.abduction = VeritasAbduction(veritas_config, kernel=abduction_kernel)
+        self.abduction_kernel = self.abduction.kernel
         self.n_samples = n_samples
         self.n_workers = n_workers
         self.use_batch = use_batch
@@ -567,7 +581,8 @@ class CounterfactualEngine:
         ]
         posteriors = self.abduction.solve_batch(logs, trace_duration_s=horizons)
         samples = sample_traces_batch(
-            posteriors, self.n_samples, [seeds[i] for i in indices]
+            posteriors, self.n_samples, [seeds[i] for i in indices],
+            kernel=self.abduction_kernel,
         )
 
         return [

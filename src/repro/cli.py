@@ -58,6 +58,7 @@ from . import (
 )
 from .net.io import TraceFormatError, load_csv, load_mahimahi
 from .net.validation import validate_trace
+from .core.abduction import ABDUCTION_TIERS, DEFAULT_ABDUCTION_KERNEL
 from .runtime.faults import ON_ERROR_POLICIES, FaultLog
 from .tcp.connection import DEFAULT_KERNEL, KERNEL_TIERS
 
@@ -113,6 +114,18 @@ def build_parser() -> argparse.ArgumentParser:
              f"{', '.join(KERNEL_TIERS)} (default: the library default, "
              f"currently \"{DEFAULT_KERNEL}\"; compiled/fused tiers fall "
              "back to slower tiers when no compiled backend is available)",
+    )
+    cf.add_argument(
+        "--abduction-kernel",
+        choices=list(ABDUCTION_TIERS),
+        default=None,
+        # Generated from the abduction tier registry, like --kernel above.
+        help="abduction kernel tier for batched solve/sampling: "
+             f"{', '.join(ABDUCTION_TIERS)} (default: "
+             f"\"{DEFAULT_ABDUCTION_KERNEL}\", bit-identical to the scalar "
+             "reference; \"compiled\" keeps integer outputs bit-identical "
+             "with float posteriors within rtol=1e-12 and falls back to "
+             "numpy when no compiled backend is available)",
     )
     cf.add_argument(
         "--no-batch", action="store_true",
@@ -267,6 +280,7 @@ def _cmd_counterfactual(args: argparse.Namespace) -> int:
         n_workers=args.workers,
         use_batch=not args.no_batch,
         kernel=args.kernel,
+        abduction_kernel=args.abduction_kernel,
         on_error=args.on_error,
         shard_timeout_s=args.shard_timeout,
         max_retries=args.max_retries,

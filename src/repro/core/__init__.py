@@ -1,9 +1,22 @@
-"""Veritas core: the EHMM, its algorithms, and the abduction engine."""
+"""Veritas core: the EHMM, its algorithms, and the abduction engine.
+
+The batched abduction paths run on one of three kernel tiers
+(:data:`ABDUCTION_TIERS`, selected via ``VeritasAbduction(kernel=...)``
+or the CLI ``--abduction-kernel`` flag): ``"reference"`` solves each log
+with the scalar golden path, ``"numpy"`` (default) runs the stacked
+recursions bit-identical to it, and ``"compiled"`` routes each stack
+through the :mod:`repro.core._kernels` backends (numba or cc+cffi;
+integer outputs bit-identical, float posteriors within ``rtol=1e-12``,
+graceful degrade to NumPy when no backend is available).
+"""
 
 from .abduction import (
+    ABDUCTION_TIERS,
+    DEFAULT_ABDUCTION_KERNEL,
     VeritasAbduction,
     VeritasConfig,
     VeritasPosterior,
+    resolve_abduction_kernel,
     sample_traces_batch,
 )
 from .diagnostics import (
@@ -52,6 +65,8 @@ from .transitions import (
 from .viterbi import ViterbiBatchResult, ViterbiResult, viterbi_path, viterbi_path_batch
 
 __all__ = [
+    "ABDUCTION_TIERS",
+    "DEFAULT_ABDUCTION_KERNEL",
     "CapacityGrid",
     "CapacityTracePlan",
     "ChunkDiagnostics",
@@ -79,6 +94,7 @@ __all__ = [
     "interpolate_capacity_trace",
     "learn_transition_matrix",
     "naive_emission",
+    "resolve_abduction_kernel",
     "sample_state_path",
     "sample_state_paths",
     "sample_state_paths_stack",

@@ -15,6 +15,22 @@ Typical use::
     veritas = VeritasAbduction(VeritasConfig(max_capacity_mbps=10.0))
     posterior = veritas.solve(session_log)
     traces = posterior.sample_traces(count=5, seed=0)
+
+Abduction kernel tiers (:data:`ABDUCTION_TIERS`), selected per engine via
+``VeritasAbduction(config, kernel=...)`` / the CLI ``--abduction-kernel``
+flag, mirroring the replay ``KERNEL_TIERS`` registry:
+
+* ``"reference"`` — one scalar :meth:`VeritasAbduction.solve` per log;
+  the retained golden path.
+* ``"numpy"`` (default) — the corpus-batched stacked recursions;
+  bit-identical to ``"reference"``.
+* ``"compiled"`` — the stacked hot loops (emission build,
+  forward-backward, Viterbi, FFBS) each run as one
+  :mod:`repro.core._kernels` call per same-length stack (numba or
+  cc+cffi backend).  Viterbi paths and FFBS samples stay bit-identical;
+  float posteriors are within ``rtol=1e-12``.  Without a compiled
+  backend the tier degrades to ``"numpy"`` with a once-per-process
+  :class:`RuntimeWarning`.
 """
 
 from __future__ import annotations
@@ -49,11 +65,36 @@ from .transitions import (
 from .viterbi import ViterbiResult, viterbi_path, viterbi_path_batch
 
 __all__ = [
+    "ABDUCTION_TIERS",
+    "DEFAULT_ABDUCTION_KERNEL",
     "VeritasConfig",
     "VeritasPosterior",
     "VeritasAbduction",
+    "resolve_abduction_kernel",
     "sample_traces_batch",
 ]
+
+ABDUCTION_TIERS = ("reference", "numpy", "compiled")
+"""Abduction kernel tiers, slowest first (see the module docstring)."""
+
+DEFAULT_ABDUCTION_KERNEL = "numpy"
+
+
+def resolve_abduction_kernel(kernel: "str | None") -> str:
+    """Validate an abduction tier name (``None`` means the default).
+
+    Backend availability is *not* checked here: an unavailable compiled
+    backend degrades at use time with a once-per-process warning, so one
+    config works across machines with and without a toolchain.
+    """
+    if kernel is None:
+        return DEFAULT_ABDUCTION_KERNEL
+    if kernel not in ABDUCTION_TIERS:
+        raise ValueError(
+            f"unknown abduction kernel {kernel!r}; "
+            f"available: {list(ABDUCTION_TIERS)}"
+        )
+    return kernel
 
 # Sessions per stacked inference block.  Bounds the transient
 # (T, N-1, K, K) tensors (stacked powers / pairwise posteriors) to
@@ -192,10 +233,20 @@ class VeritasPosterior:
 
 
 class VeritasAbduction:
-    """End-to-end abduction engine (Fig. 6's "Veritas" box)."""
+    """End-to-end abduction engine (Fig. 6's "Veritas" box).
 
-    def __init__(self, config: VeritasConfig | None = None):
+    ``kernel`` picks the :data:`ABDUCTION_TIERS` entry the batched solve
+    path runs on (``None`` = the NumPy default); scalar :meth:`solve`
+    always takes the reference path regardless.
+    """
+
+    def __init__(
+        self,
+        config: VeritasConfig | None = None,
+        kernel: "str | None" = None,
+    ):
         self.config = config or VeritasConfig()
+        self.kernel = resolve_abduction_kernel(kernel)
         self.grid = CapacityGrid(
             epsilon_mbps=self.config.epsilon_mbps,
             max_mbps=self.config.max_capacity_mbps,
@@ -266,6 +317,13 @@ class VeritasAbduction:
         Keeping a single posterior alive therefore retains its whole block
         (up to ~0.8 MB x 128 sessions at paper scale); deep-copy the
         slices if one posterior must outlive the batch.
+
+        The engine's abduction tier governs the execution path: the
+        ``"reference"`` tier solves each log scalar (the bit-identity
+        yardstick), ``"numpy"`` runs the stacked recursions above, and
+        ``"compiled"`` additionally routes each stack through
+        :mod:`repro.core._kernels` (posteriors within ``rtol=1e-12``,
+        Viterbi paths bit-identical).
         """
         logs = list(logs)
         if not logs:
@@ -282,8 +340,20 @@ class VeritasAbduction:
                     f"for {len(logs)} logs"
                 )
 
+        if self.kernel == "reference":
+            return [
+                self.solve(log, duration)
+                for log, duration in zip(logs, durations)
+            ]
+        stack_kernel = self.kernel if self.kernel == "compiled" else None
+
         problems = build_problems_batch(
-            logs, self.grid, self.transitions, self.emission, self.config.delta_s
+            logs,
+            self.grid,
+            self.transitions,
+            self.emission,
+            self.config.delta_s,
+            kernel=stack_kernel,
         )
         posteriors: "list[VeritasPosterior | None]" = [None] * len(logs)
         by_length: dict[int, list[int]] = {}
@@ -300,8 +370,12 @@ class VeritasAbduction:
                     continue
                 log_b = np.stack([problems[i].log_emissions for i in block])
                 deltas = np.stack([problems[i].deltas for i in block])
-                vits = viterbi_path_batch(log_b, self.transitions, deltas)
-                smooths = forward_backward_batch(log_b, self.transitions, deltas)
+                vits = viterbi_path_batch(
+                    log_b, self.transitions, deltas, kernel=stack_kernel
+                )
+                smooths = forward_backward_batch(
+                    log_b, self.transitions, deltas, kernel=stack_kernel
+                )
                 for t, i in enumerate(block):
                     posterior = VeritasPosterior(
                         problem=problems[i],
@@ -322,6 +396,7 @@ def sample_traces_batch(
     posteriors: "list[VeritasPosterior]",
     count: int,
     seeds: "list",
+    kernel: "str | None" = None,
 ) -> "list[list[PiecewiseConstantTrace]]":
     """Draw ``count`` posterior GTBW traces per posterior, batched.
 
@@ -329,8 +404,12 @@ def sample_traces_batch(
     backward pass runs once per stack; each posterior consumes exactly one
     uniform block from its own ``seeds[i]``, so entry ``i`` of the result
     is bit-identical to ``posteriors[i].sample_traces(count,
-    seed=seeds[i])``.
+    seed=seeds[i])``.  ``kernel`` picks the abduction tier for the
+    backward pass: ``"compiled"`` runs each stack through the
+    :mod:`repro.core._kernels` FFBS (samples stay bit-identical given the
+    same posteriors); ``"reference"`` samples each posterior scalar.
     """
+    kernel = resolve_abduction_kernel(kernel)
     posteriors = list(posteriors)
     seeds = list(seeds)
     if len(seeds) != len(posteriors):
@@ -342,6 +421,11 @@ def sample_traces_batch(
         raise ValueError(f"count must be >= 1, got {count}")
 
     out: "list[list[PiecewiseConstantTrace] | None]" = [None] * len(posteriors)
+    if kernel == "reference":
+        for i, posterior in enumerate(posteriors):
+            out[i] = posterior.sample_traces(count, seed=seeds[i])
+        return out
+    stack_kernel = kernel if kernel == "compiled" else None
     by_shape: dict[tuple[int, int], list[int]] = {}
     for i, posterior in enumerate(posteriors):
         key = (posterior.problem.n_chunks, posterior.problem.n_states)
@@ -370,7 +454,8 @@ def sample_traces_batch(
             else:
                 xi = np.stack([posteriors[i].smoothing.xi for i in block])
             paths = sample_state_paths_stack(
-                states, xi, count, [seeds[i] for i in block]
+                states, xi, count, [seeds[i] for i in block],
+                kernel=stack_kernel,
             )
             for t, i in enumerate(block):
                 posterior = posteriors[i]

@@ -90,6 +90,7 @@ def build_problems_batch(
     transitions: TransitionModel,
     emission: EmissionModel,
     delta_s: float,
+    kernel: str | None = None,
 ) -> "list[EHMMProblem]":
     """Assemble EHMM problems for several logs with one emission evaluation.
 
@@ -98,7 +99,9 @@ def build_problems_batch(
     their own ``(observation, tcp_state, size)`` triple, so each row is
     bit-identical to the per-log :func:`build_problem` build — then split
     back into per-session ``(n_chunks, K)`` views.  Logs may have
-    different chunk counts.
+    different chunk counts.  ``kernel`` is forwarded to
+    :meth:`EmissionModel.log_prob_matrix` (``"compiled"`` builds the
+    concatenated matrix in one :mod:`repro.core._kernels` call).
     """
     if not logs:
         raise ValueError("need at least one session log")
@@ -126,6 +129,7 @@ def build_problems_batch(
         np.concatenate(observed_per_log),
         tcp_states_all,
         np.concatenate(sizes_per_log),
+        kernel=kernel,
     )
 
     problems = []

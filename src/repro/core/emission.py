@@ -20,8 +20,14 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from ..tcp.estimator import estimate_throughput_grid, estimate_throughput_grid_batch
+from ..tcp.estimator import (
+    REQUEST_RTTS,
+    chunk_state_arrays,
+    estimate_throughput_grid,
+    estimate_throughput_grid_batch,
+)
 from ..tcp.state import TCPStateSnapshot
+from . import _kernels
 from .grid import CapacityGrid
 
 __all__ = ["EmissionModel", "tcp_estimator_emission", "naive_emission"]
@@ -191,6 +197,7 @@ class EmissionModel:
         tcp_states: Sequence[TCPStateSnapshot],
         sizes_bytes: Sequence[float],
         memo: dict | None = None,
+        kernel: str | None = None,
     ) -> np.ndarray:
         """Log emissions for a whole session (shape ``(n_chunks, n_states)``).
 
@@ -205,6 +212,12 @@ class EmissionModel:
         chunks of several sessions into one call yields rows bit-identical
         to the per-session calls.  The corpus-batched abduction pipeline
         (``build_problems_batch``) relies on this contract.
+
+        ``kernel="compiled"`` builds the whole matrix (Algorithm-4 round
+        schedules included) in one :mod:`repro.core._kernels` call when
+        the estimator is the TCP one — rows within ``rtol=1e-12`` of this
+        path.  Other estimators, and compiled requests without a compiled
+        backend (after a once-per-process warning), use the NumPy path.
         """
         observed = np.asarray(list(observed_mbps), dtype=float)
         states = list(tcp_states)
@@ -218,6 +231,27 @@ class EmissionModel:
         if np.any(observed < 0):
             bad = float(observed[observed < 0][0])
             raise ValueError(f"observed throughput must be >= 0, got {bad}")
+
+        if kernel == "compiled" and self.estimator is tcp_estimator_emission:
+            if not _kernels.use_kernel():
+                _kernels.warn_fallback()
+            else:
+                sizes_arr = np.asarray(sizes, dtype=float)
+                if np.any(sizes_arr <= 0):
+                    raise ValueError("sizes must be positive")
+                cwnd0, ssthresh0, min_rtt = chunk_state_arrays(states)
+                return _kernels.emission_log_probs(
+                    observed,
+                    cwnd0,
+                    ssthresh0,
+                    min_rtt,
+                    sizes_arr,
+                    self.grid.values_mbps,
+                    REQUEST_RTTS,
+                    self.sigma_mbps,
+                    self.outlier_mass,
+                    self.grid.max_mbps,
+                )
 
         predicted = self.predicted_throughput_matrix(states, sizes, memo=memo)
         # In-place evaluation of the same expression log_prob_row computes:

@@ -12,6 +12,14 @@ transition matrix replaced by the embedded powers ``A^Δn``.  Outputs:
 Emissions arrive in log space; each row is max-shifted before
 exponentiation so chunks whose observation is unlikely under *every*
 capacity state cannot underflow the scaled recursion to 0/0.
+
+Abduction kernel tiers: :func:`forward_backward_batch` accepts
+``kernel="compiled"`` to run the whole stacked recursion (including the
+pairwise-posterior build) in one :mod:`repro.core._kernels` call —
+results within ``rtol=1e-12`` of the NumPy tier (the default, which is
+itself bit-identical to :func:`forward_backward_reference`).  When no
+compiled backend is available the request degrades to the NumPy tier
+with a once-per-process :class:`RuntimeWarning`.
 """
 
 from __future__ import annotations
@@ -20,6 +28,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from . import _kernels
 from .transitions import TransitionModel
 
 __all__ = [
@@ -217,6 +226,7 @@ def forward_backward_batch(
     log_emissions: np.ndarray,
     transitions: TransitionModel,
     deltas: np.ndarray,
+    kernel: str | None = None,
 ) -> ForwardBackwardBatchResult:
     """Run :func:`forward_backward` for ``T`` same-length sessions at once.
 
@@ -232,9 +242,28 @@ def forward_backward_batch(
     × ``(K, K)`` slice that ``np.dot`` uses, and every other step is
     elementwise or a per-row reduction (pinned by
     ``tests/test_batch_prepare.py``).
+
+    ``kernel="compiled"`` instead runs the recursions in one
+    :mod:`repro.core._kernels` call per stack (posteriors within
+    ``rtol=1e-12`` of this path); without a compiled backend the request
+    degrades to this path with a once-per-process warning.
     """
     log_b, gaps = check_batch_inputs(log_emissions, transitions, deltas)
     n_sessions, n_chunks, n_states = log_b.shape
+
+    if kernel == "compiled":
+        if not _kernels.use_kernel():
+            _kernels.warn_fallback()
+        elif n_chunks > 1:
+            stack, slots = unique_power_stack(transitions, gaps[:, 1:])
+            gamma, xi, log_likelihoods = _kernels.forward_backward_stack(
+                log_b, transitions.initial, stack, slots
+            )
+            return ForwardBackwardBatchResult(
+                gamma=gamma, xi=xi, log_likelihoods=log_likelihoods
+            )
+        # n_chunks == 1 has no recursion to compile; the NumPy path below
+        # is a handful of vector ops and already exact.
 
     shifts = log_b.max(axis=2)
     b = np.exp(log_b - shifts[:, :, None])

@@ -8,6 +8,16 @@ posterior Γ — ``P(C_sn = i | C_s{n+1} = j, observations) ∝ Γ[n, i, j]``.
 Sampling (rather than a single point estimate) is what lets Veritas report
 a *range* of counterfactual outcomes reflecting the intrinsic uncertainty
 of the inversion (§3.3, Fig. 7(b)).
+
+Abduction kernel tiers: :func:`sample_state_paths_stack` accepts
+``kernel="compiled"`` to run the whole stacked inverse-CDF backward pass
+in one :mod:`repro.core._kernels` call.  The uniforms are still drawn in
+Python — one ``ensure_rng(seed).random((N-1, count))`` block per session,
+exactly as the NumPy tier consumes them — and the kernel's counting
+arithmetic reproduces the NumPy CDF construction op for op, so the
+sampled paths are bit-identical given the same pairwise posteriors.
+Without a compiled backend the request degrades to the NumPy tier with a
+once-per-process :class:`RuntimeWarning`.
 """
 
 from __future__ import annotations
@@ -15,6 +25,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..util.rng import SeedLike, ensure_rng
+from . import _kernels
 
 __all__ = [
     "sample_state_path",
@@ -165,6 +176,7 @@ def sample_state_paths_stack(
     xi: np.ndarray,
     count: int,
     seeds: "list",
+    kernel: str | None = None,
 ) -> np.ndarray:
     """Draw ``count`` posterior paths for ``T`` stacked sessions at once.
 
@@ -194,6 +206,16 @@ def sample_state_paths_stack(
         )
     if len(seeds) != n_sessions:
         raise ValueError(f"need one seed per session, got {len(seeds)}")
+
+    if kernel == "compiled":
+        if not _kernels.use_kernel():
+            _kernels.warn_fallback()
+        elif n_chunks > 1:
+            uniforms = np.stack(
+                [ensure_rng(seed).random((n_chunks - 1, count)) for seed in seeds]
+            )
+            return _kernels.ffbs_stack(states, xi, uniforms)
+        # n_chunks == 1 draws nothing; the trivial path below is exact.
 
     paths = np.empty((n_sessions, count, n_chunks), dtype=int)
     paths[:, :, -1] = states[:, -1][:, None]

@@ -5,6 +5,13 @@ Standard log-space Viterbi with one change: the transition between chunks
 the number of GTBW windows between the two chunk start times (Fig. 4).
 ``Δn = 0`` (two chunks starting in the same window) uses the identity —
 both chunks then share the same hidden capacity window, as required.
+
+Abduction kernel tiers: :func:`viterbi_path_batch` accepts
+``kernel="compiled"`` to extract every stacked session's path in one
+:mod:`repro.core._kernels` call.  Viterbi is pure adds plus first-maximum
+argmax, so the compiled paths are bit-identical to the NumPy tier (the
+default); without a compiled backend the request degrades to NumPy with a
+once-per-process :class:`RuntimeWarning`.
 """
 
 from __future__ import annotations
@@ -13,6 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from . import _kernels
 from .forward_backward import check_batch_inputs, unique_power_stack
 from .transitions import TransitionModel
 
@@ -108,6 +116,7 @@ def viterbi_path_batch(
     log_emissions: np.ndarray,
     transitions: TransitionModel,
     deltas: np.ndarray,
+    kernel: str | None = None,
 ) -> ViterbiBatchResult:
     """Run :func:`viterbi_path` for ``T`` same-length sessions in lockstep.
 
@@ -118,9 +127,29 @@ def viterbi_path_batch(
     result is bit-identical to the scalar path: the scoring arithmetic is
     elementwise and ``argmax`` resolves ties to the lowest index on both
     paths.
+
+    ``kernel="compiled"`` extracts every session's path in one
+    :mod:`repro.core._kernels` call instead (bit-identical — same adds,
+    same first-max tie rule); without a compiled backend the request
+    degrades to this path with a once-per-process warning.
     """
     log_b, gaps = check_batch_inputs(log_emissions, transitions, deltas)
     n_sessions, n_chunks, n_states = log_b.shape
+
+    if kernel == "compiled":
+        if not _kernels.use_kernel():
+            _kernels.warn_fallback()
+        elif n_chunks > 1:
+            log_stack, slots = unique_power_stack(
+                transitions, gaps[:, 1:], log=True
+            )
+            states, log_probabilities = _kernels.viterbi_stack(
+                log_b, transitions.log_initial, log_stack, slots
+            )
+            return ViterbiBatchResult(
+                states=states, log_probabilities=log_probabilities
+            )
+        # n_chunks == 1 is a single argmax; the NumPy path below is exact.
 
     score = transitions.log_initial + log_b[:, 0]
     backpointers = np.zeros((n_sessions, n_chunks, n_states), dtype=np.intp)

@@ -39,12 +39,18 @@ from __future__ import annotations
 
 from ..abr import _decisions
 from ..tcp import _compiled
-from ..tcp._compiled import _download_one, build_cc_lib
+from ..tcp._compiled import _download_one
 from ..abr._decisions import (
     _bba_one,
     _bola_one,
     _mpc_decide_one,
     _mpc_obs_pred_one,
+)
+from ..util.compiled import (
+    HAVE_NUMBA,
+    CcLibrary,
+    maybe_jit as _maybe_jit,
+    resolve_backend,
 )
 
 __all__ = [
@@ -55,22 +61,8 @@ __all__ = [
     "run_session",
 ]
 
-try:  # pragma: no cover - exercised only when numba is installed
-    from numba import njit
-
-    HAVE_NUMBA = True
-except ImportError:  # pragma: no cover - the offline image lacks numba
-    njit = None
-    HAVE_NUMBA = False
-
 FORCE_PYTHON = False
 """Test hook: route the fused tier through the Python mirror."""
-
-
-def _maybe_jit(fn):
-    if HAVE_NUMBA:  # pragma: no cover - exercised only when numba is installed
-        return njit(cache=True)(fn)
-    return fn
 
 
 @_maybe_jit
@@ -403,30 +395,17 @@ _C_SOURCE = (
     _compiled.C_DEFINES + _compiled.C_HELPERS + _decisions.C_HELPERS + _C_FUSED
 )
 
-_cc_state: dict = {"tried": False, "lib": None, "ffi": None}
+_CC_LIB = CcLibrary("_fused", _CDEF, _C_SOURCE)
 
 
 def _cc_kernel():
     """Build (once per source hash) and load the C kernel, or ``None``."""
-    st = _cc_state
-    if st["tried"]:
-        return st["lib"]
-    st["tried"] = True
-    built = build_cc_lib("_fused", _CDEF, _C_SOURCE)
-    if built is not None:
-        st["lib"], st["ffi"] = built
-    return st["lib"]
+    return _CC_LIB.load()
 
 
 def backend() -> str:
     """Which implementation serves :func:`run_session` right now."""
-    if FORCE_PYTHON:
-        return "python"
-    if HAVE_NUMBA:  # pragma: no cover - exercised only when numba is installed
-        return "numba"
-    if _cc_kernel() is not None:
-        return "cc"
-    return "python"
+    return resolve_backend(FORCE_PYTHON, _CC_LIB)
 
 
 def available() -> bool:
@@ -438,9 +417,7 @@ def available() -> bool:
     """
     if FORCE_PYTHON:
         return True
-    if HAVE_NUMBA:  # pragma: no cover - exercised only when numba is installed
-        return True
-    return _cc_kernel() is not None
+    return backend() != "python"
 
 
 def run_session(
@@ -474,7 +451,7 @@ def run_session(
             )
         lib = _cc_kernel()
         if lib is not None:
-            ffi = _cc_state["ffi"]
+            ffi = _CC_LIB.ffi
             fb = ffi.from_buffer
             return lib.run_session(
                 kind.shape[0], col_quality.shape[0], values2d.shape[1],

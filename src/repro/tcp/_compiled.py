@@ -13,7 +13,8 @@ two compiled backends can take its place:
 * **cc + cffi** — when numba is absent but a C compiler and cffi are
   present (the offline CI image ships both), a line-for-line C
   transcription of the mirror is compiled once into a small shared
-  library (cached next to this module, or under ``$REPRO_COMPILED_CACHE``)
+  library (cached under :mod:`repro.util.compiled`'s ``_ccache``
+  directory, or ``$REPRO_COMPILED_CACHE``)
   and called through cffi's ABI mode.  The build deliberately disables
   FMA contraction and fast-math (``-ffp-contract=off -fno-fast-math``) so
   every float64 operation is the same correctly-rounded IEEE-754 op the
@@ -39,11 +40,15 @@ across platforms.
 
 from __future__ import annotations
 
-import hashlib
-import os
-import shutil
-import subprocess
-
+from ..util.compiled import (
+    HAVE_CFFI,
+    HAVE_NUMBA,
+    CcLibrary,
+    build_cc_lib,
+    cc_compiler,
+    maybe_jit as _maybe_jit,
+    resolve_backend,
+)
 from .constants import (
     INIT_CWND_SEGMENTS,
     MAX_CWND_SEGMENTS,
@@ -57,35 +62,14 @@ __all__ = [
     "FORCE_PYTHON",
     "available",
     "backend",
+    "build_cc_lib",
     "download_chunk",
 ]
-
-try:  # pragma: no cover - exercised only when numba is installed
-    from numba import njit
-
-    HAVE_NUMBA = True
-except ImportError:  # pragma: no cover - the offline image lacks numba
-    njit = None
-    HAVE_NUMBA = False
-
-try:
-    import cffi
-
-    _HAVE_CFFI = True
-except ImportError:  # pragma: no cover - cffi ships with the image
-    cffi = None
-    _HAVE_CFFI = False
 
 FORCE_PYTHON = False
 """Test hook: route ``kernel="compiled"`` through the Python mirror."""
 
 _EPS_BYTES = 1e-9  # matches repro.net.trace._EPS_BYTES
-
-
-def _maybe_jit(fn):
-    if HAVE_NUMBA:  # pragma: no cover - exercised only when numba is installed
-        return njit(cache=True)(fn)
-    return fn
 
 
 @_maybe_jit
@@ -493,61 +477,7 @@ long long download_chunk(
 
 _C_SOURCE = C_DEFINES + C_HELPERS + _C_DOWNLOAD
 
-_CC_FLAGS = [
-    "-O2",
-    "-fPIC",
-    "-shared",
-    "-fno-fast-math",
-    "-ffp-contract=off",
-]
-
-_cc_state: dict = {"tried": False, "lib": None, "ffi": None}
-
-
-def _cache_dir() -> str:
-    env = os.environ.get("REPRO_COMPILED_CACHE")
-    if env:
-        return env
-    return os.path.join(os.path.dirname(os.path.abspath(__file__)), "_ccache")
-
-
-def build_cc_lib(stem: str, cdef: str, source: str):
-    """Compile ``source`` once per content hash and dlopen it via cffi.
-
-    Shared build helper for every cc+cffi kernel in the package (the
-    replay kernel here, the decision kernels in ``repro.abr._decisions``
-    and the fused session kernel in ``repro.player._fused``).  Returns
-    ``(lib, ffi)`` or ``None``; any failure — no compiler, no cffi, an
-    unwritable cache dir, a compile error — is swallowed so callers can
-    fall back to their Python mirrors.
-    """
-    if not _HAVE_CFFI:
-        return None
-    cc = shutil.which("cc") or shutil.which("gcc")
-    if cc is None:
-        return None
-    try:
-        tag = hashlib.sha256(source.encode()).hexdigest()[:16]
-        cache = _cache_dir()
-        os.makedirs(cache, exist_ok=True)
-        so_path = os.path.join(cache, f"{stem}_{tag}.so")
-        if not os.path.exists(so_path):
-            src_path = os.path.join(cache, f"{stem}_{tag}.c")
-            with open(src_path, "w", encoding="utf-8") as f:
-                f.write(source)
-            tmp_path = f"{so_path}.tmp{os.getpid()}"
-            subprocess.run(
-                [cc, *_CC_FLAGS, "-o", tmp_path, src_path],
-                check=True,
-                capture_output=True,
-                timeout=120,
-            )
-            os.replace(tmp_path, so_path)  # atomic under concurrent builds
-        ffi = cffi.FFI()
-        ffi.cdef(cdef)
-        return ffi.dlopen(so_path), ffi
-    except Exception:
-        return None
+_CC_LIB = CcLibrary("_replay", _CDEF, _C_SOURCE)
 
 
 def _cc_kernel():
@@ -557,30 +487,17 @@ def _cc_kernel():
     error — is swallowed and remembered: the tier then reports itself
     unavailable and ``kernel="compiled"`` falls back to scratch.
     """
-    st = _cc_state
-    if st["tried"]:
-        return st["lib"]
-    st["tried"] = True
-    built = build_cc_lib("_replay", _CDEF, _C_SOURCE)
-    if built is not None:
-        st["lib"], st["ffi"] = built
-    return st["lib"]
+    return _CC_LIB.load()
 
 
-HAVE_CC = bool(_HAVE_CFFI and (shutil.which("cc") or shutil.which("gcc")))
+HAVE_CC = bool(HAVE_CFFI and cc_compiler())
 """Whether the cc+cffi backend *may* be buildable (cheap import-time probe;
 the definitive answer is the lazy :func:`_cc_kernel` build)."""
 
 
 def backend() -> str:
     """Which implementation serves :func:`download_chunk` right now."""
-    if FORCE_PYTHON:
-        return "python"
-    if HAVE_NUMBA:  # pragma: no cover - exercised only when numba is installed
-        return "numba"
-    if _cc_kernel() is not None:
-        return "cc"
-    return "python"
+    return resolve_backend(FORCE_PYTHON, _CC_LIB)
 
 
 def available() -> bool:
@@ -619,7 +536,7 @@ def download_chunk(
             )
         lib = _cc_kernel()
         if lib is not None:
-            ffi = _cc_state["ffi"]
+            ffi = _CC_LIB.ffi
             fb = ffi.from_buffer
             return lib.download_chunk(
                 sizes.shape[0],

@@ -31,6 +31,7 @@ from .state import TCPStateSnapshot, apply_slow_start_restart
 
 __all__ = [
     "REQUEST_RTTS",
+    "chunk_state_arrays",
     "estimate_download_time",
     "estimate_throughput",
     "estimate_throughput_grid",
@@ -246,6 +247,34 @@ def estimate_throughput_grid(
     return np.where(grid > 0, chunk_mbits / download_s, 0.0)
 
 
+def chunk_state_arrays(
+    tcp_states: "list[TCPStateSnapshot]",
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Restart-applied per-chunk TCP state as ``(cwnd0, ssthresh0, min_rtt)``.
+
+    Slow-start restart is the only state-dependent preprocessing Algorithm 4
+    performs, so these three arrays are the complete per-chunk input of the
+    estimator.  Shared by :func:`estimate_throughput_grid_batch` and the
+    compiled emission kernel (:mod:`repro.core._kernels`), which inlines the
+    rest of the algorithm.
+    """
+    n_chunks = len(tcp_states)
+    cwnd0 = np.empty(n_chunks, dtype=np.int64)
+    ssthresh0 = np.empty(n_chunks, dtype=np.int64)
+    min_rtt = np.empty(n_chunks, dtype=float)
+    for n, state in enumerate(tcp_states):
+        cw, ss, _ = apply_slow_start_restart(
+            state.cwnd_segments,
+            state.ssthresh_segments,
+            state.time_since_last_send_s,
+            state.rto_s,
+        )
+        cwnd0[n] = cw
+        ssthresh0[n] = ss
+        min_rtt[n] = state.min_rtt_s
+    return cwnd0, ssthresh0, min_rtt
+
+
 def estimate_throughput_grid_batch(
     gtbw_grid_mbps: np.ndarray,
     tcp_states: "list[TCPStateSnapshot]",
@@ -274,22 +303,11 @@ def estimate_throughput_grid_batch(
     safe_rates = np.where(grid > 0, rates, 1.0)
 
     data_segments = np.maximum(1, np.ceil(sizes / MSS_BYTES)).astype(np.int64)
-    segment_list = data_segments.tolist()
-    cwnd_list = []
-    schedules = []
-    for state, segments in zip(tcp_states, segment_list):
-        cw, ss, _ = apply_slow_start_restart(
-            state.cwnd_segments,
-            state.ssthresh_segments,
-            state.time_since_last_send_s,
-            state.rto_s,
-        )
-        cwnd_list.append(cw)
-        schedules.append(_round_schedule(cw, ss, segments))
-    cwnd0 = np.asarray(cwnd_list, dtype=np.int64)
-    min_rtt = np.fromiter(
-        (state.min_rtt_s for state in tcp_states), dtype=float, count=n_chunks
-    )
+    cwnd0, ssthresh0, min_rtt = chunk_state_arrays(tcp_states)
+    schedules = [
+        _round_schedule(int(cw), int(ss), segments)
+        for cw, ss, segments in zip(cwnd0, ssthresh0, data_segments.tolist())
+    ]
 
     # bdp[n, k] and the padded per-chunk round schedules: the window-phase
     # round count is "first round whose window reaches the BDP", clamped to

@@ -1,0 +1,176 @@
+"""Shared backend detection and build plumbing for the compiled kernels.
+
+Four modules ship an optional compiled kernel with the same three-backend
+contract — :mod:`repro.tcp._compiled` (chunk downloads),
+:mod:`repro.abr._decisions` (ABR decisions), :mod:`repro.player._fused`
+(whole sessions) and :mod:`repro.core._kernels` (abduction) — and each
+used to carry its own copy of the feature detection.  This module owns the
+shared pieces:
+
+* **numba detection** (:data:`HAVE_NUMBA`, :func:`maybe_jit`) — when numba
+  is importable every kernel's Python mirror is JIT-compiled with
+  ``njit(cache=True)``;
+* **cc + cffi builds** (:func:`build_cc_lib`, :class:`CcLibrary`) — when
+  numba is absent but a C compiler and cffi are present, each kernel's
+  line-for-line C transcription is compiled once per source hash into a
+  small shared library (cached under ``$REPRO_COMPILED_CACHE`` or a
+  package-local ``_ccache`` directory) and loaded through cffi's ABI mode.
+  The flags disable FMA contraction and fast-math so every float64
+  operation is the same correctly-rounded IEEE-754 op the Python mirror
+  performs, in the same order;
+* **backend naming** (:func:`resolve_backend`) — the canonical tier names
+  ``"numba"`` / ``"cc"`` / ``"python"`` every kernel module's
+  ``backend()`` reports, pinned consistent across modules by
+  ``tests/test_abduction_kernel.py``.
+
+Each kernel module keeps its own ``FORCE_PYTHON`` flag (tests monkeypatch
+them independently) and its own dispatchers; only the detection and build
+machinery lives here.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import shutil
+import subprocess
+
+__all__ = [
+    "HAVE_NUMBA",
+    "HAVE_CFFI",
+    "BACKEND_NAMES",
+    "CC_FLAGS",
+    "CcLibrary",
+    "build_cc_lib",
+    "cc_compiler",
+    "maybe_jit",
+    "resolve_backend",
+]
+
+try:  # pragma: no cover - exercised only when numba is installed
+    from numba import njit
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - the offline image lacks numba
+    njit = None
+    HAVE_NUMBA = False
+
+try:
+    import cffi
+
+    HAVE_CFFI = True
+except ImportError:  # pragma: no cover - cffi ships with the image
+    cffi = None
+    HAVE_CFFI = False
+
+BACKEND_NAMES = ("python", "numba", "cc")
+"""Canonical tier names every kernel module's ``backend()`` may report."""
+
+CC_FLAGS = [
+    "-O2",
+    "-fPIC",
+    "-shared",
+    "-fno-fast-math",
+    "-ffp-contract=off",
+]
+"""No fast-math, no FMA contraction: every double op stays the
+correctly-rounded IEEE-754 operation the Python mirrors perform."""
+
+
+def maybe_jit(fn):
+    """``njit(cache=True)`` when numba is importable, identity otherwise."""
+    if HAVE_NUMBA:  # pragma: no cover - exercised only when numba is installed
+        return njit(cache=True)(fn)
+    return fn
+
+
+def cc_compiler() -> str | None:
+    """Path of the system C compiler, or ``None``."""
+    return shutil.which("cc") or shutil.which("gcc")
+
+
+def _cache_dir() -> str:
+    env = os.environ.get("REPRO_COMPILED_CACHE")
+    if env:
+        return env
+    return os.path.join(os.path.dirname(os.path.abspath(__file__)), "_ccache")
+
+
+def build_cc_lib(stem: str, cdef: str, source: str):
+    """Compile ``source`` once per content hash and dlopen it via cffi.
+
+    Shared build helper for every cc+cffi kernel in the package.  Returns
+    ``(lib, ffi)`` or ``None``; any failure — no compiler, no cffi, an
+    unwritable cache dir, a compile error — is swallowed so callers can
+    fall back to their Python mirrors.
+    """
+    if not HAVE_CFFI:
+        return None
+    cc = cc_compiler()
+    if cc is None:
+        return None
+    try:
+        tag = hashlib.sha256(source.encode()).hexdigest()[:16]
+        cache = _cache_dir()
+        os.makedirs(cache, exist_ok=True)
+        so_path = os.path.join(cache, f"{stem}_{tag}.so")
+        if not os.path.exists(so_path):
+            src_path = os.path.join(cache, f"{stem}_{tag}.c")
+            with open(src_path, "w", encoding="utf-8") as f:
+                f.write(source)
+            tmp_path = f"{so_path}.tmp{os.getpid()}"
+            subprocess.run(
+                [cc, *CC_FLAGS, "-o", tmp_path, src_path, "-lm"],
+                check=True,
+                capture_output=True,
+                timeout=120,
+            )
+            os.replace(tmp_path, so_path)  # atomic under concurrent builds
+        ffi = cffi.FFI()
+        ffi.cdef(cdef)
+        return ffi.dlopen(so_path), ffi
+    except Exception:
+        return None
+
+
+class CcLibrary:
+    """Build-once holder for one kernel module's cc+cffi shared library.
+
+    Replaces the per-module ``_cc_state`` dicts: the first :meth:`load`
+    triggers the (hash-cached) build, and the outcome — including a failed
+    build — is remembered for the life of the process.
+    """
+
+    def __init__(self, stem: str, cdef: str, source: str):
+        self.stem = stem
+        self.cdef = cdef
+        self.source = source
+        self.tried = False
+        self.lib = None
+        self.ffi = None
+
+    def load(self):
+        """The dlopened library, building it on first call, or ``None``."""
+        if self.tried:
+            return self.lib
+        self.tried = True
+        built = build_cc_lib(self.stem, self.cdef, self.source)
+        if built is not None:
+            self.lib, self.ffi = built
+        return self.lib
+
+
+def resolve_backend(force_python: bool, cc_library: CcLibrary) -> str:
+    """The canonical backend name for one kernel module's current state.
+
+    Preference order is identical across every kernel module: the
+    ``FORCE_PYTHON`` test hook wins, then numba, then a buildable cc
+    library, then the plain Python mirror.
+    """
+    if force_python:
+        return "python"
+    if HAVE_NUMBA:  # pragma: no cover - exercised only when numba is installed
+        return "numba"
+    if cc_library.load() is not None:
+        return "cc"
+    return "python"

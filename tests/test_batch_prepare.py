@@ -317,6 +317,25 @@ class TestPrepareCorpusParity:
             ).prepare_corpus(corpus, setting_a)
             assert_prepared_equal(got, want)
 
+    def test_abduction_tiers_prepare_identically(self, setting_a):
+        """Abduction kernel tiers (PR 9): ``reference`` and ``numpy`` are
+        bit-identical by contract; ``compiled`` keeps integer outputs
+        (Viterbi anchors, FFBS draws) bit-identical so the prepared corpus
+        — sampled traces and replay metrics — comes out identical too, the
+        float posteriors differing only inside rtol=1e-12."""
+        corpus = small_corpus(3)
+        want = CounterfactualEngine(
+            paper_veritas_config(), n_samples=2, seed=4
+        ).prepare_corpus(corpus, setting_a)
+        for abduction_kernel in ("reference", "compiled"):
+            got = CounterfactualEngine(
+                paper_veritas_config(),
+                n_samples=2,
+                seed=4,
+                abduction_kernel=abduction_kernel,
+            ).prepare_corpus(corpus, setting_a)
+            assert_prepared_equal(got, want)
+
     @pytest.mark.skipif(
         "fork" not in multiprocessing.get_all_start_methods(),
         reason="fork start method unavailable",

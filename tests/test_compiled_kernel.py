@@ -41,6 +41,7 @@ from repro.player import _fused
 from repro.player.batch_session import LaneGroup
 from repro.tcp import _compiled
 from repro.tcp.connection import BatchTCPConnection
+from repro.util import compiled as util_compiled
 
 from test_batch_replay import (  # noqa: F401
     REPLAY_TIERS,
@@ -121,9 +122,10 @@ class TestBackendDispatch:
         blocked = tmp_path / "blocked"
         blocked.write_text("not a directory")  # makedirs fails even as root
         monkeypatch.setenv("REPRO_COMPILED_CACHE", str(blocked / "cache"))
-        monkeypatch.setattr(
-            _compiled, "_cc_state", {"tried": False, "lib": None, "ffi": None}
+        fresh = util_compiled.CcLibrary(
+            "_replay", _compiled._CDEF, _compiled._C_SOURCE
         )
+        monkeypatch.setattr(_compiled, "_CC_LIB", fresh)
         assert _compiled._cc_kernel() is None
 
 

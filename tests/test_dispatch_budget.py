@@ -22,6 +22,11 @@ inside **one** compiled call, eliminating per-chunk Python re-entry.
 The dispatch-count test below pins that to exactly one
 ``_fused.run_session`` invocation per session, with zero per-chunk
 ``download_batch`` dispatches.
+
+The compiled abduction tier (PR 9) makes the analogous promise for
+inference: one :mod:`repro.core._kernels` entry per same-length session
+stack for each of emission build, forward–backward, Viterbi and FFBS —
+no per-chunk, per-session or per-sample Python re-entry inside a stack.
 """
 
 from __future__ import annotations
@@ -156,4 +161,91 @@ class TestFusedDispatchBudget:
         assert chunk_dispatches["n"] == 0, (
             f"fused session made {chunk_dispatches['n']} per-chunk "
             f"download_batch dispatches; Python re-entry has crept back in"
+        )
+
+
+class TestAbductionDispatchBudget:
+    """Compiled abduction tier (PR 9): one kernel entry per same-length
+    session stack — emission once per corpus, forward–backward / Viterbi /
+    FFBS once per stack, regardless of chunk, session or sample counts.
+
+    Runs on the Python mirror (``FORCE_PYTHON``) so the dispatch counts
+    are pinned on every CI leg, compiled backend or not — the routing
+    layer is identical either way.
+    """
+
+    @staticmethod
+    def _session_logs(seeds, duration_s):
+        from repro import (
+            MPCAlgorithm,
+            SessionConfig,
+            StreamingSession,
+            random_walk_trace,
+            short_video,
+        )
+
+        video = short_video(duration_s=duration_s, seed=3)
+        return [
+            StreamingSession(
+                video,
+                MPCAlgorithm(),
+                random_walk_trace(
+                    mean_mbps=5.0, duration=300.0, seed=s, low=2.0, high=9.0
+                ),
+                SessionConfig(),
+            ).run()
+            for s in seeds
+        ]
+
+    @staticmethod
+    def _counting(monkeypatch):
+        from repro.core import _kernels
+
+        monkeypatch.setattr(_kernels, "FORCE_PYTHON", True)
+        entries = {"emission": 0, "fb": 0, "viterbi": 0, "ffbs": 0}
+        for key, name in (
+            ("emission", "emission_log_probs"),
+            ("fb", "forward_backward_stack"),
+            ("viterbi", "viterbi_stack"),
+            ("ffbs", "ffbs_stack"),
+        ):
+            real = getattr(_kernels, name)
+
+            def counting(*args, _real=real, _key=key, **kwargs):
+                entries[_key] += 1
+                return _real(*args, **kwargs)
+
+            monkeypatch.setattr(_kernels, name, counting)
+        return entries
+
+    def test_one_entry_per_stack(self, monkeypatch):
+        from repro import VeritasAbduction, paper_veritas_config
+        from repro.core.abduction import sample_traces_batch
+
+        entries = self._counting(monkeypatch)
+        # Two length groups (different videos => different chunk counts):
+        # 3 sessions of one length, 2 of another => 2 stacks.
+        logs = self._session_logs((40, 41, 42), 90.0)
+        logs += self._session_logs((43, 44), 60.0)
+        n_stacks = len({log.n_chunks for log in logs})
+        assert n_stacks == 2  # the corpus actually spans two lengths
+
+        abduction = VeritasAbduction(paper_veritas_config(), kernel="compiled")
+        posteriors = abduction.solve_batch(logs)
+        assert entries["emission"] == 1, (
+            f"{entries['emission']} emission kernel entries for one corpus; "
+            f"the concatenated matrix must be built in a single call"
+        )
+        assert entries["fb"] == n_stacks, (
+            f"{entries['fb']} forward-backward kernel entries for "
+            f"{n_stacks} stacks; per-session Python re-entry has crept in"
+        )
+        assert entries["viterbi"] == n_stacks
+
+        sample_traces_batch(
+            posteriors, 6, list(range(len(logs))), kernel="compiled"
+        )
+        assert entries["ffbs"] == n_stacks, (
+            f"{entries['ffbs']} FFBS kernel entries for {n_stacks} stacks; "
+            f"the sampler must draw all samples of a stack in one call"
         )
