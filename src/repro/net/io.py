@@ -27,7 +27,6 @@ from typing import Iterable
 
 import numpy as np
 
-from ..util.units import mbps_to_bytes_per_sec
 from .trace import PiecewiseConstantTrace
 from .validation import TraceDiagnostic, validate_arrays
 
