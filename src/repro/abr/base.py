@@ -14,6 +14,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 
 import numpy as np
+from numpy.typing import NDArray
 
 from ..video.chunks import Video
 
@@ -56,7 +57,7 @@ class ABRContext:
     download_time_history_s: list[float] = field(default_factory=list)
 
     @property
-    def next_chunk_sizes_bytes(self) -> np.ndarray:
+    def next_chunk_sizes_bytes(self) -> NDArray[np.float64]:
         """Encoded sizes of the chunk about to be requested, per quality."""
         return self.video.sizes_for_chunk(self.chunk_index)
 
@@ -82,15 +83,15 @@ class BatchABRContext:
     """
 
     chunk_index: int
-    buffer_s: np.ndarray
+    buffer_s: NDArray[np.float64]
     """Per-lane playout buffer levels, shape ``(K,)``."""
     buffer_capacity_s: float
-    last_quality: np.ndarray | None
+    last_quality: NDArray[np.int64] | None
     """Per-lane previous ladder indices (``None`` for the first chunk)."""
     video: Video
-    throughput_history_mbps: "list[np.ndarray]" = field(default_factory=list)
+    throughput_history_mbps: "list[NDArray[np.float64]]" = field(default_factory=list)
     """Per-chunk ``(K,)`` observed-throughput rows, oldest first."""
-    download_time_history_s: "list[np.ndarray]" = field(default_factory=list)
+    download_time_history_s: "list[NDArray[np.float64]]" = field(default_factory=list)
     """Per-chunk ``(K,)`` download-time rows, oldest first."""
 
     @property
@@ -150,7 +151,7 @@ class HarmonicMeanPredictor:
         window: int = 8,
         error_window: int = 12,
         cold_start_mbps: float = 0.3,
-    ):
+    ) -> None:
         if window < 1 or error_window < 1:
             raise ValueError("windows must be >= 1")
         if cold_start_mbps <= 0:
@@ -216,7 +217,7 @@ class HarmonicMeanPredictorBatch:
         window: int = 8,
         error_window: int = 12,
         cold_start_mbps: float = 0.3,
-    ):
+    ) -> None:
         if n_lanes < 1:
             raise ValueError(f"need at least one lane, got {n_lanes}")
         if window < 1 or error_window < 1:
@@ -229,14 +230,14 @@ class HarmonicMeanPredictorBatch:
         self.window = window
         self.error_window = error_window
         self.cold_start_mbps = cold_start_mbps
-        self._error_rows: "list[np.ndarray]" = []
-        self._last_prediction: np.ndarray | None = None
+        self._error_rows: "list[NDArray[np.float64]]" = []
+        self._last_prediction: NDArray[np.float64] | None = None
 
     def reset(self) -> None:
         self._error_rows = []
         self._last_prediction = None
 
-    def observe(self, actual_mbps: np.ndarray) -> None:
+    def observe(self, actual_mbps: NDArray[np.float64]) -> None:
         """Record the per-lane realised throughputs of the last chunk."""
         if np.any(actual_mbps <= 0):
             raise ValueError("throughput must be positive")
@@ -247,7 +248,7 @@ class HarmonicMeanPredictorBatch:
             if len(self._error_rows) > self.error_window:
                 self._error_rows.pop(0)
 
-    def predict(self, history_rows: "list[np.ndarray]") -> np.ndarray:
+    def predict(self, history_rows: "list[NDArray[np.float64]]") -> NDArray[np.float64]:
         """Predicted per-lane throughput (Mbps) for the next download."""
         if not history_rows:
             prediction = np.full(self.n_lanes, self.cold_start_mbps)

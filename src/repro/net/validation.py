@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+from numpy.typing import ArrayLike, NDArray
 
 from .trace import PiecewiseConstantTrace
 
@@ -60,16 +61,20 @@ class TraceDiagnostic:
 class TraceValidationError(ValueError):
     """A trace failed validation; ``diagnostics`` holds every finding."""
 
-    def __init__(self, message: str, diagnostics: tuple[TraceDiagnostic, ...]):
+    def __init__(
+        self, message: str, diagnostics: tuple[TraceDiagnostic, ...]
+    ) -> None:
         super().__init__(message)
         self.diagnostics = tuple(diagnostics)
 
 
-def _first_bad(mask: np.ndarray) -> int:
+def _first_bad(mask: NDArray[np.bool_]) -> int:
     return int(np.argmax(mask))
 
 
-def validate_arrays(boundaries, values) -> list[TraceDiagnostic]:
+def validate_arrays(
+    boundaries: ArrayLike, values: ArrayLike
+) -> list[TraceDiagnostic]:
     """Diagnostics for raw boundary/value arrays (empty list = valid)."""
     bounds = np.asarray(boundaries, dtype=float)
     vals = np.asarray(values, dtype=float)

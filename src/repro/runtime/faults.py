@@ -156,7 +156,7 @@ class FaultLog:
         """A one-paragraph operator-facing report."""
         if not self:
             return "no faults"
-        lines = []
+        lines: list[str] = []
         skipped = self.skipped_trace_indices()
         recovered = sum(1 for f in self.traces if not f.skipped)
         if self.traces:
