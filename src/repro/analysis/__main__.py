@@ -1,0 +1,10 @@
+"""``python -m repro.analysis`` — same entry point as ``repro lint``."""
+
+from __future__ import annotations
+
+import sys
+
+from .driver import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,92 @@
+"""Tiny C signature parser for the kernel-mirror consistency rules.
+
+The compiled kernel modules carry two copies of every native entry
+point's signature: the cffi ``_CDEF`` declaration block and the C source
+definition itself.  Both use the same restricted grammar — ``long long``
+return type, parameters that are either int64/float64 scalars or
+pointers to them, no nested parentheses — so a real C parser is
+overkill; this module parses exactly that subset and nothing more.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+__all__ = ["CParam", "CParseError", "find_c_definition", "parse_cdef", "parse_params"]
+
+# ``<return type> <name>(<params>)`` followed by ";" (a declaration) or
+# "{" (a definition).  Parameter lists never nest parens in this grammar.
+_DECL_RE = re.compile(
+    r"([A-Za-z_][A-Za-z_ ]*[A-Za-z_])[ \t\n]+(\w+)[ \t\n]*\(([^)]*)\)[ \t\n]*;"
+)
+
+
+class CParseError(ValueError):
+    """A signature that does not fit the kernel-ABI grammar."""
+
+
+@dataclass(frozen=True)
+class CParam:
+    """One parameter of a kernel entry point."""
+
+    ctype: str
+    """Base type with ``const`` stripped, e.g. ``"double"`` / ``"long long"``."""
+
+    name: str
+    pointer: bool
+
+    def __str__(self) -> str:
+        return f"{self.ctype} {'*' if self.pointer else ''}{self.name}"
+
+
+def parse_params(text: str) -> list[CParam]:
+    """Parse the inside of one parameter list.
+
+    Raises :class:`CParseError` on anything outside the kernel grammar
+    (unnamed parameters, varargs, missing types).
+    """
+    params: list[CParam] = []
+    text = text.strip()
+    if not text or text == "void":
+        return params
+    for raw in text.split(","):
+        tokens = [t for t in raw.replace("*", " * ").split() if t != "const"]
+        if len(tokens) < 2 or not tokens[-1].isidentifier():
+            raise CParseError(f"unparseable C parameter: {raw.strip()!r}")
+        pointer = "*" in tokens
+        ctype = " ".join(t for t in tokens[:-1] if t != "*")
+        if not ctype:
+            raise CParseError(f"missing type in C parameter: {raw.strip()!r}")
+        params.append(CParam(ctype=ctype, name=tokens[-1], pointer=pointer))
+    return params
+
+
+def parse_cdef(text: str) -> dict[str, list[CParam]]:
+    """Parse a cffi ``cdef`` block into ``{function name: parameters}``."""
+    functions: dict[str, list[CParam]] = {}
+    for match in _DECL_RE.finditer(text):
+        functions[match.group(2)] = parse_params(match.group(3))
+    if not functions:
+        raise CParseError("cdef block declares no functions")
+    return functions
+
+
+def find_c_definition(source: str, name: str) -> list[CParam] | None:
+    """Parameters of the C *definition* of ``name`` inside ``source``.
+
+    ``source`` is raw module text: the C transcription is embedded as
+    string literals, so the definition appears verbatim.  A definition is
+    distinguished from the cdef declaration by the ``{`` that follows its
+    parameter list.  Returns ``None`` when no definition is found;
+    raises :class:`CParseError` when one is found but does not parse.
+    """
+    pattern = re.compile(
+        r"[A-Za-z_][A-Za-z_ ]*[ \t\n]+"
+        + re.escape(name)
+        + r"[ \t\n]*\(([^)]*)\)[ \t\n]*\{"
+    )
+    match = pattern.search(source)
+    if match is None:
+        return None
+    return parse_params(match.group(1))

@@ -1,0 +1,203 @@
+"""Lint driver: walk files, run rules, apply suppressions, render.
+
+The driver is the only part of the engine that touches the filesystem.
+Rules see ``(tree, source, path)`` and nothing else, so the same rule
+objects run unchanged over the live tree, test fixtures and in-memory
+snippets.
+
+Exit codes: 0 — no error-severity findings; 1 — at least one error
+(warnings never gate); 2 — usage error (unknown rule id).
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from .findings import Finding, Severity
+from .pragmas import suppressed_rules
+from .rules import Rule, all_rules, get_rule
+
+__all__ = [
+    "LintResult",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "main",
+    "render_json",
+    "render_text",
+]
+
+# Directory names never worth descending into.
+_SKIP_DIRS = {"__pycache__", "_ccache", ".git", ".ruff_cache", ".mypy_cache"}
+
+_SORT_KEY = lambda f: (f.path, f.line, f.col, f.rule_id, f.message)  # noqa: E731
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity is Severity.WARNING]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.errors else 0
+
+
+def lint_source(
+    source: str, path: str, rules: Sequence[Rule] | None = None
+) -> list[Finding]:
+    """Lint one source text; ``path`` is the display path findings carry."""
+    if rules is None:
+        rules = all_rules()
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1),
+                rule_id="SYNTAX",
+                severity=Severity.ERROR,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    findings: list[Finding] = []
+    for rule in rules:
+        findings.extend(rule.check(tree, source, path))
+    lines = source.splitlines()
+    kept: list[Finding] = []
+    for finding in findings:
+        text = lines[finding.line - 1] if 0 < finding.line <= len(lines) else ""
+        suppressed = suppressed_rules(text)
+        if suppressed is None or (suppressed and finding.rule_id not in suppressed):
+            kept.append(finding)
+    return sorted(kept, key=_SORT_KEY)
+
+
+def lint_file(
+    path: str | Path,
+    rules: Sequence[Rule] | None = None,
+    display_path: str | None = None,
+) -> list[Finding]:
+    """Lint one file on disk."""
+    path = Path(path)
+    source = path.read_text(encoding="utf-8")
+    return lint_source(source, display_path or str(path), rules)
+
+
+def _iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            candidates = sorted(entry.rglob("*.py"))
+        else:
+            candidates = [entry]
+        for candidate in candidates:
+            if any(part in _SKIP_DIRS for part in candidate.parts):
+                continue
+            yield candidate
+
+
+def lint_paths(
+    paths: Iterable[str | Path], rules: Sequence[Rule] | None = None
+) -> LintResult:
+    """Lint every Python file under ``paths`` (files or directories)."""
+    if rules is None:
+        rules = all_rules()
+    result = LintResult()
+    for path in _iter_python_files(paths):
+        result.files_checked += 1
+        result.findings.extend(lint_file(path, rules))
+    result.findings.sort(key=_SORT_KEY)
+    return result
+
+
+def render_text(result: LintResult) -> str:
+    """Human-readable report, one ``file:line:col`` finding per line."""
+    lines = [finding.format() for finding in result.findings]
+    lines.append(
+        f"{result.files_checked} files checked: "
+        f"{len(result.errors)} errors, {len(result.warnings)} warnings"
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-readable report (consumed by the CI artifact upload)."""
+    payload = {
+        "files_checked": result.files_checked,
+        "errors": len(result.errors),
+        "warnings": len(result.warnings),
+        "findings": [finding.to_dict() for finding in result.findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="run the repro.analysis kernel-contract lint rules",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the report as JSON instead of text",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point behind ``repro lint`` (and ``python -m repro.analysis``)."""
+    args = _build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id}  {rule.severity.value:7s}  {rule.description}")
+        return 0
+    if args.rules is not None:
+        try:
+            rules: Sequence[Rule] | None = [
+                get_rule(part.strip())
+                for part in args.rules.split(",")
+                if part.strip()
+            ]
+        except KeyError as exc:
+            print(exc.args[0])
+            return 2
+    else:
+        rules = None
+    result = lint_paths(args.paths, rules)
+    print(render_json(result) if args.json else render_text(result))
+    return result.exit_code

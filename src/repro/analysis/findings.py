@@ -1,0 +1,56 @@
+"""Finding records emitted by lint rules."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["Finding", "Severity"]
+
+
+class Severity(enum.Enum):
+    """How a finding gates ``repro lint``.
+
+    ``ERROR`` findings fail the run (exit code 1); ``WARNING`` findings
+    are reported but do not gate.
+    """
+
+    WARNING = "warning"
+    ERROR = "error"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location.
+
+    Ordered by ``(path, line, col, rule_id)`` so reports are stable
+    across runs and rule-execution order.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    severity: Severity
+    message: str
+
+    def format(self) -> str:
+        """``file:line:col: SEVERITY RULE message`` (clickable in most UIs)."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.severity.value} {self.rule_id} {self.message}"
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serialisable form (used by ``repro lint --json``)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "severity": self.severity.value,
+            "message": self.message,
+        }

@@ -1,0 +1,100 @@
+"""Determinism rules (DET4xx).
+
+Abduction is only falsifiable if two runs over the same trace produce
+the same posterior; the paper's validation methodology leans on that.
+So the kernel packages — ``repro.core``, ``repro.tcp``, ``repro.player``
+and ``repro.abr`` — must be entropy-free: no ambient RNG, no wall-clock
+reads.  All randomness enters through explicit ``numpy.random.Generator``
+arguments whose seeds are derived via ``repro.util.rng.spawn_seeds``.
+
+Files outside those package paths opt in with a module-level
+``# repro: kernel-module`` pragma (fixtures and out-of-tree kernels).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..findings import Finding
+from ..pragmas import module_has_pragma
+from . import Rule, register
+
+__all__ = ["NoAmbientEntropy"]
+
+_KERNEL_PACKAGES = ("repro/core", "repro/tcp", "repro/player", "repro/abr")
+
+# Attribute chains that mint entropy from ambient state.
+_ENTROPY_ATTRS = {
+    ("np", "random"),
+    ("numpy", "random"),
+    ("os", "urandom"),
+    ("time", "time"),
+    ("time", "time_ns"),
+}
+
+_ENTROPY_MODULES = {"random", "secrets"}
+
+_HINT = "seed explicitly via repro.util.rng.spawn_seeds and pass a Generator"
+
+
+def _in_scope(source: str, path: str) -> bool:
+    normalized = path.replace("\\", "/")
+    if any(pkg in normalized for pkg in _KERNEL_PACKAGES):
+        return True
+    return module_has_pragma(source, "kernel-module")
+
+
+@register
+class NoAmbientEntropy(Rule):
+    id = "DET401"
+    description = (
+        "kernel packages (repro.core/tcp/player/abr) must not draw ambient "
+        "entropy (random module, np.random, time.time, os.urandom); "
+        "randomness enters as Generator arguments seeded via "
+        "repro.util.rng.spawn_seeds"
+    )
+
+    def check(self, tree: ast.Module, source: str, path: str) -> list[Finding]:
+        if not _in_scope(source, path):
+            return []
+        findings: list[Finding] = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in _ENTROPY_MODULES:
+                        findings.append(
+                            self.finding(
+                                path,
+                                node,
+                                f"import of {alias.name!r} in a kernel "
+                                f"package; {_HINT}",
+                            )
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                root = (node.module or "").split(".")[0]
+                if root in _ENTROPY_MODULES:
+                    findings.append(
+                        self.finding(
+                            path,
+                            node,
+                            f"import from {node.module!r} in a kernel "
+                            f"package; {_HINT}",
+                        )
+                    )
+            elif isinstance(node, ast.Attribute):
+                value = node.value
+                if (
+                    isinstance(value, ast.Name)
+                    and (value.id, node.attr) in _ENTROPY_ATTRS
+                ):
+                    findings.append(
+                        self.finding(
+                            path,
+                            node,
+                            f"{value.id}.{node.attr} draws ambient entropy "
+                            f"or wall-clock state in a kernel package; "
+                            f"{_HINT}",
+                        )
+                    )
+        return findings

@@ -1,0 +1,195 @@
+"""General hygiene rules (HYG6xx).
+
+Smaller invariants that do not belong to a kernel contract but have each
+caused real debugging pain in simulator code: bare excepts that swallow
+``KeyboardInterrupt`` in hour-long corpus runs, silent handlers that
+turn data corruption into quietly-wrong posteriors, mutable default
+arguments shared across replay sessions, and imports that outlive the
+code that used them.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from ..findings import Finding, Severity
+from . import Rule, register
+
+__all__ = [
+    "MutableDefaultArgument",
+    "NoBareExcept",
+    "NoSilentExcept",
+    "UnusedModuleImport",
+]
+
+_WORD_RE = re.compile(r"\w+")
+
+_BROAD_EXCEPTIONS = {"Exception", "BaseException"}
+
+_MUTABLE_CALLS = {"list", "dict", "set"}
+
+
+@register
+class NoBareExcept(Rule):
+    id = "HYG601"
+    description = (
+        "no bare 'except:'; it swallows KeyboardInterrupt/SystemExit and "
+        "makes long corpus runs unkillable — name the exception type"
+    )
+
+    def check(self, tree: ast.Module, source: str, path: str) -> list[Finding]:
+        return [
+            self.finding(
+                path,
+                node,
+                "bare 'except:' also catches KeyboardInterrupt/SystemExit; "
+                "catch Exception (or the specific type) instead",
+            )
+            for node in ast.walk(tree)
+            if isinstance(node, ast.ExceptHandler) and node.type is None
+        ]
+
+
+@register
+class NoSilentExcept(Rule):
+    id = "HYG602"
+    severity = Severity.WARNING
+    description = (
+        "broad exception handlers whose body is only pass/... hide "
+        "failures; record the fault (see runtime.supervisor) or narrow "
+        "the type"
+    )
+
+    def check(self, tree: ast.Module, source: str, path: str) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not self._is_broad(node.type):
+                continue
+            if all(self._is_noop(stmt) for stmt in node.body):
+                findings.append(
+                    self.finding(
+                        path,
+                        node,
+                        "broad except with a pass-only body silently drops "
+                        "the failure; log it, count it, or narrow the type",
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _is_broad(node: ast.expr | None) -> bool:
+        if node is None:
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in _BROAD_EXCEPTIONS
+        if isinstance(node, ast.Tuple):
+            return any(
+                isinstance(elt, ast.Name) and elt.id in _BROAD_EXCEPTIONS
+                for elt in node.elts
+            )
+        return False
+
+    @staticmethod
+    def _is_noop(stmt: ast.stmt) -> bool:
+        if isinstance(stmt, ast.Pass):
+            return True
+        return (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and stmt.value.value is Ellipsis
+        )
+
+
+@register
+class MutableDefaultArgument(Rule):
+    id = "HYG603"
+    description = (
+        "no mutable default arguments (list/dict/set literals or "
+        "constructors); the default is shared across every call"
+    )
+
+    def check(self, tree: ast.Module, source: str, path: str) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    findings.append(
+                        self.finding(
+                            path,
+                            default,
+                            f"mutable default argument in {node.name!r} is "
+                            f"shared across calls; default to None and "
+                            f"construct inside the body",
+                        )
+                    )
+        return findings
+
+    @staticmethod
+    def _is_mutable(node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _MUTABLE_CALLS
+            and not node.args
+            and not node.keywords
+        )
+
+
+@register
+class UnusedModuleImport(Rule):
+    id = "HYG604"
+    description = (
+        "module-level imports must be used somewhere in the file "
+        "(names inside string annotations count); re-exports belong in "
+        "__init__.py or __all__"
+    )
+
+    def check(self, tree: ast.Module, source: str, path: str) -> list[Finding]:
+        if path.replace("\\", "/").endswith("__init__.py"):
+            return []
+        bindings: list[tuple[str, ast.stmt]] = []
+        for node in tree.body:
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    bindings.append((bound, node))
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "__future__":
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bindings.append((alias.asname or alias.name, node))
+        if not bindings:
+            return []
+
+        used: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Name):
+                used.add(node.id)
+            elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+                # String annotations ("TraceBatch | None") and __all__
+                # entries keep their imports alive.
+                used.update(_WORD_RE.findall(node.value))
+            elif isinstance(node, ast.Attribute):
+                used.add(node.attr)
+
+        return [
+            self.finding(
+                path,
+                node,
+                f"import {name!r} is unused in this module",
+            )
+            for name, node in bindings
+            if name not in used
+        ]

@@ -1,0 +1,150 @@
+"""Numerics-safety rules (NUM2xx).
+
+The parity contract between the Python mirrors and the native backends
+only holds while every backend evaluates the same floating-point
+expression tree.  Two things break that silently:
+
+* reassociating reductions on the Python side (``math.fsum``, builtin
+  ``sum``) — bit-different from the sequential accumulation loops the C
+  and numba sides run;
+* a C build that drops IEEE strictness (``-ffast-math`` or fused
+  multiply-adds), which reassociates on the native side instead.
+
+These rules pin both ends: kernel bodies accumulate with explicit loops,
+and every ``CC_FLAGS``-style flag list keeps ``-fno-fast-math`` and
+``-ffp-contract=off``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..findings import Finding
+from . import Rule, _iter_function_defs, register
+
+__all__ = ["CcFlagsStrict", "KernelBuildImport", "NoReassociatingReductions"]
+
+_REDUCTIONS = {"sum", "fsum"}
+
+_REQUIRED_FLAGS = ("-fno-fast-math", "-ffp-contract=off")
+
+
+def _is_jitted(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    """Whether the function is decorated with ``maybe_jit`` (any spelling)."""
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        if isinstance(target, ast.Attribute) and target.attr == "maybe_jit":
+            return True
+        if isinstance(target, ast.Name) and target.id == "maybe_jit":
+            return True
+    return False
+
+
+@register
+class NoReassociatingReductions(Rule):
+    id = "NUM201"
+    description = (
+        "kernel bodies (maybe_jit-decorated functions) must not use "
+        "reassociating reductions (builtin sum, math.fsum); accumulate "
+        "with an explicit loop so all backends run the same expression tree"
+    )
+
+    def check(self, tree: ast.Module, source: str, path: str) -> list[Finding]:
+        findings: list[Finding] = []
+        for func in _iter_function_defs(tree):
+            if not _is_jitted(func):
+                continue
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                callee = node.func
+                name: str | None = None
+                if isinstance(callee, ast.Name) and callee.id in _REDUCTIONS:
+                    name = callee.id
+                elif isinstance(callee, ast.Attribute) and callee.attr == "fsum":
+                    name = "fsum"
+                if name is not None:
+                    findings.append(
+                        self.finding(
+                            path,
+                            node,
+                            f"{name}(...) inside kernel body {func.name!r} "
+                            f"reassociates the accumulation; use an explicit "
+                            f"loop to match the C/numba backends bit-for-bit",
+                        )
+                    )
+        return findings
+
+
+@register
+class CcFlagsStrict(Rule):
+    id = "NUM202"
+    description = (
+        "compiler flag lists (names containing CC_FLAGS) must carry "
+        "-fno-fast-math and -ffp-contract=off so the native backends stay "
+        "IEEE-strict"
+    )
+
+    def check(self, tree: ast.Module, source: str, path: str) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            for target in node.targets:
+                if not (isinstance(target, ast.Name) and "CC_FLAGS" in target.id):
+                    continue
+                if not isinstance(node.value, (ast.List, ast.Tuple)):
+                    continue
+                flags = {
+                    elt.value
+                    for elt in node.value.elts
+                    if isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+                }
+                missing = [f for f in _REQUIRED_FLAGS if f not in flags]
+                if missing:
+                    findings.append(
+                        self.finding(
+                            path,
+                            node,
+                            f"{target.id} is missing {', '.join(missing)} — "
+                            f"without them the C backend may reassociate or "
+                            f"fuse float operations and drift from the mirror",
+                        )
+                    )
+        return findings
+
+
+@register
+class KernelBuildImport(Rule):
+    id = "NUM203"
+    description = (
+        "kernel modules (files defining _CDEF) must build through "
+        "repro.util.compiled so the shared IEEE-strict CC_FLAGS apply"
+    )
+
+    def check(self, tree: ast.Module, source: str, path: str) -> list[Finding]:
+        has_cdef = any(
+            isinstance(node, ast.Assign)
+            and any(
+                isinstance(t, ast.Name) and t.id == "_CDEF" for t in node.targets
+            )
+            for node in tree.body
+        )
+        if not has_cdef:
+            return []
+        for node in tree.body:
+            if isinstance(node, ast.ImportFrom) and node.module is not None:
+                if node.module.endswith("util.compiled") or node.module == "compiled":
+                    return []
+            if isinstance(node, ast.Import):
+                if any(a.name.endswith("util.compiled") for a in node.names):
+                    return []
+        return [
+            self.finding(
+                path,
+                None,
+                "module defines _CDEF but does not import from "
+                "repro.util.compiled; ad-hoc builds bypass the shared "
+                "IEEE-strict CC_FLAGS",
+            )
+        ]

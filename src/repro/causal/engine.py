@@ -272,6 +272,7 @@ _FORK_STATE: tuple | None = None
 _FORK_LOCK = threading.Lock()
 
 
+# repro: pool-worker
 def _prepare_shard(
     indices: "tuple[int, ...]",
 ) -> "tuple[list[PreparedTrace], list[TraceFault]]":
@@ -281,6 +282,7 @@ def _prepare_shard(
     )
 
 
+# repro: pool-worker
 def _replay_task(
     task: tuple[int, int],
 ) -> "tuple[int, int, TraceCounterfactual | None, list[TraceFault]]":
@@ -427,7 +429,7 @@ class CounterfactualEngine:
         shard_timeout_s: float | None = None,
         max_retries: int = 2,
         retry_backoff_s: float = 0.05,
-    ):
+    ) -> None:
         if n_samples < 1:
             raise ValueError(f"n_samples must be >= 1, got {n_samples}")
         if n_workers is not None and n_workers < 1:

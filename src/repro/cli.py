@@ -1,6 +1,6 @@
 """Command-line interface: run the paper's workflows from a shell.
 
-Four subcommands cover the main uses of the library:
+Five subcommands cover the main uses of the library:
 
 * ``simulate``        — run Setting A over a synthetic corpus and write the
   session logs to a directory (the "deployment" step),
@@ -8,7 +8,10 @@ Four subcommands cover the main uses of the library:
 * ``counterfactual``  — the full Fig.-6 pipeline: deploy, reconstruct,
   replay a what-if Setting B, and print the oracle/Baseline/Veritas report,
 * ``validate``        — check trace files (CSV or Mahimahi) for format and
-  content problems before feeding them to a corpus run.
+  content problems before feeding them to a corpus run,
+* ``lint``            — run the :mod:`repro.analysis` kernel-contract
+  static analysis over the source tree (mirror/C parity, numerics safety,
+  allocation and seed discipline); exits non-zero on any error finding.
 
 Examples::
 
@@ -18,6 +21,7 @@ Examples::
     python -m repro.cli counterfactual --query buffer --buffer-s 30
     python -m repro.cli counterfactual --query ladder
     python -m repro.cli validate corpus/*.csv
+    python -m repro.cli lint src/ --json
 
 ``counterfactual`` accepts ``--query`` repeatedly; Setting A is deployed
 and abduction solved once and every query replays against the shared
@@ -177,6 +181,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--window-s", type=float, default=1.0,
         help="bandwidth-averaging window for Mahimahi schedules (default 1s)",
     )
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the kernel-contract static analysis (repro.analysis)",
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src"], metavar="PATH",
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--json", action="store_true",
+        help="emit the report as JSON instead of text",
+    )
+    lint.add_argument(
+        "--rules", default=None, metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered rules and exit",
+    )
     return parser
 
 
@@ -314,6 +339,22 @@ def _cmd_counterfactual(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    # Re-assemble the driver's own argv so repro.analysis.driver stays the
+    # single source of truth for lint behaviour and exit codes.
+    from .analysis.driver import main as lint_main
+
+    argv: list[str] = []
+    if args.list_rules:
+        argv.append("--list-rules")
+    if args.json:
+        argv.append("--json")
+    if args.rules is not None:
+        argv += ["--rules", args.rules]
+    argv += [str(p) for p in args.paths]
+    return lint_main(argv)
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -321,6 +362,7 @@ def main(argv: list[str] | None = None) -> int:
         "abduct": _cmd_abduct,
         "counterfactual": _cmd_counterfactual,
         "validate": _cmd_validate,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

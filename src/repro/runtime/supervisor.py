@@ -32,6 +32,7 @@ import time
 from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
+from typing import Any, Callable
 
 from .faults import FaultLog, PoolFault
 
@@ -76,23 +77,23 @@ def _kill_pool(pool: ProcessPoolExecutor) -> None:
     for proc in processes:
         try:
             proc.terminate()
-        except Exception:
+        except Exception:  # repro: ignore[HYG602] -- process already gone
             pass
     try:
         pool.shutdown(wait=False, cancel_futures=True)
-    except Exception:
+    except Exception:  # repro: ignore[HYG602] -- best-effort teardown
         pass
 
 
 def run_supervised(
-    fn,
-    tasks: list,
+    fn: Callable[[Any], Any],
+    tasks: list[Any],
     *,
     workers: int,
-    mp_context=None,
+    mp_context: Any = None,
     config: SupervisorConfig | None = None,
     fault_log: FaultLog | None = None,
-) -> list:
+) -> list[Any]:
     """Map ``fn`` over ``tasks`` on a supervised process pool.
 
     Returns results in task order.  Pool-level failures (worker death,
@@ -142,15 +143,15 @@ def run_supervised(
 
 
 def _pool_attempt(
-    fn,
-    tasks: list,
+    fn: Callable[[Any], Any],
+    tasks: list[Any],
     pending: list[int],
-    results: list,
+    results: list[Any],
     done: list[bool],
     workers: int,
-    mp_context,
+    mp_context: Any,
     config: SupervisorConfig,
-):
+) -> "tuple[list[int], tuple[str, str, str] | None]":
     """One pool round over ``pending``; returns ``(failed, fault_info)``.
 
     ``fault_info`` is ``None`` on a clean round, else a ``(kind,
@@ -182,7 +183,7 @@ def _pool_attempt(
                     results[idx] = future.result(timeout=0)
                     done[idx] = True
                     continue
-                except (BrokenProcessPool, FutureTimeout, Exception):
+                except Exception:  # repro: ignore[HYG602] -- falls through to failed
                     pass
             failed.append(idx)
             continue

@@ -87,7 +87,6 @@ from ..net.trace import (
     _EPS_BYTES,
     PiecewiseConstantTrace,
     TraceBatch,
-    TransferScratch,
 )
 from ..util.units import mbps_to_bytes_per_sec, throughput_mbps
 from . import _compiled
@@ -1024,7 +1023,7 @@ class BatchTCPConnection:
     # ------------------------------------------------------------------
     # Tier 1: the scratch kernel (allocation-free steady state)
     # ------------------------------------------------------------------
-    def _restart_scratch(self, idle: np.ndarray, rto: float) -> None:
+    def _restart_scratch(self, idle: np.ndarray, rto: float) -> None:  # repro: scratch
         """In-place masked slow-start-restart decay of ``_cwnd``/``_ssthresh``.
 
         Element-wise identical to :func:`_batch_slow_start_restart` (and so
@@ -1065,6 +1064,7 @@ class BatchTCPConnection:
         np.maximum(b.ti, 2, out=b.ti)
         np.copyto(self._ssthresh, b.ti, where=b.trig)
 
+    # repro: scratch
     def _download_scratch(
         self, size_bytes: np.ndarray, start_times_s: np.ndarray
     ) -> "_MutableBatchResult":
@@ -1276,6 +1276,7 @@ class BatchTCPConnection:
     # ------------------------------------------------------------------
     # Tier 2: the compiled kernel
     # ------------------------------------------------------------------
+    # repro: scratch
     def _download_compiled(
         self, size_bytes: np.ndarray, start_times_s: np.ndarray
     ) -> "_MutableBatchResult":
@@ -1314,7 +1315,7 @@ class BatchTCPConnection:
         shared.observe_rtt(rtt)
         return self._fill_result(starts, ends, sizes, srtt, min_rtt, rto)
 
-    def _fill_result(self, starts, ends, sizes, srtt, min_rtt, rto):
+    def _fill_result(self, starts, ends, sizes, srtt, min_rtt, rto):  # repro: scratch
         """Populate the reusable result record (columns alias buffers)."""
         b = self._scratch
         res = self._result

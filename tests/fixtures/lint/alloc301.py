@@ -1,0 +1,9 @@
+"""Fixture: NumPy allocation inside a scratch-pragma function."""
+
+import numpy as np
+
+
+def refill(buf):  # repro: scratch
+    tmp = np.zeros(buf.shape[0])
+    buf[:] = tmp
+    return buf

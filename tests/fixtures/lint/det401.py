@@ -1,0 +1,10 @@
+"""Fixture: ambient entropy in an opted-in kernel module."""
+
+# repro: kernel-module
+
+import numpy as np
+
+
+def jitter(values):
+    noise = np.random.standard_normal(values.shape[0])
+    return values + noise

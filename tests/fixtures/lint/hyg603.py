@@ -1,0 +1,6 @@
+"""Fixture: a mutable default argument."""
+
+
+def append(item, bucket=[]):
+    bucket.append(item)
+    return bucket

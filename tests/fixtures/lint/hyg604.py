@@ -1,0 +1,7 @@
+"""Fixture: a module-level binding that nothing references."""
+
+import textwrap
+
+
+def double(x):
+    return 2 * x

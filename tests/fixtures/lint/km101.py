@@ -1,0 +1,9 @@
+"""Fixture: _CDEF declares a function that has no Python dispatcher."""
+
+import repro.util.compiled as compiled
+
+_ = compiled
+
+_CDEF = """
+long long orphan_kernel(long long n, double *out);
+"""

@@ -1,0 +1,34 @@
+"""Fixture: the embedded C definition disagrees with the _CDEF declaration.
+
+The C transcription renames ``out`` to ``res``; everything else is
+consistent, so exactly one KM102 finding fires.
+"""
+
+import repro.util.compiled as compiled
+
+_ = compiled
+
+FORCE_PYTHON = False
+
+_CDEF = """
+long long scale(long long n, double *out);
+"""
+
+_C_SOURCE = """
+long long scale(long long n, double *res) {
+    for (long long i = 0; i < n; i++) res[i] *= 2.0;
+    return 0;
+}
+"""
+
+
+def _scale_mirror(out):
+    for i in range(out.shape[0]):
+        out[i] *= 2.0
+    return 0
+
+
+def scale(out, lib=None, fb=None):
+    if not FORCE_PYTHON and lib is not None:
+        return lib.scale(out.shape[0], fb("double[]", out))
+    return _scale_mirror(out)

@@ -1,0 +1,34 @@
+"""Fixture: the cc-backend call passes the wrong buffer dtype.
+
+``out`` is declared ``double *`` but the dispatcher wraps it as
+``fb("long long[]", ...)`` — exactly one KM103 finding.
+"""
+
+import repro.util.compiled as compiled
+
+_ = compiled
+
+FORCE_PYTHON = False
+
+_CDEF = """
+long long scale(long long n, double *out);
+"""
+
+_C_SOURCE = """
+long long scale(long long n, double *out) {
+    for (long long i = 0; i < n; i++) out[i] *= 2.0;
+    return 0;
+}
+"""
+
+
+def _scale_mirror(out):
+    for i in range(out.shape[0]):
+        out[i] *= 2.0
+    return 0
+
+
+def scale(out, lib=None, fb=None):
+    if not FORCE_PYTHON and lib is not None:
+        return lib.scale(out.shape[0], fb("long long[]", out))
+    return _scale_mirror(out)

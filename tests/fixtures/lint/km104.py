@@ -1,0 +1,34 @@
+"""Fixture: the mirror renamed a parameter the _CDEF still declares.
+
+The mirror takes ``res`` where the native kernel declares ``out`` —
+exactly one KM104 finding (the drift KM rules exist to catch).
+"""
+
+import repro.util.compiled as compiled
+
+_ = compiled
+
+FORCE_PYTHON = False
+
+_CDEF = """
+long long scale(long long n, double *out);
+"""
+
+_C_SOURCE = """
+long long scale(long long n, double *out) {
+    for (long long i = 0; i < n; i++) out[i] *= 2.0;
+    return 0;
+}
+"""
+
+
+def _scale_mirror(res):
+    for i in range(res.shape[0]):
+        res[i] *= 2.0
+    return 0
+
+
+def scale(out, lib=None, fb=None):
+    if not FORCE_PYTHON and lib is not None:
+        return lib.scale(out.shape[0], fb("double[]", out))
+    return _scale_mirror(out)

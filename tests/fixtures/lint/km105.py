@@ -1,0 +1,32 @@
+"""Fixture: a dispatcher that never consults FORCE_PYTHON.
+
+Without the hook the parity suites cannot force the mirror path —
+exactly one KM105 finding.
+"""
+
+import repro.util.compiled as compiled
+
+_ = compiled
+
+_CDEF = """
+long long scale(long long n, double *out);
+"""
+
+_C_SOURCE = """
+long long scale(long long n, double *out) {
+    for (long long i = 0; i < n; i++) out[i] *= 2.0;
+    return 0;
+}
+"""
+
+
+def _scale_mirror(out):
+    for i in range(out.shape[0]):
+        out[i] *= 2.0
+    return 0
+
+
+def scale(out, lib=None, fb=None):
+    if lib is not None:
+        return lib.scale(out.shape[0], fb("double[]", out))
+    return _scale_mirror(out)

@@ -1,0 +1,8 @@
+"""Fixture: reassociating reduction inside a jitted kernel body."""
+
+from repro.util.compiled import maybe_jit
+
+
+@maybe_jit(cache=True)
+def total(values):
+    return sum(values)

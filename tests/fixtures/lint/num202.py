@@ -1,0 +1,3 @@
+"""Fixture: a compiler flag list missing the IEEE-strictness pins."""
+
+MY_CC_FLAGS = ["-O2", "-fPIC", "-shared"]

@@ -1,0 +1,5 @@
+"""Fixture: a kernel module building outside repro.util.compiled."""
+
+_CDEF = """
+long long rogue(long long n, double *out);
+"""

@@ -1,0 +1,10 @@
+"""Fixture: module-global mutation inside a pool worker."""
+
+_CACHE = None
+
+
+# repro: pool-worker
+def warm(task):
+    global _CACHE
+    _CACHE = task
+    return task
