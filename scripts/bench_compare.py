@@ -17,13 +17,19 @@ Usage::
 Wall-time metrics are reported for context but only throughputs gate —
 the bench container's clock is noisy and ``*_per_sec`` values are what
 the acceptance criteria track.
+
+A benchmark or metric that exists in the old snapshot but not the new one
+also fails the run: a silently vanished metric is how a perf regression
+escapes the gate entirely (the benchmark got renamed, the extra_info key
+dropped, the test skipped).  Pass ``--allow-missing`` when the
+disappearance is intentional (e.g. comparing across a benchmark-suite
+rename).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
-import sys
 from pathlib import Path
 
 THROUGHPUT_SUFFIX = "_per_sec"
@@ -48,21 +54,22 @@ def load_benchmarks(path: Path) -> dict[str, dict]:
 
 def compare(
     old: dict[str, dict], new: dict[str, dict], threshold: float
-) -> tuple[list[str], list[str]]:
-    """Return (report lines, regression lines)."""
+) -> tuple[list[str], list[str], list[str]]:
+    """Return (report lines, regression lines, missing-metric lines)."""
     lines: list[str] = []
     regressions: list[str] = []
+    missing: list[str] = []
     for name in sorted(old):
         if name not in new:
-            lines.append(f"~ {name}: missing from new snapshot (skipped)")
+            lines.append(f"! {name}: missing from new snapshot")
+            missing.append(f"{name}: benchmark missing from new snapshot")
             continue
-        # Metrics present in only one snapshot are warned about, never
-        # compared: newer benchmarks grow extra_info keys (e.g. the batch
-        # replay metrics) and older BENCH_*.json files must stay diffable.
+        # Metrics that *appear* are informational (no baseline to compare);
+        # metrics that *disappear* gate — a vanished metric is how a perf
+        # regression escapes the gate entirely.
         for key in sorted(set(old[name]) - set(new[name])):
-            lines.append(
-                f"~ {name}.{key}: only in old snapshot (skipped)"
-            )
+            lines.append(f"! {name}.{key}: missing from new snapshot")
+            missing.append(f"{name}.{key}: metric missing from new snapshot")
         for key in sorted(set(new[name]) - set(old[name])):
             lines.append(
                 f"~ {name}.{key}: only in new snapshot (no baseline, skipped)"
@@ -92,7 +99,7 @@ def compare(
                 )
     for name in sorted(set(new) - set(old)):
         lines.append(f"+ {name}: new benchmark (no baseline)")
-    return lines, regressions
+    return lines, regressions, missing
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -107,6 +114,12 @@ def main(argv: list[str] | None = None) -> int:
         default=0.2,
         help="maximum tolerated fractional throughput drop (default 0.2)",
     )
+    parser.add_argument(
+        "--allow-missing",
+        action="store_true",
+        help="do not fail when a benchmark/metric present in the old "
+             "snapshot is absent from the new one (intentional renames)",
+    )
     args = parser.parse_args(argv)
     if not 0 < args.threshold < 1:
         parser.error(f"threshold must be in (0, 1), got {args.threshold}")
@@ -118,14 +131,26 @@ def main(argv: list[str] | None = None) -> int:
     if not new:
         parser.error(f"{args.new} contains no benchmarks")
 
-    lines, regressions = compare(old, new, args.threshold)
+    lines, regressions, missing = compare(old, new, args.threshold)
     print(f"comparing {args.old} -> {args.new} (threshold {args.threshold:.0%})")
     for line in lines:
         print(line)
+    failed = False
     if regressions:
         print(f"\n{len(regressions)} throughput regression(s) beyond threshold:")
         for reg in regressions:
             print(f"  {reg}")
+        failed = True
+    if missing:
+        if args.allow_missing:
+            print(f"\n{len(missing)} missing metric(s) tolerated (--allow-missing)")
+        else:
+            print(f"\n{len(missing)} metric(s) vanished between snapshots "
+                  f"(pass --allow-missing if intentional):")
+            for item in missing:
+                print(f"  {item}")
+            failed = True
+    if failed:
         return 1
     print("\nno throughput regressions beyond threshold")
     return 0
