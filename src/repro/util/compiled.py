@@ -26,6 +26,47 @@ shared pieces:
 Each kernel module keeps its own ``FORCE_PYTHON`` flag (tests monkeypatch
 them independently) and its own dispatchers; only the detection and build
 machinery lives here.
+
+Kernel contract
+---------------
+
+Every kernel module carries four coupled artefacts that must stay in
+lockstep — ``repro lint`` (:mod:`repro.analysis`) enforces this shape
+statically, and the rules below are the written form of what it checks:
+
+1. **``_CDEF``** — the cffi declaration string.  It is the single source
+   of truth for kernel names, parameter names, parameter order and C
+   types.  Pointer parameters are the data buffers; scalar parameters
+   are hoisted to wherever the C signature wants them.
+2. **The C source** — a line-for-line transcription whose function
+   definitions must repeat the ``_CDEF`` parameter lists *exactly*
+   (same names, same order, same types; rule ``KM102``).  It is always
+   built with :data:`CC_FLAGS`, i.e. ``-fno-fast-math
+   -ffp-contract=off`` (rule ``NUM202``), so each double operation is
+   the same correctly-rounded IEEE-754 op the mirror performs.
+3. **The Python mirror** (``_<kernel>_mirror``) — the reference
+   implementation, optionally JIT-compiled via :func:`maybe_jit`.  Its
+   parameter names must all be declared in ``_CDEF`` and its pointer
+   parameters must appear in the declared relative order (scalars may
+   sit anywhere or be omitted; rule ``KM104``).  Mirror bodies must not
+   call ``sum``/``math.fsum`` (reassociating reductions diverge from
+   the C transcription; rule ``NUM201``).
+4. **The dispatcher** — the public function that routes to
+   ``lib.<kernel>(...)`` or the mirror depending on the backend and the
+   module's ``FORCE_PYTHON`` escape hatch (rules ``KM101``/``KM105``).
+   Its compiled-path call must pass exactly the declared arguments,
+   with ``from_buffer`` casts whose dtypes match the pointer types
+   (``double *`` ↔ ``"double[]"``, ``long long *`` ↔
+   ``"long long[]"``; rule ``KM103``).
+
+Supporting pragmas (all comments, all checked by ``repro lint``):
+``# repro: scratch`` marks a function allocation-free (no
+``np.zeros``/``np.empty``/... in the body), ``# repro: pool-worker``
+marks a supervisor-dispatched worker (no ``global`` mutation),
+``# repro: kernel-module`` opts a module outside ``repro.{core,tcp,
+player,abr}`` into the no-ambient-entropy rule.  A finding that is a
+deliberate exception is silenced line-scoped with
+``# repro: ignore[RULE1,RULE2] -- reason``.
 """
 
 from __future__ import annotations
